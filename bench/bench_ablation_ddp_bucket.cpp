@@ -1,0 +1,44 @@
+// Ablation: DDP gradient-bucket size for ViT-3B at 32 nodes — why
+// PyTorch's fixed 25 MB default ("constant message size", paper Sec. IV-C)
+// falls behind FSDP's per-unit messages as the model grows, and how the
+// choice trades per-call latency against overlap granularity.
+#include "bench_common.hpp"
+#include "models/config.hpp"
+#include "sim/simulator.hpp"
+
+using namespace geofm;
+using namespace geofm::sim;
+
+int main() {
+  bench::banner("Ablation — DDP bucket size vs FSDP per-unit messages",
+                "supports paper Sec. IV-C's DDP-vs-FSDP analysis");
+
+  const auto workload = vit_step_workload(models::vit_3b(), 32);
+  const MachineSpec machine = frontier();
+
+  TextTable t({"Scheme", "message granularity", "ips@32n", "comm calls"});
+  for (i64 mb : {1, 5, 25, 100, 400}) {
+    ParallelPlan plan;
+    plan.kind = ParallelPlan::Kind::kDdp;
+    plan.ddp_bucket_bytes = mb * 1024 * 1024;
+    TrainingSimulator sim(workload, machine, 32, plan);
+    const auto step = sim.simulate_step();
+    t.add_row({"DDP", fmt_i(mb) + " MB buckets",
+               fmt_f(step.images_per_second_total, 0),
+               fmt_i(step.comm_calls)});
+  }
+  ParallelPlan ns;
+  ns.fsdp.strategy = parallel::ShardingStrategy::kNoShard;
+  TrainingSimulator sim(workload, machine, 32, ns);
+  const auto step = sim.simulate_step();
+  t.add_row({"FSDP NO_SHARD", "one message per transformer block",
+             fmt_f(step.images_per_second_total, 0),
+             fmt_i(step.comm_calls)});
+  t.print();
+  std::printf(
+      "takeaway: at 3B parameters the default 25 MB buckets mean hundreds\n"
+      "of latency-bound calls; FSDP's per-block messages keep the\n"
+      "balance between call time and message size (paper Sec. IV-C).\n");
+  bench::save_csv(t, "ablation_ddp_bucket");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the reproduction benches: quick-mode switch, cache
+// directory for artifacts shared between benches (pretrained checkpoints,
+// probe curves), and uniform banner printing.
+//
+// Conventions:
+//  * every bench binary runs with no arguments and prints the paper
+//    table/figure it regenerates as an aligned text table;
+//  * benches also drop machine-readable CSVs into the cache directory;
+//  * GEOFM_BENCH_QUICK=1 shrinks the functional (training) benches for
+//    smoke runs; simulator benches are always fast.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace geofm::bench {
+
+inline bool quick_mode() {
+  const char* env = std::getenv("GEOFM_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::string cache_dir() {
+  if (const char* env = std::getenv("GEOFM_BENCH_CACHE")) return env;
+  return "geofm_bench_cache";
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  if (quick_mode()) std::printf("(GEOFM_BENCH_QUICK=1: reduced workload)\n");
+  std::printf("================================================================\n");
+}
+
+inline void save_csv(const TextTable& table, const std::string& name) {
+  const std::string path = cache_dir() + "/" + name + ".csv";
+  write_file(path, table.to_csv());
+  std::printf("[saved %s]\n", path.c_str());
+}
+
+}  // namespace geofm::bench

@@ -1,0 +1,105 @@
+// Reproduces paper Fig. 3: weak scaling of the four ViT variants that fit
+// on a single Frontier GPU (Base/Huge/1B/3B) under DDP, NO_SHARD,
+// HYBRID_1GPU, HYBRID_2GPUs and FULL_SHARD, plus the per-GPU memory
+// footprint panels.
+#include "bench_common.hpp"
+#include "models/config.hpp"
+#include "sim/simulator.hpp"
+
+using namespace geofm;
+using namespace geofm::sim;
+using parallel::ShardingStrategy;
+
+namespace {
+
+struct Plan {
+  const char* label;
+  ParallelPlan plan;
+};
+
+std::vector<Plan> plans() {
+  std::vector<Plan> out;
+  ParallelPlan ddp;
+  ddp.kind = ParallelPlan::Kind::kDdp;
+  out.push_back({"DDP", ddp});
+  ParallelPlan ns;
+  ns.fsdp.strategy = ShardingStrategy::kNoShard;
+  out.push_back({"NO_SHARD", ns});
+  ParallelPlan h1;
+  h1.fsdp.strategy = ShardingStrategy::kHybridShard;
+  h1.fsdp.hybrid_group_size = 1;
+  out.push_back({"HYBRID_1GPU", h1});
+  ParallelPlan h2 = h1;
+  h2.fsdp.hybrid_group_size = 2;
+  out.push_back({"HYBRID_2GPUs", h2});
+  ParallelPlan fs;
+  fs.fsdp.strategy = ShardingStrategy::kFullShard;
+  out.push_back({"FULL_SHARD", fs});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 3 — weak scaling, ViT-Base/Huge/1B/3B (fit on 1 GPU)",
+                "Tsaris et al., Fig. 3 (Sec. IV-C)");
+
+  const MachineSpec machine = frontier();
+  const std::vector<int> nodes = {1, 2, 4, 8, 16, 32, 64};
+  const auto variants = {models::vit_base(), models::vit_huge(),
+                         models::vit_1b(), models::vit_3b()};
+
+  for (const auto& cfg : variants) {
+    const auto workload = vit_step_workload(cfg, 32);
+    std::printf("\n--- %s, local batch 32, images/second ---\n",
+                cfg.name.c_str());
+    std::vector<std::string> header{"Strategy"};
+    for (int n : nodes) header.push_back("n=" + std::to_string(n));
+    header.push_back("ideal@64");
+    TextTable t(header);
+    for (const auto& p : plans()) {
+      std::vector<std::string> row{p.label};
+      double one_node = 0;
+      for (int n : nodes) {
+        TrainingSimulator sim(workload, machine, n, p.plan);
+        const double ips = sim.simulate_step().images_per_second_total;
+        if (n == 1) one_node = ips;
+        row.push_back(fmt_f(ips, 0));
+      }
+      row.push_back(fmt_f(one_node * 64, 0));
+      t.add_row(std::move(row));
+    }
+    t.print();
+    bench::save_csv(t, "fig3_ips_" + cfg.name);
+  }
+
+  std::printf("\n--- per-GPU memory [GB] at 8 nodes (FULL_SHARD varies with "
+              "world size; others constant) ---\n");
+  TextTable mem({"Model", "DDP/NO_SHARD", "HYBRID_2GPUs", "FULL_SHARD@1n",
+                 "FULL_SHARD@8n", "FULL_SHARD@64n"});
+  for (const auto& cfg : variants) {
+    const auto workload = vit_step_workload(cfg, 32);
+    auto gb = [&](const ParallelPlan& p, int n) {
+      TrainingSimulator sim(workload, machine, n, p);
+      return fmt_f(sim.memory_footprint().total() / double(1ull << 30), 1);
+    };
+    ParallelPlan ns;
+    ns.fsdp.strategy = ShardingStrategy::kNoShard;
+    ParallelPlan h2;
+    h2.fsdp.strategy = ShardingStrategy::kHybridShard;
+    h2.fsdp.hybrid_group_size = 2;
+    ParallelPlan fs;
+    fs.fsdp.strategy = ShardingStrategy::kFullShard;
+    mem.add_row({cfg.name, gb(ns, 8), gb(h2, 8), gb(fs, 1), gb(fs, 8),
+                 gb(fs, 64)});
+  }
+  mem.print();
+  std::printf(
+      "shape checks (paper Sec. IV-C): HYBRID_1GPU >= NO_SHARD >\n"
+      "HYBRID_2GPUs and all FSDP modes > DDP, with the DDP gap growing\n"
+      "with model size; FULL_SHARD leads only at small scale and flattens\n"
+      "earlier for smaller models; ViT-3B NO_SHARD uses >50 GB while\n"
+      "HYBRID_2GPUs halves sharded state and FULL_SHARD drops to a few GB.\n");
+  bench::save_csv(mem, "fig3_memory");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces paper Fig. 4: weak scaling of ViT-5B (fits on 2 GPUs) and
+// ViT-15B (needs 4 GPUs), memory by strategy, and the GPU power /
+// utilization trace for the 32-node ViT-5B runs.
+#include "bench_common.hpp"
+#include "models/config.hpp"
+#include "sim/simulator.hpp"
+
+using namespace geofm;
+using namespace geofm::sim;
+using parallel::ShardingStrategy;
+
+namespace {
+
+struct Plan {
+  std::string label;
+  ParallelPlan plan;
+};
+
+Plan hybrid(int g) {
+  Plan p;
+  p.label = "HYBRID_" + std::to_string(g) + "GPUs";
+  p.plan.fsdp.strategy = ShardingStrategy::kHybridShard;
+  p.plan.fsdp.hybrid_group_size = g;
+  return p;
+}
+
+Plan strategy(ShardingStrategy s, const char* label) {
+  Plan p;
+  p.label = label;
+  p.plan.fsdp.strategy = s;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 4 — ViT-5B and ViT-15B sharding strategies",
+                "Tsaris et al., Fig. 4 (Sec. IV-D)");
+
+  const MachineSpec machine = frontier();
+
+  struct ModelCase {
+    models::ViTConfig cfg;
+    std::vector<int> groups;  // hybrid group sizes that fit
+    int min_nodes;
+  };
+  const std::vector<ModelCase> cases = {
+      {models::vit_5b(), {2, 4, 8, 16}, 1},
+      {models::vit_15b(), {4, 8, 16}, 1},
+  };
+  const std::vector<int> nodes = {1, 2, 4, 8, 16, 32};
+
+  for (const auto& mc : cases) {
+    const auto workload = vit_step_workload(mc.cfg, 32);
+    std::vector<Plan> plans;
+    for (int g : mc.groups) plans.push_back(hybrid(g));
+    plans.push_back(strategy(ShardingStrategy::kFullShard, "FULL_SHARD"));
+    plans.push_back(
+        strategy(ShardingStrategy::kShardGradOp, "SHARD_GRAD_OP"));
+
+    std::printf("\n--- %s, local batch 32, images/second ---\n",
+                mc.cfg.name.c_str());
+    std::vector<std::string> header{"Strategy"};
+    for (int n : nodes) header.push_back("n=" + std::to_string(n));
+    TextTable t(header);
+    for (const auto& p : plans) {
+      std::vector<std::string> row{p.label};
+      for (int n : nodes) {
+        if (p.plan.fsdp.hybrid_group_size > n * machine.gpus_per_node) {
+          row.push_back("-");
+          continue;
+        }
+        TrainingSimulator sim(workload, machine, n, p.plan);
+        row.push_back(fmt_f(sim.simulate_step().images_per_second_total, 0));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+    bench::save_csv(t, "fig4_ips_" + mc.cfg.name);
+
+    TextTable mem({"Strategy", "mem@8n [GB]", "mem@32n [GB]"});
+    for (const auto& p : plans) {
+      auto gb = [&](int n) {
+        TrainingSimulator sim(workload, machine, n, p.plan);
+        return fmt_f(sim.memory_footprint().total() / double(1ull << 30), 1);
+      };
+      mem.add_row({p.label, gb(8), gb(32)});
+    }
+    mem.print();
+    bench::save_csv(mem, "fig4_memory_" + mc.cfg.name);
+  }
+
+  // Power / utilization trace, ViT-5B on 32 nodes (paper's rocm-smi panel).
+  std::printf("\n--- ViT-5B @ 32 nodes: per-GCD power & utilization ---\n");
+  const auto w5 = vit_step_workload(models::vit_5b(), 32);
+  TextTable pw({"Strategy", "ips", "avg power [W]", "compute util",
+                "comm util", "mem [GB]"});
+  for (const auto& p :
+       {hybrid(2), strategy(ShardingStrategy::kFullShard, "FULL_SHARD"),
+        strategy(ShardingStrategy::kShardGradOp, "SHARD_GRAD_OP")}) {
+    TrainingSimulator sim(w5, machine, 32, p.plan);
+    const auto step = sim.simulate_step();
+    const auto power = sim.power_draw();
+    pw.add_row({p.label, fmt_f(step.images_per_second_total, 0),
+                fmt_f(power.average_watts, 0),
+                fmt_f(power.compute_utilization, 2),
+                fmt_f(power.comm_utilization, 2),
+                fmt_f(sim.memory_footprint().total() / double(1ull << 30),
+                      1)});
+  }
+  pw.print();
+  std::printf(
+      "shape checks (paper Sec. IV-D): for ViT-5B, HYBRID_8/16 beat\n"
+      "HYBRID_2/4 at scale; for ViT-15B SHARD_GRAD_OP scales best with\n"
+      "FULL_SHARD competitive; SHARD_GRAD_OP draws more power than\n"
+      "FULL_SHARD, consistent with its higher throughput (paper: 1509 vs\n"
+      "1307 ips); SHARD_GRAD_OP memory sits between FULL_SHARD and the\n"
+      "HYBRID modes.\n");
+  bench::save_csv(pw, "fig4_power");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces paper Fig. 6: top-1 and top-5 linear-probing accuracy as a
+// function of probe training epoch, for the four model scales on all four
+// classification datasets.
+#include "bench_common.hpp"
+#include "bench_downstream_common.hpp"
+
+using namespace geofm;
+
+int main() {
+  bench::banner(
+      "Figure 6 — linear-probe accuracy vs epoch, 4 models x 4 datasets",
+      "Tsaris et al., Fig. 6 (Sec. V-C)");
+
+  auto proxies = bench::pretrained_proxies();
+  auto datasets = bench::probe_datasets();
+  auto grid = bench::probe_grid(proxies);
+
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    std::printf("\n--- %s: top-1 (top-5) by probe epoch ---\n",
+                datasets[d].name().c_str());
+    std::vector<std::string> header{"Epoch"};
+    for (const auto& p : proxies) header.push_back(p.cfg.name);
+    TextTable t(header);
+    const size_t n = grid[0][d].top1_per_epoch.size();
+    for (size_t e = 0; e < n; ++e) {
+      if (n > 10 && (e + 1) % 5 != 0 && e != 0) continue;
+      std::vector<std::string> row{fmt_i(static_cast<long long>(e + 1))};
+      for (size_t m = 0; m < proxies.size(); ++m) {
+        row.push_back(fmt_f(100 * grid[m][d].top1_per_epoch[e], 1) + " (" +
+                      fmt_f(100 * grid[m][d].top5_per_epoch[e], 1) + ")");
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+    bench::save_csv(t, "fig6_" + datasets[d].name());
+  }
+
+  std::printf(
+      "shape checks (paper Fig. 6): top-1 improves with model scale on\n"
+      "every dataset; gains appear within the first probing epochs; top-5\n"
+      "follows the same ordering.\n");
+  return 0;
+}

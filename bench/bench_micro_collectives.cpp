@@ -1,0 +1,61 @@
+// Microbenchmarks of the thread-rank collective substrate: all-reduce /
+// all-gather / reduce-scatter across rank counts and payload sizes.
+#include <benchmark/benchmark.h>
+
+#include "comm/communicator.hpp"
+
+using namespace geofm;
+
+namespace {
+
+void BM_AllReduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const i64 elems = state.range(1);
+  for (auto _ : state) {
+    comm::run_ranks(ranks, [&](comm::Communicator& c) {
+      Tensor t = Tensor::full({elems}, static_cast<float>(c.rank()));
+      c.all_reduce(t, comm::ReduceOp::kSum);
+      benchmark::DoNotOptimize(t.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * elems);
+}
+BENCHMARK(BM_AllReduce)
+    ->Args({2, 1 << 12})
+    ->Args({4, 1 << 12})
+    ->Args({8, 1 << 12})
+    ->Args({4, 1 << 16});
+
+void BM_AllGather(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const i64 elems = state.range(1);
+  for (auto _ : state) {
+    comm::run_ranks(ranks, [&](comm::Communicator& c) {
+      Tensor shard = Tensor::full({elems}, static_cast<float>(c.rank()));
+      Tensor out({elems * ranks});
+      c.all_gather(shard, out);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * elems);
+}
+BENCHMARK(BM_AllGather)->Args({4, 1 << 12})->Args({8, 1 << 14});
+
+void BM_ReduceScatter(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const i64 chunk = state.range(1);
+  for (auto _ : state) {
+    comm::run_ranks(ranks, [&](comm::Communicator& c) {
+      Tensor in = Tensor::ones({chunk * ranks});
+      Tensor shard({chunk});
+      c.reduce_scatter(in, shard, comm::ReduceOp::kSum);
+      benchmark::DoNotOptimize(shard.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * chunk);
+}
+BENCHMARK(BM_ReduceScatter)->Args({4, 1 << 12});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Microbenchmarks of the tensor/nn kernels (google-benchmark): GEMM
+// variants, softmax, layernorm, attention block forward/backward, and
+// patchify — the building blocks whose cost model the simulator abstracts.
+#include <benchmark/benchmark.h>
+
+#include "nn/block.hpp"
+#include "tensor/ops.hpp"
+
+using namespace geofm;
+
+namespace {
+
+void BM_MatmulNN(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulNT(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNT)->Arg(128);
+
+void BM_SoftmaxLastDim(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({256, 256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::softmax_lastdim(x));
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_SoftmaxLastDim);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({512, 128}, rng);
+  Tensor g = Tensor::ones({128});
+  Tensor b = Tensor::zeros({128});
+  ops::LayerNormCache cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::layernorm(x, g, b, 1e-6f, cache));
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_LayerNorm);
+
+void BM_TransformerBlockForward(benchmark::State& state) {
+  const i64 width = state.range(0);
+  Rng rng(5);
+  nn::TransformerBlock blk("b", width, width / 8, 4 * width, rng);
+  Tensor x = Tensor::randn({8, 17, width}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blk.forward(x));
+  }
+}
+BENCHMARK(BM_TransformerBlockForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TransformerBlockBackward(benchmark::State& state) {
+  const i64 width = state.range(0);
+  Rng rng(6);
+  nn::TransformerBlock blk("b", width, width / 8, 4 * width, rng);
+  Tensor x = Tensor::randn({8, 17, width}, rng);
+  Tensor dy = Tensor::randn({8, 17, width}, rng);
+  blk.forward(x);
+  for (auto _ : state) {
+    blk.zero_grad();
+    benchmark::DoNotOptimize(blk.backward(dy));
+  }
+}
+BENCHMARK(BM_TransformerBlockBackward)->Arg(32);
+
+void BM_Patchify(benchmark::State& state) {
+  Rng rng(7);
+  Tensor img = Tensor::randn({16, 3, 64, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::patchify(img, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * img.numel());
+}
+BENCHMARK(BM_Patchify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,226 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace geofm::comm {
+namespace detail {
+
+LeaderBarrier::LeaderBarrier(int n) : n_(n) { GEOFM_CHECK(n > 0); }
+
+void LeaderBarrier::arrive(const std::function<void()>& leader) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (++arrived_ == n_) {
+    if (leader) leader();
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    const u64 gen = generation_;
+    cv_.wait(lk, [&] { return generation_ != gen; });
+  }
+}
+
+CommGroup::CommGroup(int n)
+    : size(n),
+      barrier(n),
+      src(static_cast<size_t>(n), nullptr),
+      dst(static_cast<size_t>(n), nullptr),
+      counts(static_cast<size_t>(n), 0),
+      colors(static_cast<size_t>(n), 0),
+      keys(static_cast<size_t>(n), 0) {}
+
+}  // namespace detail
+
+Communicator::Communicator(std::shared_ptr<detail::CommGroup> group, int rank)
+    : group_(std::move(group)), rank_(rank) {
+  GEOFM_CHECK(group_ != nullptr);
+  GEOFM_CHECK(rank_ >= 0 && rank_ < group_->size, "rank out of range");
+}
+
+void Communicator::barrier() { group_->barrier.arrive(); }
+
+void Communicator::all_reduce(Tensor& t, ReduceOp op) {
+  auto& g = *group_;
+  const i64 n = t.numel();
+  g.src[static_cast<size_t>(rank_)] = t.data();
+  g.counts[static_cast<size_t>(rank_)] = n;
+
+  // Phase A: everyone published; the leader validates and reduces into
+  // scratch in rank order (deterministic float summation).
+  g.barrier.arrive([&] {
+    for (int r = 0; r < g.size; ++r) {
+      GEOFM_CHECK(g.counts[static_cast<size_t>(r)] == n,
+                  "all_reduce size mismatch across ranks");
+    }
+    g.scratch.assign(static_cast<size_t>(n), 0.f);
+    if (op == ReduceOp::kMax) {
+      std::copy_n(g.src[0], n, g.scratch.data());
+      for (int r = 1; r < g.size; ++r) {
+        const float* s = g.src[static_cast<size_t>(r)];
+        for (i64 i = 0; i < n; ++i) {
+          g.scratch[static_cast<size_t>(i)] =
+              std::max(g.scratch[static_cast<size_t>(i)], s[i]);
+        }
+      }
+    } else {
+      for (int r = 0; r < g.size; ++r) {
+        const float* s = g.src[static_cast<size_t>(r)];
+        for (i64 i = 0; i < n; ++i) g.scratch[static_cast<size_t>(i)] += s[i];
+      }
+      if (op == ReduceOp::kAvg) {
+        const float inv = 1.f / static_cast<float>(g.size);
+        for (float& v : g.scratch) v *= inv;
+      }
+    }
+  });
+
+  // Phase B: everyone copies the result, then leaves together so scratch
+  // can be reused by the next collective.
+  std::copy_n(g.scratch.data(), n, t.data());
+  g.barrier.arrive();
+}
+
+void Communicator::all_gather(const Tensor& shard, Tensor& out) {
+  auto& g = *group_;
+  const i64 n = shard.numel();
+  GEOFM_CHECK(out.numel() == n * g.size, "all_gather output size mismatch");
+  g.src[static_cast<size_t>(rank_)] = shard.data();
+  g.counts[static_cast<size_t>(rank_)] = n;
+
+  g.barrier.arrive([&] {
+    for (int r = 0; r < g.size; ++r) {
+      GEOFM_CHECK(g.counts[static_cast<size_t>(r)] == n,
+                  "all_gather shard size mismatch across ranks");
+    }
+  });
+
+  float* o = out.data();
+  for (int r = 0; r < g.size; ++r) {
+    std::copy_n(g.src[static_cast<size_t>(r)], n, o + static_cast<i64>(r) * n);
+  }
+  g.barrier.arrive();
+}
+
+void Communicator::reduce_scatter(const Tensor& in, Tensor& shard,
+                                  ReduceOp op) {
+  auto& g = *group_;
+  const i64 chunk = shard.numel();
+  GEOFM_CHECK(in.numel() == chunk * g.size, "reduce_scatter size mismatch");
+  g.src[static_cast<size_t>(rank_)] = in.data();
+  g.counts[static_cast<size_t>(rank_)] = in.numel();
+
+  g.barrier.arrive([&] {
+    for (int r = 0; r < g.size; ++r) {
+      GEOFM_CHECK(g.counts[static_cast<size_t>(r)] == chunk * g.size,
+                  "reduce_scatter input size mismatch across ranks");
+    }
+  });
+
+  // Each rank reduces its own chunk across all peers, in rank order.
+  const i64 offset = static_cast<i64>(rank_) * chunk;
+  float* o = shard.data();
+  std::fill_n(o, chunk, 0.f);
+  for (int r = 0; r < g.size; ++r) {
+    const float* s = g.src[static_cast<size_t>(r)] + offset;
+    for (i64 i = 0; i < chunk; ++i) o[i] += s[i];
+  }
+  if (op == ReduceOp::kAvg) {
+    const float inv = 1.f / static_cast<float>(g.size);
+    for (i64 i = 0; i < chunk; ++i) o[i] *= inv;
+  }
+  GEOFM_CHECK(op != ReduceOp::kMax, "reduce_scatter kMax not supported");
+  g.barrier.arrive();
+}
+
+void Communicator::broadcast(Tensor& t, int root) {
+  auto& g = *group_;
+  GEOFM_CHECK(root >= 0 && root < g.size, "broadcast root out of range");
+  const i64 n = t.numel();
+  g.src[static_cast<size_t>(rank_)] = t.data();
+  g.counts[static_cast<size_t>(rank_)] = n;
+
+  g.barrier.arrive([&] {
+    for (int r = 0; r < g.size; ++r) {
+      GEOFM_CHECK(g.counts[static_cast<size_t>(r)] == n,
+                  "broadcast size mismatch across ranks");
+    }
+  });
+
+  if (rank_ != root) {
+    std::copy_n(g.src[static_cast<size_t>(root)], n, t.data());
+  }
+  g.barrier.arrive();
+}
+
+Communicator Communicator::split(int color, int key) {
+  auto& g = *group_;
+  g.colors[static_cast<size_t>(rank_)] = color;
+  g.keys[static_cast<size_t>(rank_)] = key;
+
+  u64 seq = 0;
+  g.barrier.arrive([&] {
+    std::lock_guard<std::mutex> lk(g.split_mu);
+    const u64 this_seq = g.split_seq++;
+    // Group ranks by color, order by (key, old rank).
+    std::map<int, std::vector<int>> by_color;
+    for (int r = 0; r < g.size; ++r) {
+      by_color[g.colors[static_cast<size_t>(r)]].push_back(r);
+    }
+    for (auto& [c, ranks] : by_color) {
+      std::stable_sort(ranks.begin(), ranks.end(), [&](int a, int b) {
+        return g.keys[static_cast<size_t>(a)] < g.keys[static_cast<size_t>(b)];
+      });
+      g.subgroups[{this_seq, c}] =
+          std::make_shared<detail::CommGroup>(static_cast<int>(ranks.size()));
+      g.members[{this_seq, c}] = ranks;
+    }
+  });
+
+  {
+    // Every rank observes the same sequence number: it is the value the
+    // leader consumed, i.e. split_seq - 1 after exactly one split.
+    std::lock_guard<std::mutex> lk(g.split_mu);
+    seq = g.split_seq - 1;
+  }
+
+  std::shared_ptr<detail::CommGroup> sub;
+  int sub_rank = -1;
+  {
+    std::lock_guard<std::mutex> lk(g.split_mu);
+    sub = g.subgroups.at({seq, color});
+    const auto& ranks = g.members.at({seq, color});
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      if (ranks[i] == rank_) sub_rank = static_cast<int>(i);
+    }
+  }
+  GEOFM_CHECK(sub_rank >= 0, "split bookkeeping failure");
+  g.barrier.arrive();  // keep registries alive until everyone has resolved
+  return Communicator(sub, sub_rank);
+}
+
+void run_ranks(int n_ranks, const std::function<void(Communicator&)>& fn) {
+  GEOFM_CHECK(n_ranks > 0);
+  auto group = std::make_shared<detail::CommGroup>(n_ranks);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n_ranks));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < n_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(group, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace comm::geofm

@@ -1,0 +1,113 @@
+// In-process collective communication over thread ranks.
+//
+// This is geofm's stand-in for RCCL/NCCL: each "GPU rank" is a thread, and
+// collectives are implemented with a leader barrier plus direct reads of
+// peer buffers. Semantics match MPI/NCCL:
+//   * every rank of a communicator must call the same collectives in the
+//     same order (mismatched calls deadlock, as on the real machine);
+//   * reductions are performed in rank order, so results are deterministic
+//     and identical on every rank.
+//
+// Sub-communicators (`split`, in the MPI_Comm_split idiom) provide the
+// hierarchical process groups HYBRID_SHARD requires (intra-node sharding
+// group x inter-node replication group).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace geofm::comm {
+
+enum class ReduceOp { kSum, kAvg, kMax };
+
+namespace detail {
+
+/// Sense-reversing N-party barrier. The last rank to arrive runs the
+/// (optional) leader section before anyone is released.
+class LeaderBarrier {
+ public:
+  explicit LeaderBarrier(int n);
+  void arrive(const std::function<void()>& leader = {});
+
+ private:
+  const int n_;
+  int arrived_ = 0;
+  u64 generation_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Shared state of one communicator (all ranks of the group point here).
+struct CommGroup {
+  explicit CommGroup(int n);
+
+  const int size;
+  LeaderBarrier barrier;
+
+  // Publication slots for in-flight collectives.
+  std::vector<const float*> src;
+  std::vector<float*> dst;
+  std::vector<i64> counts;
+  std::vector<int> colors;
+  std::vector<int> keys;
+  std::vector<float> scratch;
+
+  // split() registry: (split sequence number, color) -> subgroup + the
+  // member world-ranks in key order.
+  std::mutex split_mu;
+  u64 split_seq = 0;
+  std::map<std::pair<u64, int>, std::shared_ptr<CommGroup>> subgroups;
+  std::map<std::pair<u64, int>, std::vector<int>> members;
+};
+
+}  // namespace detail
+
+/// Per-rank handle to a communicator. Cheap to copy.
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<detail::CommGroup> group, int rank);
+
+  int rank() const { return rank_; }
+  int size() const { return group_->size; }
+
+  /// Blocks until every rank of this communicator has arrived.
+  void barrier();
+
+  /// In-place all-reduce of `t` (same numel on every rank).
+  void all_reduce(Tensor& t, ReduceOp op = ReduceOp::kSum);
+
+  /// Gathers equal-size shards: out.numel() == shard.numel() * size().
+  /// Rank r's shard lands at offset r * shard.numel().
+  void all_gather(const Tensor& shard, Tensor& out);
+
+  /// Reduces `in` (same numel everywhere) and scatters equal chunks:
+  /// shard.numel() * size() == in.numel(); rank r receives chunk r.
+  void reduce_scatter(const Tensor& in, Tensor& shard,
+                      ReduceOp op = ReduceOp::kSum);
+
+  /// Copies root's tensor to every rank (same numel everywhere).
+  void broadcast(Tensor& t, int root);
+
+  /// Collective split: ranks with equal `color` form a new communicator;
+  /// ranks are ordered by `key` (ties broken by old rank). Every rank of
+  /// this communicator must call split with some color.
+  Communicator split(int color, int key);
+
+ private:
+  std::shared_ptr<detail::CommGroup> group_;
+  int rank_;
+};
+
+/// Launches `n_ranks` threads, each running fn(comm) with a communicator
+/// over all ranks, and joins them. The first exception (if any) is
+/// rethrown on the caller after all threads complete.
+void run_ranks(int n_ranks, const std::function<void(Communicator&)>& fn);
+
+}  // namespace geofm::comm

@@ -1,0 +1,141 @@
+#include "data/dataloader.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace geofm::data {
+
+DataLoader::DataLoader(const SceneDataset& dataset, Split split,
+                       Options options)
+    : dataset_(dataset), split_(split), options_(options) {
+  GEOFM_CHECK(options_.batch_size > 0);
+  GEOFM_CHECK(options_.n_workers >= 0);
+  GEOFM_CHECK(options_.prefetch_batches >= 1);
+  GEOFM_CHECK(dataset_.size(split_) >= options_.batch_size ||
+                  !options_.drop_last,
+              "dataset smaller than one batch");
+}
+
+DataLoader::~DataLoader() { stop_workers(); }
+
+i64 DataLoader::batches_per_epoch() const {
+  const i64 n = dataset_.size(split_);
+  return options_.drop_last ? n / options_.batch_size
+                            : (n + options_.batch_size - 1) /
+                                  options_.batch_size;
+}
+
+void DataLoader::start_epoch(i64 epoch) {
+  stop_workers();
+
+  const i64 n = dataset_.size(split_);
+  permutation_.resize(static_cast<size_t>(n));
+  for (i64 i = 0; i < n; ++i) permutation_[static_cast<size_t>(i)] = i;
+  if (options_.shuffle) {
+    // Fisher–Yates keyed by (seed, epoch): every epoch a fresh, fully
+    // reproducible order.
+    Rng rng = Rng(options_.seed).split(0x10adULL).split(static_cast<u64>(epoch));
+    for (i64 i = n - 1; i > 0; --i) {
+      const i64 j = rng.uniform_int(i + 1);
+      std::swap(permutation_[static_cast<size_t>(i)],
+                permutation_[static_cast<size_t>(j)]);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    epoch_ = epoch;
+    n_batches_ = batches_per_epoch();
+    ready_.clear();
+    next_to_claim_ = 0;
+    next_to_consume_ = 0;
+    stopping_ = false;
+  }
+
+  for (int w = 0; w < options_.n_workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Batch DataLoader::render_batch(i64 batch_index) const {
+  const i64 begin = batch_index * options_.batch_size;
+  const i64 end = std::min<i64>(begin + options_.batch_size,
+                                dataset_.size(split_));
+  std::vector<i64> indices(permutation_.begin() + begin,
+                           permutation_.begin() + end);
+  auto [images, labels] = dataset_.make_batch(split_, indices);
+  if (options_.enable_augment) {
+    const i64 per = images.numel() / images.dim(0);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      Tensor view = images.flat_view(static_cast<i64>(i) * per, per)
+                        .view({dataset_.channels(), dataset_.img_size(),
+                               dataset_.img_size()});
+      Rng rng = Rng(options_.seed)
+                    .split(0xa06ULL)
+                    .split(static_cast<u64>(epoch_))
+                    .split(static_cast<u64>(indices[i]));
+      view.copy_(augment(view, options_.augment, rng));
+    }
+  }
+  Batch batch;
+  batch.images = std::move(images);
+  batch.labels = std::move(labels);
+  batch.index = batch_index;
+  batch.sample_indices = std::move(indices);
+  return batch;
+}
+
+void DataLoader::worker_loop() {
+  for (;;) {
+    i64 mine = -1;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_produce_.wait(lk, [&] {
+        return stopping_ || (next_to_claim_ < n_batches_ &&
+                             next_to_claim_ - next_to_consume_ <
+                                 options_.prefetch_batches);
+      });
+      if (stopping_ || next_to_claim_ >= n_batches_) return;
+      mine = next_to_claim_++;
+    }
+    Batch batch = render_batch(mine);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ready_.emplace(mine, std::move(batch));
+    }
+    cv_consume_.notify_all();
+  }
+}
+
+std::optional<Batch> DataLoader::next() {
+  if (options_.n_workers == 0) {
+    if (next_to_consume_ >= batches_per_epoch()) return std::nullopt;
+    GEOFM_CHECK(!permutation_.empty(), "next() before start_epoch()");
+    return render_batch(next_to_consume_++);
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  GEOFM_CHECK(!permutation_.empty(), "next() before start_epoch()");
+  if (next_to_consume_ >= n_batches_) return std::nullopt;
+  const i64 want = next_to_consume_;
+  cv_consume_.wait(lk, [&] { return ready_.count(want) > 0; });
+  Batch batch = std::move(ready_.at(want));
+  ready_.erase(want);
+  ++next_to_consume_;
+  lk.unlock();
+  cv_produce_.notify_all();  // a prefetch slot opened up
+  return batch;
+}
+
+void DataLoader::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_produce_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+}  // namespace geofm::data

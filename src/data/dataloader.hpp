@@ -1,0 +1,81 @@
+// Multi-worker prefetching data loader, in the PyTorch DataLoader idiom
+// the paper uses (4 workers per rank): worker threads render/decode
+// batches ahead of the training loop into a bounded reorder buffer, and
+// the consumer receives batches in a deterministic order regardless of
+// worker scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "data/datasets.hpp"
+#include "data/transforms.hpp"
+
+namespace geofm::data {
+
+struct Batch {
+  Tensor images;             // [B, C, H, W]
+  std::vector<i64> labels;   // size B
+  i64 index = 0;             // batch ordinal within the epoch
+  std::vector<i64> sample_indices;  // dataset indices composing the batch
+};
+
+class DataLoader {
+ public:
+  struct Options {
+    i64 batch_size = 32;
+    int n_workers = 4;       // 0 = synchronous rendering in next()
+    bool shuffle = true;
+    bool drop_last = true;
+    i64 prefetch_batches = 4;  // bound on rendered-but-unconsumed batches
+    u64 seed = 0;
+    /// Per-sample augmentation (training only). Deterministic given
+    /// (seed, epoch, dataset index) regardless of worker scheduling.
+    bool enable_augment = false;
+    AugmentOptions augment;
+  };
+
+  DataLoader(const SceneDataset& dataset, Split split, Options options);
+  ~DataLoader();
+
+  DataLoader(const DataLoader&) = delete;
+  DataLoader& operator=(const DataLoader&) = delete;
+
+  i64 batches_per_epoch() const;
+
+  /// Begins (or restarts) an epoch: builds the index permutation from
+  /// (seed, epoch) and spins up workers. Must be called before next().
+  void start_epoch(i64 epoch);
+
+  /// Next batch of the running epoch, in order; nullopt once exhausted.
+  std::optional<Batch> next();
+
+ private:
+  void worker_loop();
+  Batch render_batch(i64 batch_index) const;
+  void stop_workers();
+
+  const SceneDataset& dataset_;
+  Split split_;
+  Options options_;
+
+  std::vector<i64> permutation_;
+  i64 n_batches_ = 0;
+  i64 epoch_ = 0;
+
+  // Epoch state shared with workers.
+  std::mutex mu_;
+  std::condition_variable cv_produce_;
+  std::condition_variable cv_consume_;
+  std::map<i64, Batch> ready_;
+  i64 next_to_claim_ = 0;
+  i64 next_to_consume_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace geofm::data

@@ -1,0 +1,101 @@
+#include "data/datasets.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace geofm::data {
+namespace {
+
+u64 dataset_seed(const std::string& name) {
+  return mix64(hash_name(name.c_str()) ^ 0xda7a5e7ULL);
+}
+
+i64 scaled(i64 n, const DatasetScale& s) {
+  GEOFM_CHECK(s.divisor >= 1);
+  return std::max<i64>(1, n / s.divisor);
+}
+
+}  // namespace
+
+SceneDataset::SceneDataset(std::string name, int n_classes, i64 n_train,
+                           i64 n_test, i64 img_size, u64 seed)
+    : name_(std::move(name)),
+      n_train_(n_train),
+      n_test_(n_test),
+      gen_(img_size, 3, n_classes, seed) {
+  GEOFM_CHECK(n_train_ >= 0 && n_test_ >= 0);
+}
+
+i64 SceneDataset::label_of(Split split, i64 index) const {
+  GEOFM_CHECK(index >= 0 && index < size(split), "sample index out of range");
+  // Balanced round-robin labels; a split-dependent rotation keeps the
+  // first test samples from mirroring the first train samples.
+  const i64 rotate = (split == Split::kTest) ? 7 : 0;
+  return (index + rotate) % gen_.n_classes();
+}
+
+Sample SceneDataset::get(Split split, i64 index) const {
+  const i64 label = label_of(split, index);
+  // Disjoint sample keys across splits.
+  const u64 key = mix64((split == Split::kTrain ? 0x7777777ULL : 0xeeeeeeeULL) ^
+                        static_cast<u64>(index) * 0x2545f491ULL);
+  return Sample{gen_.render(static_cast<int>(label), key), label};
+}
+
+std::pair<Tensor, std::vector<i64>> SceneDataset::make_batch(
+    Split split, const std::vector<i64>& indices) const {
+  GEOFM_CHECK(!indices.empty());
+  const i64 c = gen_.channels(), hw = gen_.img_size();
+  Tensor images({static_cast<i64>(indices.size()), c, hw, hw});
+  std::vector<i64> labels;
+  labels.reserve(indices.size());
+  const i64 per = c * hw * hw;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    Sample s = get(split, indices[i]);
+    images.flat_view(static_cast<i64>(i) * per, per).copy_(s.image);
+    labels.push_back(s.label);
+  }
+  return {images, labels};
+}
+
+SceneDataset million_aid_pretrain(i64 n_images, i64 img_size) {
+  // Same generator seed as the MillionAID classification facade: the
+  // pretraining distribution and the downstream MillionAID distribution
+  // coincide, as in the paper (Sec. V-C discusses this overlap).
+  return SceneDataset("MillionAID-pretrain", 51, n_images, 0, img_size,
+                      dataset_seed("MillionAID"));
+}
+
+SceneDataset million_aid(i64 img_size, DatasetScale scale) {
+  return SceneDataset("MillionAID", 51, scaled(1000, scale),
+                      scaled(9000, scale), img_size,
+                      dataset_seed("MillionAID"));
+}
+
+SceneDataset ucm(i64 img_size, DatasetScale scale) {
+  return SceneDataset("UCM", 21, scaled(1050, scale), scaled(1050, scale),
+                      img_size, dataset_seed("UCM"));
+}
+
+SceneDataset aid(i64 img_size, DatasetScale scale) {
+  return SceneDataset("AID", 30, scaled(2000, scale), scaled(8000, scale),
+                      img_size, dataset_seed("AID"));
+}
+
+SceneDataset nwpu(i64 img_size, DatasetScale scale) {
+  return SceneDataset("NWPU", 45, scaled(3150, scale), scaled(28350, scale),
+                      img_size, dataset_seed("NWPU"));
+}
+
+std::vector<SceneDataset> table2_classification_datasets(i64 img_size,
+                                                         DatasetScale scale) {
+  std::vector<SceneDataset> out;
+  out.push_back(ucm(img_size, scale));
+  out.push_back(aid(img_size, scale));
+  out.push_back(nwpu(img_size, scale));
+  out.push_back(million_aid(img_size, scale));
+  return out;
+}
+
+}  // namespace geofm::data

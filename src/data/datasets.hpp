@@ -1,0 +1,76 @@
+// Dataset facades matching the paper's Table II, backed by the procedural
+// scene generator. Sizes, class counts, and train/test splits follow the
+// paper exactly; image resolution defaults to the proxy scale (32x32) so
+// functional experiments fit on CPU (the paper pretrained at 512x512).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/scene_generator.hpp"
+
+namespace geofm::data {
+
+enum class Split { kTrain, kTest };
+
+struct Sample {
+  Tensor image;  // [C, H, W]
+  i64 label;
+};
+
+class SceneDataset {
+ public:
+  SceneDataset(std::string name, int n_classes, i64 n_train, i64 n_test,
+               i64 img_size, u64 seed);
+
+  const std::string& name() const { return name_; }
+  int n_classes() const { return gen_.n_classes(); }
+  i64 img_size() const { return gen_.img_size(); }
+  i64 channels() const { return gen_.channels(); }
+  i64 size(Split split) const {
+    return split == Split::kTrain ? n_train_ : n_test_;
+  }
+
+  /// Deterministic sample access; labels are balanced round-robin.
+  Sample get(Split split, i64 index) const;
+  i64 label_of(Split split, i64 index) const;
+
+  /// Stacks the given indices into one [B, C, H, W] batch (+labels).
+  std::pair<Tensor, std::vector<i64>> make_batch(
+      Split split, const std::vector<i64>& indices) const;
+
+ private:
+  std::string name_;
+  i64 n_train_;
+  i64 n_test_;
+  SceneGenerator gen_;
+};
+
+/// Scale divides every split size (>=1); used to shrink the largest test
+/// sets for fast benchmark runs without changing class balance.
+struct DatasetScale {
+  i64 divisor = 1;
+};
+
+// ----- Table II facades ------------------------------------------------------
+
+/// MillionAID pretraining corpus stand-in. The paper uses 990 848 images;
+/// `n_images` selects the proxy corpus size (samples are i.i.d. scenes
+/// across all 51 MillionAID-like classes; labels unused by MAE).
+SceneDataset million_aid_pretrain(i64 n_images, i64 img_size = 32);
+
+/// MillionAID classification split: 1000 train / 9000 test, 51 classes.
+SceneDataset million_aid(i64 img_size = 32, DatasetScale scale = {});
+/// UC Merced: 1050 / 1050, 21 classes (TR = 50%).
+SceneDataset ucm(i64 img_size = 32, DatasetScale scale = {});
+/// AID: 2000 / 8000, 30 classes (TR = 20%).
+SceneDataset aid(i64 img_size = 32, DatasetScale scale = {});
+/// NWPU-RESISC45: 3150 / 28350, 45 classes (TR = 10%).
+SceneDataset nwpu(i64 img_size = 32, DatasetScale scale = {});
+
+/// The four classification datasets of Table II, in paper order
+/// (UCM, AID, NWPU, MillionAID as presented in Table III).
+std::vector<SceneDataset> table2_classification_datasets(
+    i64 img_size = 32, DatasetScale scale = {});
+
+}  // namespace geofm::data

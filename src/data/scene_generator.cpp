@@ -1,0 +1,184 @@
+#include "data/scene_generator.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace geofm::data {
+namespace {
+
+constexpr double kTau = 6.283185307179586;
+
+// Cheap value noise: hash lattice points, bilinear interpolation.
+double value_noise(double x, double y, u64 seed) {
+  const auto lattice = [&](i64 ix, i64 iy) {
+    const u64 h = mix64(seed ^ (static_cast<u64>(ix) * 0x9e3779b9ULL) ^
+                        (static_cast<u64>(iy) * 0x85ebca6bULL));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  };
+  const i64 ix = static_cast<i64>(std::floor(x));
+  const i64 iy = static_cast<i64>(std::floor(y));
+  const double fx = x - static_cast<double>(ix);
+  const double fy = y - static_cast<double>(iy);
+  const double sx = fx * fx * (3 - 2 * fx);
+  const double sy = fy * fy * (3 - 2 * fy);
+  const double a = lattice(ix, iy), b = lattice(ix + 1, iy);
+  const double c = lattice(ix, iy + 1), d = lattice(ix + 1, iy + 1);
+  return (a + (b - a) * sx) + ((c + (d - c) * sx) - (a + (b - a) * sx)) * sy;
+}
+
+}  // namespace
+
+SceneGenerator::SceneGenerator(i64 img_size, i64 channels, int n_classes,
+                               u64 seed)
+    : img_(img_size), channels_(channels), n_classes_(n_classes), seed_(seed) {
+  GEOFM_CHECK(img_size > 0 && channels > 0 && n_classes > 0);
+}
+
+SceneGenerator::ClassParams SceneGenerator::class_params(int class_id) const {
+  GEOFM_CHECK(class_id >= 0 && class_id < n_classes_, "class out of range");
+  Rng rng = Rng(seed_).split(0xc1a55ULL).split(static_cast<u64>(class_id));
+  ClassParams p;
+  // Classes are laid out on a (family x frequency-band x orientation-
+  // bucket) lattice, so neighbouring class ids differ structurally, and
+  // color palettes are drawn from a SHARED bank of 3 per dataset: color
+  // statistics alone cannot identify the class. Discrimination requires
+  // texture family / spatial frequency / orientation — nonlinear functions
+  // of the pixels that reward encoder capacity, mirroring why scale helps
+  // on real aerial imagery.
+  p.family = class_id % 6;
+  const int band = (class_id / 6) % 4;
+  const int obucket = (class_id / 24) % 3;
+  p.freq = 1.5 * std::pow(1.8, band) * (0.95 + 0.1 * rng.uniform());
+  p.orientation =
+      (static_cast<double>(obucket) / 3.0) * kTau / 2.0 +
+      0.12 * (rng.uniform() - 0.5);
+  p.contrast = 0.8 + 0.4 * rng.uniform();
+  p.warp = 0.3 + 1.2 * rng.uniform();
+  // Secondary fine-scale structure: a second family overlaid at ~3x the
+  // frequency and a rotated orientation. Reconstructing and recognizing
+  // the composite requires modeling two interacting textures — the
+  // capacity-demanding part of the task.
+  // Secondary structure: a FINE texture whose phase is locked to the class
+  // (not jittered per sample) — a class "signature" in the 5–9 cycles/image
+  // band. Reconstructing masked patches then requires recalling which
+  // signature the visible patches exhibit: the memorization-capacity part
+  // of the task, and the part that forces encoder features to carry class
+  // identity. Coarse structure keeps per-sample phase jitter for
+  // intra-class variability.
+  p.family2 = (class_id * 7 + 3) % 6;
+  p.freq2 = std::min(p.freq * (2.6 + 0.5 * rng.uniform()), 22.0);
+  p.orientation2 = p.orientation + kTau / 8.0 + 0.1 * (rng.uniform() - 0.5);
+  p.mix = 0.5;
+  p.phase2_x = rng.uniform() * kTau;
+  p.phase2_y = rng.uniform() * kTau;
+
+  const u64 pal_id = mix64(seed_ ^ (0x9a1e77eULL + static_cast<u64>(class_id) *
+                                                       0x2545f491ULL)) %
+                     3;
+  Rng pal_rng = Rng(seed_).split(0x9a1e77eULL).split(pal_id);
+  for (int c = 0; c < 3; ++c) {
+    for (int k = 0; k < 3; ++k) p.palette[c][k] = pal_rng.uniform();
+  }
+  return p;
+}
+
+namespace {
+
+// Structural intensity in [0, 1] at warped coordinates (wu, wv) for one
+// texture family.
+double family_intensity(int family, double freq, double wu, double wv,
+                        double phase_x, double phase_y, u64 noise_seed) {
+  switch (family) {
+    case 0:  // field stripes
+      return 0.5 + 0.5 * std::sin(kTau * freq * wu + phase_x);
+    case 1: {  // urban grid
+      const double s =
+          std::max(0.5 + 0.5 * std::sin(kTau * freq * wu + phase_x),
+                   0.5 + 0.5 * std::sin(kTau * freq * wv + phase_y));
+      return s > 0.8 ? 1.0 : 0.15;
+    }
+    case 2: {  // forest blobs
+      const double s =
+          value_noise(freq * wu * 2, freq * wv * 2, noise_seed ^ 3);
+      return s * s;
+    }
+    case 3:  // water gradient with faint waves
+      return 0.3 * wv + 0.1 * std::sin(kTau * 2 * freq * wu + phase_x) *
+                            std::sin(kTau * 0.5 * freq * wv + phase_y) +
+             0.35;
+    case 4: {  // industrial checkers
+      const double cx = std::sin(kTau * freq * wu + phase_x);
+      const double cy = std::sin(kTau * freq * wv + phase_y);
+      return (cx * cy > 0) ? 0.9 : 0.2;
+    }
+    default: {  // radial (airfield / circular irrigation)
+      const double du = wu - 0.5, dv = wv - 0.5;
+      const double r = std::sqrt(du * du + dv * dv);
+      return 0.5 + 0.5 * std::sin(kTau * freq * 2.0 * r + phase_x);
+    }
+  }
+}
+
+}  // namespace
+
+Tensor SceneGenerator::render(int class_id, u64 sample_key) const {
+  const ClassParams p = class_params(class_id);
+  Rng jitter = Rng(seed_).split(0x5a3eULL).split(sample_key);
+  const double phase_x = jitter.uniform() * kTau;
+  const double phase_y = jitter.uniform() * kTau;
+  const double phase2_x = p.phase2_x;  // class-locked (see class_params)
+  const double phase2_y = p.phase2_y;
+  const double dorient = (jitter.uniform() - 0.5) * 0.15;
+  const double illum = 0.9 + 0.2 * jitter.uniform();
+  const double noise_amp = 0.02 + 0.03 * jitter.uniform();
+  const u64 noise_seed = jitter.next_u64();
+  const double cos_o = std::cos(p.orientation + dorient);
+  const double sin_o = std::sin(p.orientation + dorient);
+  const double cos_o2 = std::cos(p.orientation2 + dorient);
+  const double sin_o2 = std::sin(p.orientation2 + dorient);
+
+  Tensor img({channels_, img_, img_});
+  float* out = img.data();
+  const double inv = 1.0 / static_cast<double>(img_);
+
+  for (i64 y = 0; y < img_; ++y) {
+    for (i64 x = 0; x < img_; ++x) {
+      const double u0 = static_cast<double>(x) * inv;
+      const double v0 = static_cast<double>(y) * inv;
+      // Domain warp gives organic variation within the class structure.
+      const double du =
+          p.warp * 0.08 * value_noise(4 * u0, 4 * v0, noise_seed ^ 1);
+      const double dv =
+          p.warp * 0.08 * value_noise(4 * u0 + 9, 4 * v0 + 9, noise_seed ^ 2);
+
+      // Primary structure in class-rotated coordinates.
+      const double wu1 = cos_o * u0 - sin_o * v0 + du;
+      const double wv1 = sin_o * u0 + cos_o * v0 + dv;
+      const double s1 = family_intensity(p.family, p.freq, wu1, wv1, phase_x,
+                                         phase_y, noise_seed);
+      // Secondary fine structure, independently rotated.
+      const double wu2 = cos_o2 * u0 - sin_o2 * v0 + du;
+      const double wv2 = sin_o2 * u0 + cos_o2 * v0 + dv;
+      const double s2 = family_intensity(p.family2, p.freq2, wu2, wv2,
+                                         phase2_x, phase2_y, noise_seed ^ 7);
+
+      double s = p.mix * s1 + (1.0 - p.mix) * s2;
+      s = 0.5 + (s - 0.5) * p.contrast;
+
+      const double grain =
+          noise_amp * (value_noise(16 * u0, 16 * v0, noise_seed ^ 4) - 0.5);
+      for (i64 c = 0; c < channels_; ++c) {
+        const double base = p.palette[c % 3][0];
+        const double accent = p.palette[c % 3][1];
+        const double value = illum * (base + (accent - base) * s) + grain;
+        // Standardize roughly to zero mean / unit-ish scale.
+        out[(c * img_ + y) * img_ + x] =
+            static_cast<float>((value - 0.5) * 2.0);
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace geofm::data

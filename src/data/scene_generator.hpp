@@ -1,0 +1,57 @@
+// Procedural remote-sensing scene generator — the stand-in for MillionAID
+// / UCM / AID / NWPU imagery (which require downloads we cannot perform).
+//
+// Each class is a deterministic bundle of layout + palette + texture
+// parameters derived from the class id; each sample adds jitter (phase,
+// orientation, noise, illumination) derived from its sample key. Classes
+// are built from six structural families reminiscent of aerial land-use
+// categories (field stripes, urban grids, forest blobs, water gradients,
+// industrial checkers, radial/airport patterns), so that recognizing a
+// class requires texture/layout features — the kind a pretrained encoder
+// should supply and a linear probe on raw pixels largely cannot.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace geofm::data {
+
+class SceneGenerator {
+ public:
+  /// `seed` namespaces the whole generator (different datasets draw
+  /// different class parameter bundles).
+  SceneGenerator(i64 img_size, i64 channels, int n_classes, u64 seed);
+
+  /// Renders one [C, H, W] image of `class_id` (values roughly in [-1, 2],
+  /// already sensor-normalized). `sample_key` selects the sample's jitter;
+  /// the same (class_id, sample_key) always renders the same image.
+  Tensor render(int class_id, u64 sample_key) const;
+
+  i64 img_size() const { return img_; }
+  i64 channels() const { return channels_; }
+  int n_classes() const { return n_classes_; }
+
+ private:
+  struct ClassParams {
+    int family;          // structural family, 0..5
+    int family2;         // secondary (fine-scale) structural family
+    double freq;         // base spatial frequency
+    double freq2;        // secondary frequency (finer)
+    double orientation;  // radians
+    double orientation2;
+    double mix;          // primary/secondary blend
+    double phase2_x;     // class-locked fine-texture phases
+    double phase2_y;
+    double contrast;
+    double palette[3][3];  // per-channel base/accent/shadow colors
+    double warp;           // domain warping strength
+  };
+
+  ClassParams class_params(int class_id) const;
+
+  i64 img_;
+  i64 channels_;
+  int n_classes_;
+  u64 seed_;
+};
+
+}  // namespace geofm::data

@@ -1,0 +1,37 @@
+// geofm — umbrella header for the public API.
+//
+// A C++ reproduction of "Pretraining Billion-scale Geospatial Foundational
+// Models on Frontier" (Tsaris et al.): ViT/MAE models with hand-written
+// backward passes, working DDP/FSDP over an in-process collective
+// substrate, procedural geospatial datasets, training loops for MAE
+// pretraining and linear probing, and a discrete-event performance
+// simulator of the Frontier supercomputer.
+//
+// Layer map (include individually for faster builds):
+//   util/      logging, RNG, thread pool, tables
+//   tensor/    fp32 tensors + kernels
+//   nn/        layers with forward/backward
+//   models/    ViT encoder, MAE, Table I configs
+//   optim/     SGD / AdamW / LARS, cosine-warmup schedule
+//   comm/      thread-rank collectives (all-reduce/gather/scatter, split)
+//   parallel/  DDP and FSDP (all sharding strategies, prefetch modes)
+//   data/      procedural scene datasets (Table II), DataLoader
+//   train/     pretraining, linear probing, checkpoints
+//   sim/       Frontier machine model + training-step simulator
+#pragma once
+
+#include "comm/communicator.hpp"
+#include "data/dataloader.hpp"
+#include "data/datasets.hpp"
+#include "models/config.hpp"
+#include "models/mae.hpp"
+#include "models/vit.hpp"
+#include "optim/optimizer.hpp"
+#include "parallel/ddp.hpp"
+#include "parallel/fsdp.hpp"
+#include "sim/simulator.hpp"
+#include "train/checkpoint.hpp"
+#include "train/linear_probe.hpp"
+#include "train/pretrain.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"

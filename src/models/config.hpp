@@ -1,0 +1,74 @@
+// Model architecture configurations (paper Table I) plus the scaled-down
+// "proxy" variants used for functional pretraining experiments (Figs 5/6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace geofm::models {
+
+/// A ViT encoder architecture. Matches paper Table I columns.
+struct ViTConfig {
+  std::string name;
+  i64 width = 0;     // embedding size
+  i64 depth = 0;     // number of encoder blocks
+  i64 mlp_dim = 0;   // MLP hidden width
+  i64 heads = 0;     // attention heads per layer
+  i64 img_size = 224;
+  i64 patch_size = 16;
+  i64 in_channels = 3;
+
+  i64 n_patches() const {
+    return (img_size / patch_size) * (img_size / patch_size);
+  }
+  i64 seq_len() const { return n_patches() + 1; }  // + cls token
+  i64 patch_dim() const { return patch_size * patch_size * in_channels; }
+
+  /// Analytic learnable-parameter count of the encoder (patch embed + cls
+  /// token + blocks + final norm), matching what the model will allocate.
+  i64 param_count() const;
+};
+
+/// MAE = ViT encoder + lightweight decoder. The paper adopts the MAE
+/// default decoder: 8 blocks, width 512, 16 heads.
+struct MaeConfig {
+  ViTConfig encoder;
+  i64 decoder_width = 512;
+  i64 decoder_depth = 8;
+  i64 decoder_heads = 16;
+  double mask_ratio = 0.75;
+
+  i64 param_count() const;
+};
+
+// ----- Paper Table I variants (patch 16 for Base, 14 for larger) -----------
+
+ViTConfig vit_base();   //  87M
+ViTConfig vit_huge();   // 635M
+ViTConfig vit_1b();     // 914M
+ViTConfig vit_3b();     // 3067M
+ViTConfig vit_5b();     // 5349M (paper; see note in EXPERIMENTS.md)
+ViTConfig vit_15b();    // 14720M
+
+/// All six Table I variants in paper order.
+std::vector<ViTConfig> table1_variants();
+
+// ----- Proxy variants for functional (CPU-trainable) experiments ------------
+//
+// Same depth progression and width *ratios* as Table I, shrunk ~48x in
+// width and to 32x32 inputs so that four MAE pretrainings plus sixteen
+// linear probes finish in CPU minutes. Used by Figs 5/6 and Table III.
+
+ViTConfig proxy_base();
+ViTConfig proxy_huge();
+ViTConfig proxy_1b();
+ViTConfig proxy_3b();
+std::vector<ViTConfig> proxy_variants();
+
+/// MAE wrapper for any encoder config; the decoder shrinks proportionally
+/// for proxy-sized encoders (width <= 128).
+MaeConfig mae_for(const ViTConfig& encoder);
+
+}  // namespace geofm::models

@@ -1,0 +1,171 @@
+#include "models/vit.hpp"
+
+#include "nn/pos_embed.hpp"
+#include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
+
+namespace geofm::models {
+namespace {
+
+// Prepends a broadcast class-token row to [B,N,C] -> [B,N+1,C].
+Tensor prepend_cls(const Tensor& tokens, const Tensor& cls) {
+  const i64 b = tokens.dim(0), n = tokens.dim(1), c = tokens.dim(2);
+  Tensor out({b, n + 1, c});
+  const float* tp = tokens.data();
+  const float* cp = cls.data();
+  float* op = out.data();
+  parallel_for(b, [&](i64 b0, i64 b1) {
+    for (i64 bi = b0; bi < b1; ++bi) {
+      float* row = op + bi * (n + 1) * c;
+      for (i64 j = 0; j < c; ++j) row[j] = cp[j];
+      std::copy_n(tp + bi * n * c, n * c, row + c);
+    }
+  });
+  return out;
+}
+
+// Adds a [T, C] table to every batch element of [B, T, C].
+void add_pos(Tensor& x, const Tensor& pos) {
+  const i64 b = x.dim(0), t = x.dim(1), c = x.dim(2);
+  GEOFM_CHECK(pos.numel() == t * c, "pos table size mismatch");
+  float* xp = x.data();
+  const float* pp = pos.data();
+  parallel_for(b, [&](i64 b0, i64 b1) {
+    for (i64 bi = b0; bi < b1; ++bi) {
+      float* base = xp + bi * t * c;
+      for (i64 i = 0; i < t * c; ++i) base[i] += pp[i];
+    }
+  });
+}
+
+}  // namespace
+
+ViTEncoder::ViTEncoder(const ViTConfig& cfg, Rng& rng, i64 num_classes)
+    : patch_embed("vit.patch_embed", cfg.img_size, cfg.patch_size,
+                  cfg.in_channels, cfg.width, rng),
+      norm("vit.norm", cfg.width),
+      cfg_(cfg) {
+  GEOFM_CHECK(cfg.width % cfg.heads == 0, "width not divisible by heads");
+  cls_token.name = "vit.cls_token";
+  cls_token.value = Tensor({1, cfg.width});
+  nn::trunc_normal_(cls_token.value, rng);
+
+  const i64 grid = cfg.img_size / cfg.patch_size;
+  pos_embed_ = nn::sincos_pos_embed_2d(cfg.width, grid, /*with_cls_token=*/true);
+
+  blocks_.reserve(static_cast<size_t>(cfg.depth));
+  for (i64 i = 0; i < cfg.depth; ++i) {
+    blocks_.push_back(std::make_unique<nn::TransformerBlock>(
+        "vit.block" + std::to_string(i), cfg.width, cfg.heads, cfg.mlp_dim,
+        rng));
+  }
+  if (num_classes > 0) {
+    head_ = std::make_unique<nn::Linear>("vit.head", cfg.width, num_classes,
+                                         rng);
+    // Linear-probing convention: near-zero head init.
+    head_->weight.value.scale_(0.01f);
+  }
+}
+
+Tensor ViTEncoder::forward(const Tensor& images) {
+  cached_batch_ = images.dim(0);
+  Tensor tokens = patch_embed.forward(images);  // [B,N,w]
+  // Patch tokens take pos rows 1..N (row 0 is the cls slot).
+  Tensor patch_pos = pos_embed_.flat_view(cfg_.width,
+                                          cfg_.n_patches() * cfg_.width);
+  add_pos(tokens, patch_pos);
+
+  Tensor x = prepend_cls(tokens, cls_token.value);
+  // The cls row gets pos row 0 (zeros by construction, kept for fidelity).
+
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const int stage = static_cast<int>(i);
+    if (hooks_ != nullptr) hooks_->fire_before_forward(stage);
+    x = blocks_[i]->forward(x);
+    if (hooks_ != nullptr) hooks_->fire_after_forward(stage);
+  }
+  x = norm.forward(x);
+
+  // Class-token readout.
+  const i64 b = x.dim(0), t = x.dim(1), c = x.dim(2);
+  Tensor cls_feat({b, c});
+  for (i64 bi = 0; bi < b; ++bi) {
+    std::copy_n(x.data() + bi * t * c, c, cls_feat.data() + bi * c);
+  }
+  if (head_ != nullptr) return head_->forward(cls_feat);
+  return cls_feat;
+}
+
+Tensor ViTEncoder::backward(const Tensor& dy) {
+  GEOFM_CHECK(cached_batch_ > 0, "ViT backward before forward");
+  const i64 b = cached_batch_;
+  const i64 t = cfg_.seq_len();
+  const i64 c = cfg_.width;
+
+  Tensor dcls = (head_ != nullptr) ? head_->backward(dy) : dy;
+  GEOFM_CHECK(dcls.dim(0) == b && dcls.dim(-1) == c);
+
+  // Only the cls row receives upstream gradient.
+  Tensor dx = Tensor::zeros({b, t, c});
+  for (i64 bi = 0; bi < b; ++bi) {
+    std::copy_n(dcls.data() + bi * c, c, dx.data() + bi * t * c);
+  }
+
+  dx = norm.backward(dx);
+  for (int i = static_cast<int>(blocks_.size()) - 1; i >= 0; --i) {
+    if (hooks_ != nullptr) hooks_->fire_before_backward(i);
+    dx = blocks_[static_cast<size_t>(i)]->backward(dx);
+    if (hooks_ != nullptr) hooks_->fire_after_backward(i);
+  }
+
+  // Split gradient into the cls parameter and the patch tokens.
+  if (cls_token.requires_grad) {
+    cls_token.ensure_grad();
+    float* cg = cls_token.grad.data();
+    for (i64 bi = 0; bi < b; ++bi) {
+      const float* row = dx.data() + bi * t * c;
+      for (i64 j = 0; j < c; ++j) cg[j] += row[j];
+    }
+  }
+  Tensor dtokens({b, t - 1, c});
+  for (i64 bi = 0; bi < b; ++bi) {
+    std::copy_n(dx.data() + bi * t * c + c, (t - 1) * c,
+                dtokens.data() + bi * (t - 1) * c);
+  }
+  // Positional table is fixed (non-learned): gradient passes through.
+  return patch_embed.backward(dtokens);
+}
+
+std::vector<nn::Parameter*> ViTEncoder::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Parameter* p : patch_embed.parameters()) out.push_back(p);
+  out.push_back(&cls_token);
+  for (auto& blk : blocks_) {
+    for (nn::Parameter* p : blk->parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : norm.parameters()) out.push_back(p);
+  if (head_ != nullptr) {
+    for (nn::Parameter* p : head_->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<nn::Module*> ViTEncoder::stage_modules() {
+  std::vector<nn::Module*> out;
+  out.reserve(blocks_.size());
+  for (auto& blk : blocks_) out.push_back(blk.get());
+  return out;
+}
+
+std::vector<nn::Parameter*> ViTEncoder::root_parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Parameter* p : patch_embed.parameters()) out.push_back(p);
+  out.push_back(&cls_token);
+  for (nn::Parameter* p : norm.parameters()) out.push_back(p);
+  if (head_ != nullptr) {
+    for (nn::Parameter* p : head_->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace geofm::models

@@ -1,0 +1,71 @@
+// Vision Transformer encoder with optional classification head.
+//
+// Forward: patchify+project, add fixed 2-D sin-cos positional embeddings,
+// prepend a learned class token, run `depth` pre-norm transformer blocks,
+// layer-norm, and read out the class-token feature (optionally through a
+// linear head). This is the backbone whose scaling the paper studies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/config.hpp"
+#include "nn/block.hpp"
+#include "nn/hooks.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/patch_embed.hpp"
+#include "nn/staged_model.hpp"
+
+namespace geofm::models {
+
+class ViTEncoder : public nn::Module, public nn::StagedModel {
+ public:
+  /// num_classes == 0 builds a headless feature extractor.
+  ViTEncoder(const ViTConfig& cfg, Rng& rng, i64 num_classes = 0);
+
+  /// images [B,C,H,W] -> logits [B,num_classes] (with head) or class-token
+  /// features [B,width] (headless).
+  Tensor forward(const Tensor& images);
+  /// dy matching forward's output; returns d(images).
+  Tensor backward(const Tensor& dy);
+
+  std::vector<nn::Parameter*> parameters() override;
+
+  const ViTConfig& config() const { return cfg_; }
+  bool has_head() const { return head_ != nullptr; }
+
+  // ----- FSDP integration (StagedModel) -------------------------------------
+  /// One stage per transformer block.
+  int n_stages() const override { return static_cast<int>(blocks_.size()); }
+  /// Blocks as modules, in execution order (stage i == blocks_[i]).
+  std::vector<nn::Module*> stage_modules();
+  /// Parameters outside any stage (patch embed, cls, final norm, head).
+  std::vector<nn::Parameter*> root_parameters();
+  /// Hooks fired around each stage; pass nullptr to clear.
+  void set_stage_hooks(const nn::StageHooks* hooks) { hooks_ = hooks; }
+
+  std::vector<nn::Module*> stages() override { return stage_modules(); }
+  std::vector<nn::Parameter*> root_params() override {
+    return root_parameters();
+  }
+  void install_stage_hooks(const nn::StageHooks* hooks) override {
+    set_stage_hooks(hooks);
+  }
+  nn::Module& module() override { return *this; }
+
+  nn::PatchEmbed patch_embed;
+  nn::Parameter cls_token;  // [1, width]
+  nn::LayerNorm norm;
+
+ private:
+  ViTConfig cfg_;
+  Tensor pos_embed_;  // fixed [N+1, width] sin-cos table
+  std::vector<std::unique_ptr<nn::TransformerBlock>> blocks_;
+  std::unique_ptr<nn::Linear> head_;
+  const nn::StageHooks* hooks_ = nullptr;
+
+  i64 cached_batch_ = 0;
+};
+
+}  // namespace geofm::models

@@ -1,0 +1,31 @@
+// Pre-norm Transformer encoder block:
+//   x = x + Attn(LN1(x));  x = x + MLP(LN2(x))
+// This is the unit FSDP wraps (one FlatParameter per block), mirroring the
+// paper's per-transformer-layer FSDP wrapping policy.
+#pragma once
+
+#include "nn/attention.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/mlp.hpp"
+#include "nn/module.hpp"
+
+namespace geofm::nn {
+
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(std::string name, i64 dim, i64 n_heads, i64 mlp_dim,
+                   Rng& rng);
+
+  /// x: [B, T, C] -> [B, T, C].
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+  std::vector<Parameter*> parameters() override;
+
+  LayerNorm ln1;
+  MultiHeadSelfAttention attn;
+  LayerNorm ln2;
+  Mlp mlp;
+};
+
+}  // namespace geofm::nn

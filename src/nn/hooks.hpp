@@ -1,0 +1,34 @@
+// Stage hooks: the integration point between models and the FSDP runtime.
+//
+// A "stage" is one transformer block (the FSDP wrapping unit). Models call
+// the hooks around each stage's forward/backward so a parallel wrapper can
+// materialize (all-gather) parameters just-in-time, free them afterwards,
+// and launch gradient reduction per stage — mirroring PyTorch FSDP's
+// module hooks.
+#pragma once
+
+#include <functional>
+
+namespace geofm::nn {
+
+struct StageHooks {
+  std::function<void(int)> before_forward;
+  std::function<void(int)> after_forward;
+  std::function<void(int)> before_backward;
+  std::function<void(int)> after_backward;
+
+  void fire_before_forward(int stage) const {
+    if (before_forward) before_forward(stage);
+  }
+  void fire_after_forward(int stage) const {
+    if (after_forward) after_forward(stage);
+  }
+  void fire_before_backward(int stage) const {
+    if (before_backward) before_backward(stage);
+  }
+  void fire_after_backward(int stage) const {
+    if (after_backward) after_backward(stage);
+  }
+};
+
+}  // namespace geofm::nn

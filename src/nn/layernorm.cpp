@@ -1,0 +1,33 @@
+#include "nn/layernorm.hpp"
+
+namespace geofm::nn {
+
+LayerNorm::LayerNorm(std::string name, i64 dim, float eps)
+    : dim_(dim), eps_(eps) {
+  gamma.name = name + ".weight";
+  gamma.value = Tensor::ones({dim});
+  beta.name = name + ".bias";
+  beta.value = Tensor::zeros({dim});
+}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  GEOFM_CHECK(x.dim(-1) == dim_, "LayerNorm dim mismatch");
+  cached_x_ = x;
+  return ops::layernorm(x, gamma.value, beta.value, eps_, cache_);
+}
+
+Tensor LayerNorm::backward(const Tensor& dy) {
+  GEOFM_CHECK(cached_x_.defined(), "LayerNorm backward before forward");
+  gamma.ensure_grad();
+  beta.ensure_grad();
+  if (gamma.requires_grad) {
+    return ops::layernorm_backward(dy, cached_x_, gamma.value, cache_,
+                                   gamma.grad, beta.grad);
+  }
+  // Frozen affine: still need dx, route parameter grads to scratch.
+  Tensor dg = Tensor::zeros({dim_});
+  Tensor db = Tensor::zeros({dim_});
+  return ops::layernorm_backward(dy, cached_x_, gamma.value, cache_, dg, db);
+}
+
+}  // namespace geofm::nn

@@ -1,0 +1,29 @@
+// Layer normalization over the last dimension, with learnable affine.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+
+namespace geofm::nn {
+
+class LayerNorm : public Module {
+ public:
+  LayerNorm(std::string name, i64 dim, float eps = 1e-6f);
+
+  /// x: [..., dim]; caches x and the per-row statistics.
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+  std::vector<Parameter*> parameters() override { return {&gamma, &beta}; }
+
+  Parameter gamma;
+  Parameter beta;
+
+ private:
+  i64 dim_;
+  float eps_;
+  Tensor cached_x_;
+  ops::LayerNormCache cache_;
+};
+
+}  // namespace geofm::nn

@@ -1,0 +1,61 @@
+#include "nn/linear.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace geofm::nn {
+
+Linear::Linear(std::string name, i64 in_features, i64 out_features, Rng& rng,
+               bool with_bias)
+    : in_(in_features), out_(out_features), has_bias_(with_bias) {
+  weight.name = name + ".weight";
+  weight.value = Tensor({out_, in_});
+  trunc_normal_(weight.value, rng);
+  if (has_bias_) {
+    bias.name = name + ".bias";
+    bias.value = Tensor::zeros({out_});
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  GEOFM_CHECK(x.dim(-1) == in_, "Linear " << weight.name << ": input dim "
+                                          << x.dim(-1) << " != " << in_);
+  const i64 rows = x.numel() / in_;
+  cached_shape_ = x.shape();
+  cached_x_ = x.view({rows, in_});
+  Tensor y = ops::matmul_nt(cached_x_, weight.value);
+  if (has_bias_) ops::add_bias_rows(y, bias.value);
+  // Restore the caller's leading shape with the new last dim.
+  std::vector<i64> out_shape = x.shape();
+  out_shape.back() = out_;
+  return y.view(std::move(out_shape));
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  GEOFM_CHECK(cached_x_.defined(), "Linear backward before forward");
+  GEOFM_CHECK(dy.dim(-1) == out_);
+  const i64 rows = dy.numel() / out_;
+  GEOFM_CHECK(rows == cached_x_.dim(0), "Linear backward row mismatch");
+  const Tensor dy2 = dy.view({rows, out_});
+
+  if (weight.requires_grad) {
+    weight.ensure_grad();
+    // dW[out,in] += dy^T x
+    Tensor dw = ops::matmul_tn(dy2, cached_x_);
+    weight.grad.add_(dw.flatten());
+  }
+  if (has_bias_ && bias.requires_grad) {
+    bias.ensure_grad();
+    ops::accumulate_bias_grad(dy2, bias.grad);
+  }
+  // dx = dy W, returned in the caller's original input shape.
+  Tensor dx = ops::matmul(dy2, weight.value.view({out_, in_}));
+  return dx.view(cached_shape_);
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  std::vector<Parameter*> out{&weight};
+  if (has_bias_) out.push_back(&bias);
+  return out;
+}
+
+}  // namespace geofm::nn

@@ -1,0 +1,35 @@
+// Fully connected layer: y = x W^T + b, applied over the last dimension.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace geofm::nn {
+
+class Linear : public Module {
+ public:
+  /// Weight is [out_features, in_features] (PyTorch layout); bias optional.
+  Linear(std::string name, i64 in_features, i64 out_features, Rng& rng,
+         bool bias = true);
+
+  /// x: [..., in_features] -> [..., out_features]. Caches x for backward.
+  Tensor forward(const Tensor& x);
+  /// dy: [..., out_features] -> dx: [..., in_features]; accumulates dW/db.
+  Tensor backward(const Tensor& dy);
+
+  std::vector<Parameter*> parameters() override;
+
+  i64 in_features() const { return in_; }
+  i64 out_features() const { return out_; }
+
+  Parameter weight;
+  Parameter bias;  // undefined value tensor when constructed without bias
+
+ private:
+  i64 in_;
+  i64 out_;
+  bool has_bias_;
+  Tensor cached_x_;              // [rows, in], the flattened forward input
+  std::vector<i64> cached_shape_;  // original forward input shape
+};
+
+}  // namespace geofm::nn

@@ -1,0 +1,30 @@
+#include "nn/mlp.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace geofm::nn {
+
+Mlp::Mlp(std::string name, i64 dim, i64 hidden_dim, Rng& rng)
+    : fc1(name + ".fc1", dim, hidden_dim, rng),
+      fc2(name + ".fc2", hidden_dim, dim, rng) {}
+
+Tensor Mlp::forward(const Tensor& x) {
+  cached_pre_act_ = fc1.forward(x);
+  return fc2.forward(ops::gelu(cached_pre_act_));
+}
+
+Tensor Mlp::backward(const Tensor& dy) {
+  GEOFM_CHECK(cached_pre_act_.defined(), "Mlp backward before forward");
+  Tensor dh = fc2.backward(dy);
+  Tensor dpre = ops::gelu_backward(dh, cached_pre_act_);
+  return fc1.backward(dpre);
+}
+
+std::vector<Parameter*> Mlp::parameters() {
+  std::vector<Parameter*> out;
+  for (Parameter* p : fc1.parameters()) out.push_back(p);
+  for (Parameter* p : fc2.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace geofm::nn

@@ -1,0 +1,17 @@
+#include "nn/module.hpp"
+
+namespace geofm::nn {
+
+void trunc_normal_(Tensor& t, Rng& rng, float stddev) {
+  float* p = t.data();
+  for (i64 i = 0; i < t.numel(); ++i) {
+    // Rejection-sample within ±2 stddev; expected < 1.06 draws per entry.
+    double v = rng.normal(0.0, stddev);
+    while (v < -2.0 * stddev || v > 2.0 * stddev) {
+      v = rng.normal(0.0, stddev);
+    }
+    p[i] = static_cast<float>(v);
+  }
+}
+
+}  // namespace geofm::nn

@@ -1,0 +1,35 @@
+#include "nn/patch_embed.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace geofm::nn {
+
+PatchEmbed::PatchEmbed(std::string name, i64 img_size, i64 patch_size,
+                       i64 in_channels, i64 embed_dim, Rng& rng)
+    : proj(name + ".proj", patch_size * patch_size * in_channels, embed_dim,
+           rng),
+      img_size_(img_size),
+      patch_(patch_size),
+      channels_(in_channels),
+      n_patches_((img_size / patch_size) * (img_size / patch_size)),
+      patch_dim_(patch_size * patch_size * in_channels) {
+  GEOFM_CHECK(img_size % patch_size == 0,
+              "image " << img_size << " not divisible by patch " << patch_size);
+}
+
+Tensor PatchEmbed::forward(const Tensor& images) {
+  GEOFM_CHECK(images.rank() == 4 && images.dim(1) == channels_ &&
+                  images.dim(2) == img_size_ && images.dim(3) == img_size_,
+              "PatchEmbed expects [B," << channels_ << "," << img_size_ << ","
+                                       << img_size_ << "], got "
+                                       << images.shape_str());
+  Tensor patches = ops::patchify(images, patch_);
+  return proj.forward(patches);
+}
+
+Tensor PatchEmbed::backward(const Tensor& dtokens) {
+  Tensor dpatches = proj.backward(dtokens);
+  return ops::unpatchify(dpatches, patch_, channels_);
+}
+
+}  // namespace geofm::nn

@@ -1,0 +1,38 @@
+// Patch embedding: images are patchified ([B,C,H,W] -> [B,N,P*P*C]) and
+// linearly projected to the model width. Equivalent to the conv-with-
+// stride-P formulation of the ViT paper.
+#pragma once
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace geofm::nn {
+
+class PatchEmbed : public Module {
+ public:
+  PatchEmbed(std::string name, i64 img_size, i64 patch_size, i64 in_channels,
+             i64 embed_dim, Rng& rng);
+
+  /// images: [B, C, H, W] -> tokens [B, N, embed_dim].
+  Tensor forward(const Tensor& images);
+  /// dtokens -> dimages (rarely needed; patch pixels are leaves) — provided
+  /// for completeness and gradcheck.
+  Tensor backward(const Tensor& dtokens);
+
+  std::vector<Parameter*> parameters() override { return proj.parameters(); }
+
+  i64 n_patches() const { return n_patches_; }
+  i64 patch_size() const { return patch_; }
+  i64 patch_dim() const { return patch_dim_; }
+
+  Linear proj;
+
+ private:
+  i64 img_size_;
+  i64 patch_;
+  i64 channels_;
+  i64 n_patches_;
+  i64 patch_dim_;
+};
+
+}  // namespace geofm::nn

@@ -1,0 +1,55 @@
+#include "nn/pos_embed.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace geofm::nn {
+
+Tensor sincos_pos_embed_1d(i64 dim, const Tensor& positions) {
+  GEOFM_CHECK(dim % 2 == 0, "sincos dim must be even");
+  const i64 n = positions.numel();
+  const i64 half = dim / 2;
+  Tensor out({n, dim});
+  float* op = out.data();
+  const float* pp = positions.data();
+  for (i64 i = 0; i < n; ++i) {
+    for (i64 j = 0; j < half; ++j) {
+      const double omega =
+          1.0 / std::pow(10000.0, static_cast<double>(j) / half);
+      const double v = static_cast<double>(pp[i]) * omega;
+      op[i * dim + j] = static_cast<float>(std::sin(v));
+      op[i * dim + half + j] = static_cast<float>(std::cos(v));
+    }
+  }
+  return out;
+}
+
+Tensor sincos_pos_embed_2d(i64 dim, i64 grid_size, bool with_cls_token) {
+  GEOFM_CHECK(dim % 4 == 0, "2-D sincos dim must be divisible by 4");
+  const i64 n = grid_size * grid_size;
+  // Row/column coordinates of each patch.
+  Tensor rows({n}), cols({n});
+  for (i64 i = 0; i < n; ++i) {
+    rows[i] = static_cast<float>(i / grid_size);
+    cols[i] = static_cast<float>(i % grid_size);
+  }
+  Tensor emb_h = sincos_pos_embed_1d(dim / 2, rows);
+  Tensor emb_w = sincos_pos_embed_1d(dim / 2, cols);
+
+  const i64 lead = with_cls_token ? 1 : 0;
+  Tensor out = Tensor::zeros({n + lead, dim});
+  float* op = out.data();
+  const float* hp = emb_h.data();
+  const float* wp = emb_w.data();
+  for (i64 i = 0; i < n; ++i) {
+    float* row = op + (i + lead) * dim;
+    for (i64 j = 0; j < dim / 2; ++j) {
+      row[j] = hp[i * (dim / 2) + j];
+      row[dim / 2 + j] = wp[i * (dim / 2) + j];
+    }
+  }
+  return out;
+}
+
+}  // namespace geofm::nn

@@ -1,0 +1,19 @@
+// Fixed 2-D sine-cosine positional embeddings, as used by the MAE
+// reference implementation (no learned positional parameters).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace geofm::nn {
+
+/// 1-D sin-cos embedding of `positions` (length n) into `dim` channels
+/// (dim must be even): [n, dim] with sin in the first half, cos in the
+/// second, frequencies 1/10000^(2i/dim).
+Tensor sincos_pos_embed_1d(i64 dim, const Tensor& positions);
+
+/// 2-D sin-cos embedding for a grid_size x grid_size patch grid: [N(+1), dim]
+/// where the first row is a zero vector for the class token when
+/// `with_cls_token` is set. dim must be divisible by 4 for the 2-D split.
+Tensor sincos_pos_embed_2d(i64 dim, i64 grid_size, bool with_cls_token);
+
+}  // namespace geofm::nn

@@ -1,0 +1,25 @@
+// StagedModel: the contract a model must satisfy to be wrapped by the
+// parallel runtimes (DDP/FSDP). A stage is one transformer block; root
+// parameters are everything outside the stages (embeddings, norms, heads).
+#pragma once
+
+#include <vector>
+
+#include "nn/hooks.hpp"
+#include "nn/module.hpp"
+
+namespace geofm::nn {
+
+class StagedModel {
+ public:
+  virtual ~StagedModel() = default;
+
+  virtual int n_stages() const = 0;
+  virtual std::vector<Module*> stages() = 0;
+  virtual std::vector<Parameter*> root_params() = 0;
+  virtual void install_stage_hooks(const StageHooks* hooks) = 0;
+  /// The model as a Module (for whole-model parameter traversal).
+  virtual Module& module() = 0;
+};
+
+}  // namespace geofm::nn

@@ -1,0 +1,151 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+
+namespace geofm::optim {
+
+Optimizer::Optimizer(std::vector<nn::Parameter*> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (nn::Parameter* p : params_) {
+    GEOFM_CHECK(p != nullptr && p->value.defined(), "null parameter");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (nn::Parameter* p : params_) {
+    p->ensure_grad();
+    p->grad.zero_();
+  }
+}
+
+// ----- SGD -------------------------------------------------------------------
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, double lr, double momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (nn::Parameter* p : params_) {
+      velocity_.push_back(Tensor::zeros(p->value.shape()));
+    }
+  }
+}
+
+void Sgd::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter* p = params_[i];
+    if (!p->requires_grad || !p->grad.defined()) continue;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    const float lr = static_cast<float>(lr_);
+    if (momentum_ == 0.0) {
+      for (i64 j = 0; j < p->numel(); ++j) w[j] -= lr * g[j];
+    } else {
+      float* v = velocity_[i].data();
+      const float mu = static_cast<float>(momentum_);
+      for (i64 j = 0; j < p->numel(); ++j) {
+        v[j] = mu * v[j] + g[j];
+        w[j] -= lr * v[j];
+      }
+    }
+  }
+}
+
+// ----- AdamW -------------------------------------------------------------------
+
+AdamW::AdamW(std::vector<nn::Parameter*> params, double lr, double beta1,
+             double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    m_.push_back(Tensor::zeros(p->value.shape()));
+    v_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void AdamW::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter* p = params_[i];
+    if (!p->requires_grad || !p->grad.defined()) continue;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (i64 j = 0; j < p->numel(); ++j) {
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * g[j]);
+      v[j] = static_cast<float>(beta2_ * v[j] +
+                                (1.0 - beta2_) * static_cast<double>(g[j]) *
+                                    g[j]);
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      // Decoupled weight decay, then the Adam update.
+      w[j] -= static_cast<float>(lr_ * weight_decay_ * w[j]);
+      w[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+// ----- LARS -------------------------------------------------------------------
+
+Lars::Lars(std::vector<nn::Parameter*> params, double lr, double momentum,
+           double weight_decay, double trust_coefficient)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay),
+      trust_(trust_coefficient) {
+  velocity_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    velocity_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Lars::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter* p = params_[i];
+    if (!p->requires_grad || !p->grad.defined()) continue;
+    const double w_norm = p->value.norm();
+    double g_norm = p->grad.norm();
+
+    // Effective gradient includes L2 term.
+    // local lr = trust * ||w|| / (||g|| + wd * ||w||); 1 when degenerate.
+    double local_lr = 1.0;
+    if (w_norm > 0.0 && g_norm > 0.0) {
+      local_lr = trust_ * w_norm / (g_norm + weight_decay_ * w_norm + 1e-12);
+    }
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* v = velocity_[i].data();
+    const float mu = static_cast<float>(momentum_);
+    const float scaled = static_cast<float>(lr_ * local_lr);
+    const float wd = static_cast<float>(weight_decay_);
+    for (i64 j = 0; j < p->numel(); ++j) {
+      const float eff_g = g[j] + wd * w[j];
+      v[j] = mu * v[j] + scaled * eff_g;
+      w[j] -= v[j];
+    }
+  }
+}
+
+double cosine_warmup_lr(double base_lr, i64 step, i64 warmup_steps,
+                        i64 total_steps, double min_lr) {
+  GEOFM_CHECK(total_steps > 0 && step >= 0);
+  if (warmup_steps > 0 && step < warmup_steps) {
+    return base_lr * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps);
+  }
+  const double denom =
+      std::max<double>(1.0, static_cast<double>(total_steps - warmup_steps));
+  const double progress = static_cast<double>(step - warmup_steps) / denom;
+  const double cos_factor =
+      0.5 * (1.0 + std::cos(3.141592653589793 * std::min(progress, 1.0)));
+  return min_lr + (base_lr - min_lr) * cos_factor;
+}
+
+}  // namespace geofm::optim

@@ -1,0 +1,91 @@
+// Optimizers. All operate elementwise on Parameter{value, grad} pairs, so
+// they work identically on ordinary module parameters and on FSDP flat
+// shards (which is exactly how sharded optimizer state works in ZeRO/FSDP:
+// each rank steps only its own shard).
+//
+// Weight decay is applied uniformly to all parameters (no norm/bias
+// filtering) so that sharded and unsharded training are bitwise-comparable.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace geofm::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter*> params, double lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Zeroes gradients of all managed parameters.
+  void zero_grad();
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+  /// Bytes of optimizer state per parameter element (used by the memory
+  /// model; e.g. AdamW = 8: two fp32 moments).
+  virtual i64 state_bytes_per_element() const = 0;
+
+ protected:
+  std::vector<nn::Parameter*> params_;
+  double lr_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<nn::Parameter*> params, double lr, double momentum = 0.0);
+  void step() override;
+  i64 state_bytes_per_element() const override {
+    return momentum_ != 0.0 ? 4 : 0;
+  }
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// AdamW (decoupled weight decay) — the paper's pretraining optimizer
+/// (base lr 1.5e-4, weight decay 0.05).
+class AdamW final : public Optimizer {
+ public:
+  AdamW(std::vector<nn::Parameter*> params, double lr, double beta1 = 0.9,
+        double beta2 = 0.95, double eps = 1e-8, double weight_decay = 0.05);
+  void step() override;
+  i64 state_bytes_per_element() const override { return 8; }
+
+  i64 step_count() const { return t_; }
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  i64 t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// LARS (You et al.) — the paper's linear-probing optimizer (base lr 0.1,
+/// no weight decay). Layer-wise trust ratio ||w||/||g|| with momentum.
+class Lars final : public Optimizer {
+ public:
+  Lars(std::vector<nn::Parameter*> params, double lr, double momentum = 0.9,
+       double weight_decay = 0.0, double trust_coefficient = 0.001);
+  void step() override;
+  i64 state_bytes_per_element() const override { return 4; }
+
+ private:
+  double momentum_, weight_decay_, trust_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Cosine decay with linear warmup, the MAE schedule. Returns the lr for
+/// `step` in [0, total_steps).
+double cosine_warmup_lr(double base_lr, i64 step, i64 warmup_steps,
+                        i64 total_steps, double min_lr = 0.0);
+
+}  // namespace geofm::optim

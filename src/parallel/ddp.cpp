@@ -1,0 +1,56 @@
+#include "parallel/ddp.hpp"
+
+namespace geofm::parallel {
+
+Ddp::Ddp(nn::Module& model, comm::Communicator comm, i64 bucket_cap_bytes)
+    : comm_(comm) {
+  GEOFM_CHECK(bucket_cap_bytes > 0);
+  const i64 cap_elements = std::max<i64>(1, bucket_cap_bytes / 4);
+
+  // Sync initial parameters across replicas.
+  auto params = model.parameters();
+  for (nn::Parameter* p : params) {
+    comm_.broadcast(p->value, /*root=*/0);
+    p->ensure_grad();
+  }
+
+  // Buckets fill in reverse registration order — the order gradients
+  // become ready during backward.
+  Bucket current;
+  for (auto it = params.rbegin(); it != params.rend(); ++it) {
+    nn::Parameter* p = *it;
+    if (current.elements > 0 && current.elements + p->numel() > cap_elements) {
+      buckets_.push_back(std::move(current));
+      current = Bucket{};
+    }
+    current.params.push_back(p);
+    current.elements += p->numel();
+  }
+  if (current.elements > 0) buckets_.push_back(std::move(current));
+  for (Bucket& b : buckets_) b.buffer = Tensor::zeros({b.elements});
+}
+
+void Ddp::synchronize_gradients() {
+  for (Bucket& bucket : buckets_) {
+    i64 offset = 0;
+    for (nn::Parameter* p : bucket.params) {
+      bucket.buffer.flat_view(offset, p->numel()).copy_(p->grad);
+      offset += p->numel();
+    }
+    comm_.all_reduce(bucket.buffer, comm::ReduceOp::kAvg);
+    offset = 0;
+    for (nn::Parameter* p : bucket.params) {
+      p->grad.copy_(bucket.buffer.flat_view(offset, p->numel()));
+      offset += p->numel();
+    }
+  }
+}
+
+std::vector<i64> Ddp::bucket_elements() const {
+  std::vector<i64> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.elements);
+  return out;
+}
+
+}  // namespace geofm::parallel

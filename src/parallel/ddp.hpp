@@ -1,0 +1,40 @@
+// Distributed Data Parallel baseline: full model replication with
+// bucketed gradient all-reduce, mirroring PyTorch DDP's default behaviour
+// (25 MB buckets filled in reverse parameter order). The paper contrasts
+// this fixed-message-size scheme against FSDP's per-unit communication.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "nn/module.hpp"
+
+namespace geofm::parallel {
+
+class Ddp {
+ public:
+  /// Wraps `model`: broadcasts rank 0's parameters and builds gradient
+  /// buckets. Default bucket cap matches PyTorch (25 MB).
+  Ddp(nn::Module& model, comm::Communicator comm,
+      i64 bucket_cap_bytes = 25ll * 1024 * 1024);
+
+  /// All-reduce-averages every gradient, one bucket at a time. Call after
+  /// the local backward pass, before the optimizer step.
+  void synchronize_gradients();
+
+  int n_buckets() const { return static_cast<int>(buckets_.size()); }
+  /// Elements per bucket, in reduction order.
+  std::vector<i64> bucket_elements() const;
+
+ private:
+  struct Bucket {
+    std::vector<nn::Parameter*> params;
+    i64 elements = 0;
+    Tensor buffer;
+  };
+
+  comm::Communicator comm_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace geofm::parallel

@@ -1,0 +1,276 @@
+#include "parallel/fsdp.hpp"
+
+#include <limits>
+
+namespace geofm::parallel {
+
+std::string to_string(ShardingStrategy s) {
+  switch (s) {
+    case ShardingStrategy::kNoShard: return "NO_SHARD";
+    case ShardingStrategy::kFullShard: return "FULL_SHARD";
+    case ShardingStrategy::kShardGradOp: return "SHARD_GRAD_OP";
+    case ShardingStrategy::kHybridShard: return "HYBRID_SHARD";
+  }
+  return "?";
+}
+
+std::string to_string(BackwardPrefetch p) {
+  switch (p) {
+    case BackwardPrefetch::kNone: return "None";
+    case BackwardPrefetch::kBackwardPost: return "BACKWARD_POST";
+    case BackwardPrefetch::kBackwardPre: return "BACKWARD_PRE";
+  }
+  return "?";
+}
+
+namespace {
+
+int shard_group_size_for(const FsdpOptions& opts, int world) {
+  switch (opts.strategy) {
+    case ShardingStrategy::kNoShard:
+      return 1;
+    case ShardingStrategy::kFullShard:
+    case ShardingStrategy::kShardGradOp:
+      return world;
+    case ShardingStrategy::kHybridShard:
+      GEOFM_CHECK(opts.hybrid_group_size >= 1 &&
+                      world % opts.hybrid_group_size == 0,
+                  "hybrid_group_size " << opts.hybrid_group_size
+                                       << " must divide world " << world);
+      return opts.hybrid_group_size;
+  }
+  return 1;
+}
+
+}  // namespace
+
+Fsdp::Fsdp(nn::StagedModel& model, comm::Communicator world,
+           FsdpOptions options)
+    : model_(model), world_(world), options_(options) {
+  const int gs = shard_group_size_for(options_, world_.size());
+  // Sharding group: `gs` consecutive ranks. Replication group: ranks with
+  // equal position within their sharding group.
+  shard_comm_ = std::make_unique<comm::Communicator>(
+      world_.split(world_.rank() / gs, world_.rank()));
+  replica_comm_ = std::make_unique<comm::Communicator>(
+      world_.split(world_.rank() % gs, world_.rank()));
+  GEOFM_CHECK(shard_comm_->size() == gs);
+
+  // One flat unit per stage, plus the root unit.
+  auto stage_modules = model_.stages();
+  units_.resize(stage_modules.size());
+  for (size_t i = 0; i < stage_modules.size(); ++i) {
+    build_unit(units_[i], stage_modules[i]->parameters(),
+               "fsdp.unit" + std::to_string(i));
+  }
+  build_unit(root_, model_.root_params(), "fsdp.root");
+
+  // Shard immediately, as PyTorch FSDP does at wrap time: from here on the
+  // local shard is authoritative and every step runs the steady-state
+  // gather schedule (the first step is not special).
+  for (size_t i = 0; i < units_.size(); ++i) {
+    reshard(units_[i], static_cast<int>(i));
+  }
+  reshard(root_, -1);
+
+  hooks_.before_forward = [this](int s) { on_before_forward(s); };
+  hooks_.after_forward = [this](int s) { on_after_forward(s); };
+  hooks_.before_backward = [this](int s) { on_before_backward(s); };
+  hooks_.after_backward = [this](int s) { on_after_backward(s); };
+  model_.install_stage_hooks(&hooks_);
+}
+
+Fsdp::~Fsdp() { model_.install_stage_hooks(nullptr); }
+
+int Fsdp::shard_group_size() const { return shard_comm_->size(); }
+int Fsdp::replica_group_size() const { return replica_comm_->size(); }
+
+void Fsdp::build_unit(Unit& unit, std::vector<nn::Parameter*> params,
+                      const std::string& name) {
+  unit.params = std::move(params);
+  unit.total = 0;
+  for (nn::Parameter* p : unit.params) unit.total += p->numel();
+
+  const int gs = shard_comm_->size();
+  unit.padded = (unit.total + gs - 1) / gs * gs;
+  unit.chunk = unit.padded / gs;
+
+  unit.full = Tensor::zeros({unit.padded});
+  unit.full_grad = Tensor::zeros({unit.padded});
+
+  // Pack current parameter values, then adopt rank 0's initialization so
+  // every replica starts identical regardless of construction seeds.
+  i64 offset = 0;
+  for (nn::Parameter* p : unit.params) {
+    unit.full.flat_view(offset, p->numel()).copy_(p->value);
+    offset += p->numel();
+  }
+  world_.broadcast(unit.full, /*root=*/0);
+
+  // Re-point model parameters (and grads) into the flat buffers.
+  offset = 0;
+  for (nn::Parameter* p : unit.params) {
+    const auto shape = p->value.shape();
+    p->value = unit.full.flat_view(offset, p->numel()).view(shape);
+    p->grad = unit.full_grad.flat_view(offset, p->numel()).view(shape);
+    offset += p->numel();
+  }
+
+  if (gs > 1) {
+    // Persistent local slice (separate storage: the gathered `full` buffer
+    // is transient by contract).
+    unit.shard = Tensor({unit.chunk});
+    unit.shard.copy_(
+        unit.full.flat_view(static_cast<i64>(shard_comm_->rank()) * unit.chunk,
+                            unit.chunk));
+    unit.shard_grad = Tensor::zeros({unit.chunk});
+    unit.unsharded = true;  // `full` currently holds valid parameters
+  } else {
+    // Degenerate sharding group: the "shard" aliases the full buffer, so
+    // optimizer steps write through and no gather is ever needed.
+    unit.shard = unit.full.flat_view(0, unit.padded);
+    unit.shard_grad = unit.full_grad.flat_view(0, unit.padded);
+    unit.unsharded = true;
+  }
+
+  unit.opt_param.name = name;
+  unit.opt_param.value = unit.shard;
+  unit.opt_param.grad = unit.shard_grad;
+}
+
+void Fsdp::unshard(Unit& unit, int unit_index) {
+  if (unit.unsharded) return;
+  if (shard_comm_->size() > 1) {
+    shard_comm_->all_gather(unit.shard, unit.full);
+    schedule_.push_back(
+        {FsdpEvent::Type::kAllGather, unit_index, unit.padded});
+    if (unit_index >= 0) {
+      ++unsharded_count_;
+      peak_unsharded_ = std::max(peak_unsharded_, unsharded_count_);
+    }
+  }
+  unit.unsharded = true;
+}
+
+void Fsdp::reshard(Unit& unit, int unit_index) {
+  if (!unit.unsharded) return;
+  if (shard_comm_->size() > 1) {
+    // Poison the freed buffer: any use before the next gather is a bug and
+    // will surface as NaN immediately.
+    unit.full.fill_(std::numeric_limits<float>::quiet_NaN());
+    schedule_.push_back({FsdpEvent::Type::kReshard, unit_index, unit.padded});
+    if (unit_index >= 0) --unsharded_count_;
+    unit.unsharded = false;
+  }
+  // Degenerate group: parameters live in `full` permanently; nothing to do.
+}
+
+void Fsdp::reduce_grads(Unit& unit, int unit_index) {
+  const bool shard_active = shard_comm_->size() > 1;
+  if (shard_active) {
+    shard_comm_->reduce_scatter(unit.full_grad, unit.shard_grad,
+                                comm::ReduceOp::kSum);
+    schedule_.push_back(
+        {FsdpEvent::Type::kReduceScatter, unit_index, unit.padded});
+  }
+  if (replica_comm_->size() > 1) {
+    replica_comm_->all_reduce(unit.shard_grad, comm::ReduceOp::kSum);
+    schedule_.push_back(
+        {FsdpEvent::Type::kAllReduce, unit_index, unit.chunk});
+  }
+  // Average over the global data-parallel world.
+  if (world_.size() > 1) {
+    unit.shard_grad.scale_(1.f / static_cast<float>(world_.size()));
+  }
+}
+
+void Fsdp::begin_step() {
+  schedule_.clear();
+  unsharded_count_ = 0;
+  peak_unsharded_ = 0;
+
+  for (auto& unit : units_) unit.full_grad.zero_();
+  root_.full_grad.zero_();
+  for (auto& unit : units_) {
+    if (shard_comm_->size() > 1) unit.shard_grad.zero_();
+  }
+  if (shard_comm_->size() > 1) root_.shard_grad.zero_();
+
+  // Root parameters are needed across the whole step.
+  unshard(root_, -1);
+
+  // SHARD_GRAD_OP gathers every unit up front ("parameters are sharded
+  // outside computation"); NO_SHARD units are always resident.
+  if (options_.strategy == ShardingStrategy::kShardGradOp) {
+    for (size_t i = 0; i < units_.size(); ++i) {
+      unshard(units_[i], static_cast<int>(i));
+    }
+  }
+}
+
+void Fsdp::end_backward() {
+  reduce_grads(root_, -1);
+  reshard(root_, -1);
+}
+
+void Fsdp::on_before_forward(int stage) {
+  unshard(units_[static_cast<size_t>(stage)], stage);
+}
+
+void Fsdp::on_after_forward(int stage) {
+  // FULL_SHARD and HYBRID free parameters between forward and backward;
+  // SHARD_GRAD_OP and NO_SHARD keep them resident.
+  if (options_.strategy == ShardingStrategy::kFullShard ||
+      options_.strategy == ShardingStrategy::kHybridShard) {
+    reshard(units_[static_cast<size_t>(stage)], stage);
+  }
+}
+
+void Fsdp::on_before_backward(int stage) {
+  unshard(units_[static_cast<size_t>(stage)], stage);
+  if (options_.prefetch == BackwardPrefetch::kBackwardPre && stage > 0) {
+    // Issue the next-needed gather before this stage's backward compute.
+    unshard(units_[static_cast<size_t>(stage - 1)], stage - 1);
+  }
+}
+
+void Fsdp::on_after_backward(int stage) {
+  if (options_.prefetch == BackwardPrefetch::kBackwardPost && stage > 0) {
+    // Prefetch before this unit's gradient communication is issued.
+    unshard(units_[static_cast<size_t>(stage - 1)], stage - 1);
+  }
+  Unit& unit = units_[static_cast<size_t>(stage)];
+  reduce_grads(unit, stage);
+  if (options_.strategy != ShardingStrategy::kNoShard) {
+    reshard(unit, stage);
+  }
+}
+
+void Fsdp::gather_full_parameters() {
+  unshard(root_, -1);
+  for (size_t i = 0; i < units_.size(); ++i) {
+    unshard(units_[i], static_cast<int>(i));
+  }
+}
+
+std::vector<nn::Parameter*> Fsdp::optimizer_parameters() {
+  std::vector<nn::Parameter*> out;
+  out.reserve(units_.size() + 1);
+  for (auto& unit : units_) out.push_back(&unit.opt_param);
+  out.push_back(&root_.opt_param);
+  return out;
+}
+
+i64 Fsdp::shard_elements_per_rank() const {
+  i64 n = root_.chunk;
+  for (const auto& unit : units_) n += unit.chunk;
+  return n;
+}
+
+i64 Fsdp::max_unit_elements() const {
+  i64 n = root_.padded;
+  for (const auto& unit : units_) n = std::max(n, unit.padded);
+  return n;
+}
+
+}  // namespace geofm::parallel

@@ -1,0 +1,114 @@
+#include "sim/collective.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geofm::sim {
+
+CommGroupShape shard_group_shape(int group_size, int gpus_per_node) {
+  GEOFM_CHECK(group_size >= 1);
+  CommGroupShape g;
+  g.size = group_size;
+  g.ranks_per_node = std::min(group_size, gpus_per_node);
+  if (group_size > gpus_per_node) {
+    // One world-spanning group: a single boundary flow per node.
+    g.concurrent_flows_per_node = 1;
+    g.nodes_spanned = (group_size + gpus_per_node - 1) / gpus_per_node;
+  } else {
+    // gpus_per_node/group_size sibling groups per node, all intra-node.
+    g.concurrent_flows_per_node = std::max(1, gpus_per_node / group_size);
+    g.nodes_spanned = 1;
+  }
+  g.gpus_per_node = gpus_per_node;
+  return g;
+}
+
+CommGroupShape replica_group_shape(int replicas, int shard_group_size,
+                                   int gpus_per_node) {
+  GEOFM_CHECK(replicas >= 1 && shard_group_size >= 1);
+  CommGroupShape g;
+  g.size = replicas;
+  // Members of one replica group co-located on a node: each node hosts
+  // gpus_per_node ranks spread over shard groups of size s, so a replica
+  // group has gpus_per_node / s members per node (>= 1 when s <= gpn).
+  g.ranks_per_node =
+      std::max(1, gpus_per_node / std::min(shard_group_size, gpus_per_node));
+  // All `s` sibling replica groups reduce concurrently; each contributes
+  // one boundary flow per node.
+  g.concurrent_flows_per_node = std::min(shard_group_size, gpus_per_node);
+  g.nodes_spanned = std::max(1, replicas / g.ranks_per_node);
+  g.gpus_per_node = gpus_per_node;
+  return g;
+}
+
+namespace {
+
+// Jitter/straggler multiplier for groups spanning many nodes.
+double jitter_factor(const CommGroupShape& g, const MachineSpec& m) {
+  if (!g.crosses_nodes() || g.nodes_spanned <= 1) return 1.0;
+  return 1.0 + m.inter_node_jitter_per_log2_nodes *
+                   std::log2(static_cast<double>(g.nodes_spanned));
+}
+
+}  // namespace
+
+double group_bandwidth(const CommGroupShape& g, const MachineSpec& m) {
+  if (!g.crosses_nodes()) return m.ring_efficiency * m.intra_node.bandwidth;
+  double nic_share = 0.8 * m.nic_node_bandwidth /
+                     std::max(1, g.concurrent_flows_per_node);
+  if (!g.whole_node_groups()) {
+    // A group with fewer than all GCDs per node drives a single NIC path;
+    // whole-node groups stripe across all four rails (RCCL multi-rail).
+    nic_share = std::min(nic_share, m.nic_flow_bandwidth);
+    if (g.ranks_per_node > 1) {
+      // Stride-interleaved rings (several co-located members that are not
+      // the whole node) zig-zag between IF and NIC hops and lose protocol
+      // efficiency.
+      nic_share *= 0.75;
+    }
+  }
+  return m.ring_efficiency * std::min(nic_share, m.intra_node.bandwidth);
+}
+
+double group_latency(const CommGroupShape& g, const MachineSpec& m) {
+  return g.crosses_nodes() ? m.inter_node_latency : m.intra_node.latency;
+}
+
+double all_gather_seconds(double shard_bytes, const CommGroupShape& g,
+                          const MachineSpec& m) {
+  if (g.size <= 1) return 0.0;
+  const double hops = static_cast<double>(g.size - 1);
+  return m.collective_launch_overhead +
+         jitter_factor(g, m) * (hops * group_latency(g, m) +
+                                hops * shard_bytes / group_bandwidth(g, m));
+}
+
+double reduce_scatter_seconds(double total_bytes, const CommGroupShape& g,
+                              const MachineSpec& m) {
+  if (g.size <= 1) return 0.0;
+  const double hops = static_cast<double>(g.size - 1);
+  const double chunk = total_bytes / static_cast<double>(g.size);
+  return m.collective_launch_overhead +
+         jitter_factor(g, m) * (hops * group_latency(g, m) +
+                                hops * chunk / group_bandwidth(g, m));
+}
+
+double all_reduce_seconds(double total_bytes, const CommGroupShape& g,
+                          const MachineSpec& m) {
+  if (g.size <= 1) return 0.0;
+  const double n = static_cast<double>(g.size);
+  const double bw = group_bandwidth(g, m);
+  const double lat = group_latency(g, m);
+  // RCCL picks the faster of a bandwidth-optimal ring (2(N-1) latency
+  // hops, 2(N-1)/N payload volumes) and a latency-optimal tree (2 log2 N
+  // hops, full payload per hop). Small messages over deep rings — DDP's
+  // fixed 25 MB buckets at scale — are latency-bound; large per-unit FSDP
+  // messages stay bandwidth-bound.
+  const double ring = 2.0 * (n - 1.0) * lat +
+                      2.0 * (n - 1.0) / n * total_bytes / bw;
+  const double tree = 2.0 * std::log2(n) * (lat + total_bytes / bw);
+  return m.collective_launch_overhead +
+         jitter_factor(g, m) * std::min(ring, tree);
+}
+
+}  // namespace geofm::sim

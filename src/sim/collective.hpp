@@ -1,0 +1,56 @@
+// Alpha-beta cost model for collectives over Frontier's hierarchical
+// topology. Bandwidth-optimal ring data movement with tree-depth latency
+// for all-reduce, plus a per-call host launch overhead — the three terms
+// whose interplay produces the paper's DDP-vs-FSDP and HYBRID-group-size
+// crossovers.
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace geofm::sim {
+
+/// Shape of one process group within the machine topology.
+struct CommGroupShape {
+  int size = 1;                // ranks in this group
+  int ranks_per_node = 1;      // co-located members per node
+  /// Inter-node flows that simultaneously share one node's NIC pool when
+  /// all sibling groups communicate at once (e.g. 8 replica groups on one
+  /// node => 8 flows share the 100 GB/s node budget).
+  int concurrent_flows_per_node = 1;
+  /// Number of nodes the group spans (jitter grows with this).
+  int nodes_spanned = 1;
+  /// GPUs per node of the underlying machine (for multi-rail detection).
+  int gpus_per_node = 8;
+
+  bool crosses_nodes() const { return size > ranks_per_node; }
+  /// A group containing every GCD of each node it touches can stripe its
+  /// boundary traffic across all 4 NICs (RCCL multi-rail).
+  bool whole_node_groups() const { return ranks_per_node == gpus_per_node; }
+};
+
+/// Builds the sharding-group shape for a group of `group_size` consecutive
+/// ranks on nodes of `gpus_per_node`.
+CommGroupShape shard_group_shape(int group_size, int gpus_per_node);
+
+/// Builds the replica-group shape for HYBRID/NO_SHARD data parallelism:
+/// `replicas` ranks, one per sharding group, `shard_group_size` sibling
+/// groups communicating concurrently.
+CommGroupShape replica_group_shape(int replicas, int shard_group_size,
+                                   int gpus_per_node);
+
+/// Effective per-flow bandwidth (bytes/s) for the group.
+double group_bandwidth(const CommGroupShape& g, const MachineSpec& m);
+/// Per-hop latency for the group.
+double group_latency(const CommGroupShape& g, const MachineSpec& m);
+
+/// Time to all-gather `shard_bytes` from each rank (ring).
+double all_gather_seconds(double shard_bytes, const CommGroupShape& g,
+                          const MachineSpec& m);
+/// Time to reduce-scatter `total_bytes` down to per-rank shards (ring).
+double reduce_scatter_seconds(double total_bytes, const CommGroupShape& g,
+                              const MachineSpec& m);
+/// Time to all-reduce `total_bytes` (ring bandwidth + tree latency).
+double all_reduce_seconds(double total_bytes, const CommGroupShape& g,
+                          const MachineSpec& m);
+
+}  // namespace geofm::sim

@@ -1,0 +1,7 @@
+#include "sim/machine.hpp"
+
+namespace geofm::sim {
+
+MachineSpec frontier() { return MachineSpec{}; }
+
+}  // namespace geofm::sim

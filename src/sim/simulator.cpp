@@ -1,0 +1,495 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geofm::sim {
+
+using parallel::BackwardPrefetch;
+using parallel::ShardingStrategy;
+
+std::string to_string(ParallelPlan::Kind k) {
+  return k == ParallelPlan::Kind::kDdp ? "DDP" : "FSDP";
+}
+
+TrainingSimulator::TrainingSimulator(StepWorkload workload,
+                                     MachineSpec machine, int nodes,
+                                     ParallelPlan plan)
+    : workload_(std::move(workload)),
+      machine_(machine),
+      nodes_(nodes),
+      plan_(plan) {
+  GEOFM_CHECK(nodes_ >= 1);
+  const int world = world_size();
+
+  if (plan_.kind == ParallelPlan::Kind::kDdp) {
+    shard_group_size_ = 1;
+  } else {
+    switch (plan_.fsdp.strategy) {
+      case ShardingStrategy::kNoShard:
+        shard_group_size_ = 1;
+        break;
+      case ShardingStrategy::kFullShard:
+      case ShardingStrategy::kShardGradOp:
+        shard_group_size_ = world;
+        break;
+      case ShardingStrategy::kHybridShard:
+        GEOFM_CHECK(plan_.fsdp.hybrid_group_size >= 1 &&
+                        world % plan_.fsdp.hybrid_group_size == 0,
+                    "hybrid group must divide world");
+        shard_group_size_ = plan_.fsdp.hybrid_group_size;
+        break;
+    }
+  }
+  shard_shape_ = shard_group_shape(shard_group_size_, machine_.gpus_per_node);
+  replica_shape_ = replica_group_shape(world / shard_group_size_,
+                                       shard_group_size_,
+                                       machine_.gpus_per_node);
+}
+
+double TrainingSimulator::gather_seconds(i64 elements) const {
+  if (plan_.disable_comm || shard_group_size_ <= 1) return 0.0;
+  const double shard_bytes =
+      4.0 * static_cast<double>(elements) / shard_group_size_;
+  double t = machine_.shard_op_overhead +
+             all_gather_seconds(shard_bytes, shard_shape_, machine_);
+  if (plan_.kind == ParallelPlan::Kind::kFsdp &&
+      !plan_.fsdp.limit_all_gathers) {
+    // Unbounded in-flight gathers contend for the NIC/HBM.
+    t *= machine_.unlimited_gather_penalty;
+  }
+  return t;
+}
+
+double TrainingSimulator::reduce_scatter_grads_seconds(i64 elements) const {
+  if (plan_.disable_comm || shard_group_size_ <= 1) return 0.0;
+  return machine_.shard_op_overhead +
+         reduce_scatter_seconds(4.0 * static_cast<double>(elements),
+                                shard_shape_, machine_);
+}
+
+double TrainingSimulator::replica_all_reduce_seconds(i64 elements) const {
+  if (plan_.disable_comm || replica_shape_.size <= 1) return 0.0;
+  const double bytes =
+      4.0 * static_cast<double>(elements) / shard_group_size_;
+  double t = all_reduce_seconds(bytes, replica_shape_, machine_);
+  if (plan_.kind == ParallelPlan::Kind::kFsdp &&
+      plan_.fsdp.strategy == ShardingStrategy::kNoShard) {
+    t *= machine_.no_shard_allreduce_penalty;
+  }
+  return t;
+}
+
+void TrainingSimulator::build_fsdp_tasks(std::vector<Task>& tasks) const {
+  const int n_stages = static_cast<int>(workload_.stages.size());
+  const auto& opts = plan_.fsdp;
+  const bool sharded = shard_group_size_ > 1;
+  const bool per_stage_gather =
+      sharded && (opts.strategy == ShardingStrategy::kFullShard ||
+                  opts.strategy == ShardingStrategy::kHybridShard);
+  const double flops = machine_.gpu.sustained_flops;
+  // In-flight unsharded-unit cap (the limit_all_gathers rate limiter).
+  const int cap = opts.limit_all_gathers ? 2 : 6;
+
+  auto add = [&](bool is_comm, double dur,
+                 std::vector<int> deps) -> int {
+    Task t;
+    t.is_comm = is_comm;
+    t.duration = dur;
+    t.deps = std::move(deps);
+    tasks.push_back(std::move(t));
+    return static_cast<int>(tasks.size()) - 1;
+  };
+
+  std::vector<int> fwd(static_cast<size_t>(n_stages), -1);
+  std::vector<int> bwd(static_cast<size_t>(n_stages), -1);
+  std::vector<int> fwd_gather(static_cast<size_t>(n_stages), -1);
+  std::vector<int> bwd_gather(static_cast<size_t>(n_stages), -1);
+
+  // ---- forward ------------------------------------------------------------
+  int root_gather = -1;
+  if (sharded) {
+    root_gather = add(true, gather_seconds(workload_.root.param_elements), {});
+  }
+  if (sharded && opts.strategy == ShardingStrategy::kShardGradOp) {
+    // SHARD_GRAD_OP gathers every unit up front.
+    for (int i = 0; i < n_stages; ++i) {
+      fwd_gather[static_cast<size_t>(i)] = add(
+          true, gather_seconds(workload_.stages[static_cast<size_t>(i)]
+                                   .param_elements),
+          {});
+    }
+  }
+  const int root_fwd =
+      add(false, workload_.root.fwd_flops / flops,
+          root_gather >= 0 ? std::vector<int>{root_gather}
+                           : std::vector<int>{});
+
+  for (int i = 0; i < n_stages; ++i) {
+    const auto& stage = workload_.stages[static_cast<size_t>(i)];
+    if (per_stage_gather) {
+      std::vector<int> deps;
+      // Rate limiter: the gather for unit i waits until unit i-cap has
+      // finished its forward (and thus resharded).
+      if (i - cap >= 0) deps.push_back(fwd[static_cast<size_t>(i - cap)]);
+      fwd_gather[static_cast<size_t>(i)] =
+          add(true, gather_seconds(stage.param_elements), std::move(deps));
+    }
+    std::vector<int> deps{i == 0 ? root_fwd : fwd[static_cast<size_t>(i - 1)]};
+    if (fwd_gather[static_cast<size_t>(i)] >= 0) {
+      deps.push_back(fwd_gather[static_cast<size_t>(i)]);
+    }
+    fwd[static_cast<size_t>(i)] =
+        add(false, stage.fwd_flops / flops, std::move(deps));
+  }
+
+  // ---- backward -------------------------------------------------------------
+  // Stage L-1's parameters are re-gathered right after forward for
+  // FULL/HYBRID (they were freed after their forward).
+  auto stage_elements = [&](int i) {
+    return workload_.stages[static_cast<size_t>(i)].param_elements;
+  };
+
+  int last_compute = fwd[static_cast<size_t>(n_stages - 1)];
+  for (int i = n_stages - 1; i >= 0; --i) {
+    // Issue backward gathers per prefetch policy.
+    if (per_stage_gather) {
+      if (bwd_gather[static_cast<size_t>(i)] < 0) {
+        // Own gather (issued at before_backward(i) unless prefetched
+        // earlier by the stage above).
+        std::vector<int> deps{last_compute};
+        if (i + cap < n_stages) {
+          deps.push_back(bwd[static_cast<size_t>(i + cap)]);
+        }
+        bwd_gather[static_cast<size_t>(i)] =
+            add(true, gather_seconds(stage_elements(i)), std::move(deps));
+      }
+      if (opts.prefetch == BackwardPrefetch::kBackwardPre && i > 0 &&
+          bwd_gather[static_cast<size_t>(i - 1)] < 0) {
+        // Prefetch the next unit before this unit's backward compute.
+        std::vector<int> deps{last_compute};
+        if (i - 1 + cap < n_stages) {
+          deps.push_back(bwd[static_cast<size_t>(i - 1 + cap)]);
+        }
+        bwd_gather[static_cast<size_t>(i - 1)] =
+            add(true, gather_seconds(stage_elements(i - 1)), std::move(deps));
+      }
+    }
+
+    std::vector<int> deps{last_compute};
+    if (bwd_gather[static_cast<size_t>(i)] >= 0) {
+      deps.push_back(bwd_gather[static_cast<size_t>(i)]);
+    }
+    bwd[static_cast<size_t>(i)] =
+        add(false, workload_.stages[static_cast<size_t>(i)].bwd_flops / flops,
+            std::move(deps));
+    last_compute = bwd[static_cast<size_t>(i)];
+
+    // BACKWARD_POST: prefetch issued after this unit's backward compute
+    // but before its gradient communication enters the queue.
+    if (per_stage_gather && opts.prefetch == BackwardPrefetch::kBackwardPost &&
+        i > 0 && bwd_gather[static_cast<size_t>(i - 1)] < 0) {
+      std::vector<int> deps2{last_compute};
+      if (i - 1 + cap < n_stages) {
+        deps2.push_back(bwd[static_cast<size_t>(i - 1 + cap)]);
+      }
+      bwd_gather[static_cast<size_t>(i - 1)] =
+          add(true, gather_seconds(stage_elements(i - 1)), std::move(deps2));
+    }
+
+    // Gradient communication for this unit.
+    int reduce_dep = bwd[static_cast<size_t>(i)];
+    if (sharded) {
+      reduce_dep = add(true, reduce_scatter_grads_seconds(stage_elements(i)),
+                       {reduce_dep});
+    }
+    if (replica_shape_.size > 1) {
+      add(true, replica_all_reduce_seconds(stage_elements(i)), {reduce_dep});
+    }
+  }
+
+  // Root backward + its gradient communication.
+  const int root_bwd =
+      add(false, workload_.root.bwd_flops / flops, {last_compute});
+  int root_reduce_dep = root_bwd;
+  if (sharded) {
+    root_reduce_dep =
+        add(true, reduce_scatter_grads_seconds(workload_.root.param_elements),
+            {root_reduce_dep});
+  }
+  if (replica_shape_.size > 1) {
+    add(true, replica_all_reduce_seconds(workload_.root.param_elements),
+        {root_reduce_dep});
+  }
+
+  // Optimizer step over the local shard (memory-bound).
+  const double shard_bytes = 4.0 *
+                             static_cast<double>(
+                                 workload_.total_param_elements) /
+                             shard_group_size_;
+  // Read params+grads+2 moments, write params+moments: ~6x traffic.
+  // Depends on the last gradient-communication task and the last compute.
+  std::vector<int> opt_deps{static_cast<int>(tasks.size()) - 1, root_bwd};
+  add(false, 6.0 * shard_bytes / machine_.gpu.hbm_bandwidth,
+      std::move(opt_deps));
+}
+
+void TrainingSimulator::build_ddp_tasks(std::vector<Task>& tasks) const {
+  const int n_stages = static_cast<int>(workload_.stages.size());
+  const double flops = machine_.gpu.sustained_flops;
+
+  auto add = [&](bool is_comm, double dur, std::vector<int> deps) -> int {
+    Task t;
+    t.is_comm = is_comm;
+    t.duration = dur;
+    t.deps = std::move(deps);
+    tasks.push_back(std::move(t));
+    return static_cast<int>(tasks.size()) - 1;
+  };
+
+  // Forward.
+  const int root_fwd = add(false, workload_.root.fwd_flops / flops, {});
+  std::vector<int> fwd(static_cast<size_t>(n_stages), -1);
+  for (int i = 0; i < n_stages; ++i) {
+    fwd[static_cast<size_t>(i)] = add(
+        false, workload_.stages[static_cast<size_t>(i)].fwd_flops / flops,
+        {i == 0 ? root_fwd : fwd[static_cast<size_t>(i - 1)]});
+  }
+
+  // Backward with bucketed all-reduce: buckets fill in gradient-ready
+  // (reverse stage) order with a fixed byte cap — DDP's constant message
+  // size irrespective of model size.
+  const double cap_bytes = static_cast<double>(plan_.ddp_bucket_bytes);
+  int last_compute = fwd[static_cast<size_t>(n_stages - 1)];
+  double bucket_fill = 0;
+  int bucket_last_stage_task = -1;
+
+  auto flush_bucket = [&] {
+    if (bucket_fill <= 0) return;
+    double t = 0;
+    if (!plan_.disable_comm && replica_shape_.size > 1) {
+      t = all_reduce_seconds(bucket_fill, replica_shape_, machine_);
+      // Pack/unpack traffic through HBM.
+      t += 2.0 * bucket_fill / machine_.gpu.hbm_bandwidth;
+    }
+    add(true, t, {bucket_last_stage_task});
+    bucket_fill = 0;
+  };
+
+  for (int i = n_stages - 1; i >= 0; --i) {
+    const int b = add(
+        false, workload_.stages[static_cast<size_t>(i)].bwd_flops / flops,
+        {last_compute});
+    last_compute = b;
+    double remaining =
+        4.0 * static_cast<double>(
+                  workload_.stages[static_cast<size_t>(i)].param_elements);
+    bucket_last_stage_task = b;
+    while (remaining > 0) {
+      const double take = std::min(cap_bytes - bucket_fill, remaining);
+      bucket_fill += take;
+      remaining -= take;
+      if (bucket_fill >= cap_bytes) flush_bucket();
+    }
+  }
+  const int root_bwd =
+      add(false, workload_.root.bwd_flops / flops, {last_compute});
+  bucket_last_stage_task = root_bwd;
+  bucket_fill += 4.0 * static_cast<double>(workload_.root.param_elements);
+  while (bucket_fill > cap_bytes) {
+    const double save = bucket_fill - cap_bytes;
+    bucket_fill = cap_bytes;
+    flush_bucket();
+    bucket_fill = save;
+  }
+  flush_bucket();
+
+  // Optimizer over the full (replicated) parameters.
+  const double param_bytes =
+      4.0 * static_cast<double>(workload_.total_param_elements);
+  add(false, 6.0 * param_bytes / machine_.gpu.hbm_bandwidth,
+      {static_cast<int>(tasks.size()) - 1, root_bwd});
+}
+
+StepTiming TrainingSimulator::simulate_step() const {
+  std::vector<Task> tasks;
+  if (plan_.kind == ParallelPlan::Kind::kDdp) {
+    build_ddp_tasks(tasks);
+  } else {
+    build_fsdp_tasks(tasks);
+  }
+
+  // Two FIFO streams: tasks of each kind execute in construction order.
+  double compute_free = 0, comm_free = 0;
+  std::vector<double> end(tasks.size(), 0.0);
+  double compute_busy = 0, comm_busy = 0;
+  int comm_calls = 0;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const Task& task = tasks[t];
+    double start = task.is_comm ? comm_free : compute_free;
+    for (int d : task.deps) {
+      if (d >= 0) start = std::max(start, end[static_cast<size_t>(d)]);
+    }
+    end[t] = start + task.duration;
+    if (task.is_comm) {
+      comm_free = end[t];
+      comm_busy += task.duration;
+      if (task.duration > 0) ++comm_calls;
+    } else {
+      compute_free = end[t];
+      compute_busy += task.duration;
+    }
+  }
+
+  StepTiming out;
+  double makespan = *std::max_element(end.begin(), end.end());
+  // Overlapped communication is not free: RCCL kernels run on the same
+  // compute units and slow concurrent GEMMs. Charge a fraction of the
+  // hidden communication back to the step.
+  const double exposed_raw = std::max(0.0, makespan - compute_busy);
+  const double hidden = std::max(0.0, comm_busy - exposed_raw);
+  makespan += machine_.comm_compute_contention * hidden;
+  makespan += machine_.step_overhead;
+  if (plan_.kind == ParallelPlan::Kind::kDdp) {
+    makespan += machine_.ddp_step_overhead;
+  }
+
+  out.step_seconds = makespan;
+  out.compute_seconds = compute_busy;
+  out.comm_seconds = comm_busy;
+  out.exposed_comm_seconds =
+      std::max(0.0, makespan - compute_busy - machine_.step_overhead);
+  out.comm_calls = comm_calls;
+  out.images_per_second_per_rank =
+      static_cast<double>(workload_.images_per_step) / makespan;
+  out.images_per_second_total =
+      out.images_per_second_per_rank * world_size();
+  return out;
+}
+
+MemoryFootprint TrainingSimulator::memory_footprint() const {
+  MemoryFootprint m;
+  const double P = 4.0 * static_cast<double>(workload_.total_param_elements);
+  const double gs = static_cast<double>(shard_group_size_);
+  const bool fsdp = plan_.kind == ParallelPlan::Kind::kFsdp;
+  const auto strategy =
+      fsdp ? plan_.fsdp.strategy : ShardingStrategy::kNoShard;
+
+  double max_unit = static_cast<double>(workload_.root.param_elements);
+  for (const auto& s : workload_.stages) {
+    max_unit = std::max(max_unit, static_cast<double>(s.param_elements));
+  }
+  max_unit *= 4.0;
+
+  // Allocator/fragmentation overhead on persistent state.
+  constexpr double kOverhead = 1.1;
+  switch (strategy) {
+    case ShardingStrategy::kNoShard:
+      m.params = P;
+      m.grads = P;
+      m.optimizer = 2.0 * P;
+      break;
+    case ShardingStrategy::kShardGradOp:
+      m.params = P;  // unsharded during computation
+      m.grads = P / gs;
+      m.optimizer = 2.0 * P / gs;
+      m.transient_unsharded = max_unit;  // one full-gradient staging unit
+      break;
+    case ShardingStrategy::kFullShard:
+    case ShardingStrategy::kHybridShard: {
+      m.params = P / gs;
+      m.grads = P / gs;
+      m.optimizer = 2.0 * P / gs;
+      const int cap = plan_.fsdp.limit_all_gathers ? 2 : 6;
+      m.transient_unsharded = (cap + 1) * max_unit;
+      break;
+    }
+  }
+  m.params *= kOverhead;
+  m.grads *= kOverhead;
+  m.optimizer *= kOverhead;
+  m.activations = workload_.activation_bytes;
+  return m;
+}
+
+PowerDraw TrainingSimulator::power_draw() const {
+  const StepTiming t = simulate_step();
+  PowerDraw p;
+  p.compute_utilization = t.compute_seconds / t.step_seconds;
+  p.comm_utilization = std::min(1.0, t.comm_seconds / t.step_seconds);
+  p.average_watts = machine_.idle_power_w +
+                    p.compute_utilization * machine_.compute_power_w +
+                    p.comm_utilization * machine_.comm_power_w;
+  return p;
+}
+
+double io_images_per_second_per_node(const MachineSpec& machine) {
+  const double workers = static_cast<double>(
+      machine.dataloader_workers_per_gpu * machine.gpus_per_node);
+  const double decode_limited = workers / machine.decode_seconds_per_image;
+  const double storage_limited =
+      machine.storage_bandwidth_per_node / machine.stored_image_bytes;
+  return std::min(decode_limited, storage_limited);
+}
+
+std::vector<WeakScalingPoint> weak_scaling(
+    const StepWorkload& workload, const MachineSpec& machine,
+    const std::vector<int>& node_counts, const ParallelPlan& plan) {
+  std::vector<WeakScalingPoint> out;
+  double ips_at_one_node = 0;
+  for (int nodes : node_counts) {
+    TrainingSimulator sim(workload, machine, nodes, plan);
+    ParallelPlan no_comm = plan;
+    no_comm.disable_comm = true;
+    TrainingSimulator sim_nc(workload, machine, nodes, no_comm);
+
+    const StepTiming syn = sim.simulate_step();
+    const StepTiming nc = sim_nc.simulate_step();
+
+    WeakScalingPoint p;
+    p.nodes = nodes;
+    p.syn_ips = syn.images_per_second_total;
+    p.syn_no_comm_ips = nc.images_per_second_total;
+    p.io_ips = io_images_per_second_per_node(machine) * nodes;
+    // Real run: dataloader interaction costs a few percent even when IO is
+    // not the bottleneck (handoff, H2D copies competing with compute).
+    const double real_per_rank =
+        std::min(syn.images_per_second_total * 0.97, p.io_ips);
+    p.real_ips = real_per_rank;
+    if (ips_at_one_node == 0) ips_at_one_node = p.real_ips / nodes;
+    p.ideal_ips = ips_at_one_node * nodes;
+    p.comm_fraction =
+        syn.exposed_comm_seconds / std::max(1e-12, syn.step_seconds);
+    p.memory_gb = sim.memory_footprint().total() / double(1ull << 30);
+    out.push_back(p);
+  }
+  return out;
+}
+
+TrainingEstimate estimate_pretraining(const StepWorkload& workload,
+                                      const MachineSpec& machine, int nodes,
+                                      const ParallelPlan& plan,
+                                      i64 corpus_images, i64 epochs) {
+  GEOFM_CHECK(corpus_images > 0 && epochs > 0);
+  TrainingSimulator sim(workload, machine, nodes, plan);
+  const StepTiming step = sim.simulate_step();
+  const PowerDraw power = sim.power_draw();
+
+  const i64 global_batch =
+      workload.images_per_step * static_cast<i64>(sim.world_size());
+  const i64 steps_per_epoch =
+      std::max<i64>(1, corpus_images / global_batch);  // drop_last
+
+  TrainingEstimate out;
+  out.step_seconds = step.step_seconds;
+  out.steps = steps_per_epoch * epochs;
+  out.wall_hours = static_cast<double>(out.steps) * step.step_seconds / 3600.0;
+  out.node_hours = out.wall_hours * nodes;
+  out.avg_gcd_watts = power.average_watts;
+  out.energy_mwh = power.average_watts *
+                   static_cast<double>(sim.world_size()) * out.wall_hours /
+                   1e6;
+  return out;
+}
+
+}  // namespace geofm::sim

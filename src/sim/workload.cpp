@@ -1,0 +1,124 @@
+#include "sim/workload.hpp"
+
+#include <cmath>
+
+namespace geofm::sim {
+namespace {
+
+// Learnable elements of one block (must match models::config accounting).
+i64 block_param_elements(i64 w, i64 m) {
+  return 2 * (2 * w) + (w * 3 * w + 3 * w) + (w * w + w) + (w * m + m) +
+         (m * w + w);
+}
+
+}  // namespace
+
+double block_forward_flops(i64 t, i64 w, i64 m, i64 h) {
+  (void)h;  // head count redistributes, not changes, the attention FLOPs
+  const double td = static_cast<double>(t);
+  const double wd = static_cast<double>(w);
+  const double md = static_cast<double>(m);
+  double flops = 0;
+  flops += 2.0 * td * wd * (3.0 * wd);  // QKV projection
+  flops += 2.0 * td * td * wd;          // attention scores QK^T
+  flops += 2.0 * td * td * wd;          // context attn @ V
+  flops += 2.0 * td * wd * wd;          // output projection
+  flops += 2.0 * td * wd * md;          // MLP fc1
+  flops += 2.0 * td * md * wd;          // MLP fc2
+  // LayerNorms/softmax/residuals are bandwidth-bound and small; fold in a
+  // 3% overhead.
+  return flops * 1.03;
+}
+
+double activation_bytes(i64 batch, i64 seq, i64 width, i64 depth) {
+  // ~1.3 fp32 token-feature volumes cached per block (post-recompute
+  // regime), calibrated so ViT-3B @ batch 32 lands near the paper's
+  // memory plots.
+  return 1.3 * 4.0 * static_cast<double>(batch) * static_cast<double>(seq) *
+         static_cast<double>(width) * static_cast<double>(depth);
+}
+
+StepWorkload vit_step_workload(const models::ViTConfig& cfg, i64 batch) {
+  StepWorkload out;
+  const i64 t = cfg.seq_len();
+  const double fwd =
+      static_cast<double>(batch) *
+      block_forward_flops(t, cfg.width, cfg.mlp_dim, cfg.heads);
+
+  out.stages.resize(static_cast<size_t>(cfg.depth));
+  for (auto& s : out.stages) {
+    s.fwd_flops = fwd;
+    s.bwd_flops = 2.0 * fwd;
+    s.param_elements = block_param_elements(cfg.width, cfg.mlp_dim);
+  }
+  // Root: patch embed + head; small next to the blocks.
+  const double embed_flops = 2.0 * static_cast<double>(batch) *
+                             static_cast<double>(cfg.n_patches()) *
+                             static_cast<double>(cfg.patch_dim()) *
+                             static_cast<double>(cfg.width);
+  out.root.fwd_flops = embed_flops;
+  out.root.bwd_flops = 2.0 * embed_flops;
+  out.root.param_elements =
+      cfg.param_count() - cfg.depth * block_param_elements(cfg.width,
+                                                           cfg.mlp_dim);
+  out.images_per_step = batch;
+  out.activation_bytes = activation_bytes(batch, t, cfg.width, cfg.depth);
+  out.total_param_elements = cfg.param_count();
+  return out;
+}
+
+StepWorkload mae_step_workload(const models::MaeConfig& cfg, i64 batch) {
+  StepWorkload out;
+  const auto& enc = cfg.encoder;
+  const i64 n = enc.n_patches();
+  const i64 visible =
+      std::max<i64>(1, static_cast<i64>(std::llround(
+                           n * (1.0 - cfg.mask_ratio)))) + 1;  // + cls
+  const i64 full = n + 1;
+
+  const double enc_fwd =
+      static_cast<double>(batch) *
+      block_forward_flops(visible, enc.width, enc.mlp_dim, enc.heads);
+  const double dec_fwd = static_cast<double>(batch) *
+                         block_forward_flops(full, cfg.decoder_width,
+                                             4 * cfg.decoder_width,
+                                             cfg.decoder_heads);
+
+  for (i64 i = 0; i < enc.depth; ++i) {
+    StageWork s;
+    s.fwd_flops = enc_fwd;
+    s.bwd_flops = 2.0 * enc_fwd;
+    s.param_elements = block_param_elements(enc.width, enc.mlp_dim);
+    out.stages.push_back(s);
+  }
+  for (i64 i = 0; i < cfg.decoder_depth; ++i) {
+    StageWork s;
+    s.fwd_flops = dec_fwd;
+    s.bwd_flops = 2.0 * dec_fwd;
+    s.param_elements =
+        block_param_elements(cfg.decoder_width, 4 * cfg.decoder_width);
+    out.stages.push_back(s);
+  }
+
+  const double embed_flops =
+      2.0 * static_cast<double>(batch) * static_cast<double>(n) *
+          static_cast<double>(enc.patch_dim()) *
+          static_cast<double>(enc.width) +
+      2.0 * static_cast<double>(batch) * static_cast<double>(full) *
+          static_cast<double>(cfg.decoder_width) *
+          static_cast<double>(enc.patch_dim());
+  out.root.fwd_flops = embed_flops;
+  out.root.bwd_flops = 2.0 * embed_flops;
+  i64 stage_params = 0;
+  for (auto& s : out.stages) stage_params += s.param_elements;
+  out.root.param_elements = cfg.param_count() - stage_params;
+
+  out.images_per_step = batch;
+  out.activation_bytes =
+      activation_bytes(batch, visible, enc.width, enc.depth) +
+      activation_bytes(batch, full, cfg.decoder_width, cfg.decoder_depth);
+  out.total_param_elements = cfg.param_count();
+  return out;
+}
+
+}  // namespace geofm::sim

@@ -1,0 +1,45 @@
+// Workload cost model: per-stage FLOPs, parameter counts, and activation
+// footprints for ViT classification and MAE pretraining steps, derived
+// analytically from the architecture configuration.
+#pragma once
+
+#include <vector>
+
+#include "models/config.hpp"
+#include "sim/machine.hpp"
+
+namespace geofm::sim {
+
+/// One FSDP unit's compute work for a training step.
+struct StageWork {
+  double fwd_flops = 0;
+  double bwd_flops = 0;  // ~2x forward for matmul-dominated layers
+  i64 param_elements = 0;
+};
+
+/// Whole-step workload description consumed by the schedule builder.
+struct StepWorkload {
+  std::vector<StageWork> stages;  // transformer blocks, execution order
+  StageWork root;                 // embeddings/norms/heads outside blocks
+  i64 images_per_step = 0;        // local batch size
+  double activation_bytes = 0;    // cached activations per rank
+  i64 total_param_elements = 0;
+};
+
+/// FLOPs of one transformer block forward at sequence length t, width w,
+/// mlp hidden m, heads h (GEMMs + attention score/context products).
+double block_forward_flops(i64 t, i64 w, i64 m, i64 h);
+
+/// ViT supervised/perf-benchmark step (full token sequence), local batch b.
+StepWorkload vit_step_workload(const models::ViTConfig& cfg, i64 batch);
+
+/// MAE pretraining step: encoder sees only visible tokens (1-mask_ratio),
+/// decoder sees the full sequence at the decoder width.
+StepWorkload mae_step_workload(const models::MaeConfig& cfg, i64 batch);
+
+/// Activation bytes cached per rank for backward (empirical factor over
+/// the token-feature volume; assumes the standard fused-ish training stack
+/// with partial recomputation, calibrated to the paper's memory plots).
+double activation_bytes(i64 batch, i64 seq, i64 width, i64 depth);
+
+}  // namespace geofm::sim

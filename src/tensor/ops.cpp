@@ -1,0 +1,573 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/thread_pool.hpp"
+
+namespace geofm::ops {
+namespace {
+
+// Inner GEMM microkernels over raw pointers. A is [m,k] row-major.
+// These favour clarity + cache-friendly loop orders over peak FLOPs; the
+// models trained functionally are small, and the performance study proper
+// runs in the simulator.
+
+void gemm_nn(const float* a, const float* b, float* c, i64 m, i64 k, i64 n) {
+  parallel_for(m, [&](i64 r0, i64 r1) {
+    for (i64 i = r0; i < r1; ++i) {
+      float* crow = c + i * n;
+      std::fill_n(crow, n, 0.f);
+      const float* arow = a + i * k;
+      for (i64 p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.f) continue;
+        const float* brow = b + p * n;
+        for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+// C[m,n] = A[m,k] * B[n,k]^T — dot products of rows; B accessed row-wise.
+void gemm_nt(const float* a, const float* b, float* c, i64 m, i64 k, i64 n) {
+  parallel_for(m, [&](i64 r0, i64 r1) {
+    for (i64 i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (i64 j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.f;
+        for (i64 p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = acc;
+      }
+    }
+  });
+}
+
+// C[k,n] = A[m,k]^T * B[m,n] — accumulate outer products row by row.
+void gemm_tn(const float* a, const float* b, float* c, i64 m, i64 k, i64 n) {
+  parallel_for(k, [&](i64 r0, i64 r1) {
+    for (i64 p = r0; p < r1; ++p) {
+      float* crow = c + p * n;
+      std::fill_n(crow, n, 0.f);
+      for (i64 i = 0; i < m; ++i) {
+        const float av = a[i * k + p];
+        if (av == 0.f) continue;
+        const float* brow = b + i * n;
+        for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+struct Dims2 {
+  i64 rows;
+  i64 cols;
+};
+
+// Views an arbitrary-rank tensor as [rows, lastdim].
+Dims2 as_2d(const Tensor& x) {
+  GEOFM_CHECK(x.rank() >= 1);
+  const i64 cols = x.dim(-1);
+  return {x.numel() / cols, cols};
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  GEOFM_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects 2-D operands");
+  GEOFM_CHECK(a.dim(1) == b.dim(0), "matmul inner dims: " << a.shape_str()
+                                     << " x " << b.shape_str());
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm_nn(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  GEOFM_CHECK(a.rank() == 2 && b.rank() == 2);
+  GEOFM_CHECK(a.dim(1) == b.dim(1), "matmul_nt inner dims: " << a.shape_str()
+                                     << " x " << b.shape_str());
+  Tensor c({a.dim(0), b.dim(0)});
+  gemm_nt(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(0));
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  GEOFM_CHECK(a.rank() == 2 && b.rank() == 2);
+  GEOFM_CHECK(a.dim(0) == b.dim(0), "matmul_tn outer dims: " << a.shape_str()
+                                     << " x " << b.shape_str());
+  Tensor c({a.dim(1), b.dim(1)});
+  gemm_tn(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  return c;
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  GEOFM_CHECK(a.rank() == 3 && b.rank() == 3 && a.dim(0) == b.dim(0) &&
+              a.dim(2) == b.dim(1),
+              "bmm shapes: " << a.shape_str() << " x " << b.shape_str());
+  const i64 batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  Tensor c({batch, m, n});
+  parallel_for(batch, [&](i64 b0, i64 b1) {
+    for (i64 i = b0; i < b1; ++i) {
+      const float* ap = a.data() + i * m * k;
+      const float* bp = b.data() + i * k * n;
+      float* cp = c.data() + i * m * n;
+      for (i64 r = 0; r < m; ++r) {
+        float* crow = cp + r * n;
+        std::fill_n(crow, n, 0.f);
+        for (i64 p = 0; p < k; ++p) {
+          const float av = ap[r * k + p];
+          const float* brow = bp + p * n;
+          for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  });
+  return c;
+}
+
+Tensor bmm_nt(const Tensor& a, const Tensor& b) {
+  GEOFM_CHECK(a.rank() == 3 && b.rank() == 3 && a.dim(0) == b.dim(0) &&
+              a.dim(2) == b.dim(2),
+              "bmm_nt shapes: " << a.shape_str() << " x " << b.shape_str());
+  const i64 batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
+  Tensor c({batch, m, n});
+  parallel_for(batch, [&](i64 b0, i64 b1) {
+    for (i64 i = b0; i < b1; ++i) {
+      const float* ap = a.data() + i * m * k;
+      const float* bp = b.data() + i * n * k;
+      float* cp = c.data() + i * m * n;
+      for (i64 r = 0; r < m; ++r) {
+        const float* arow = ap + r * k;
+        float* crow = cp + r * n;
+        for (i64 j = 0; j < n; ++j) {
+          const float* brow = bp + j * k;
+          float acc = 0.f;
+          for (i64 p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          crow[j] = acc;
+        }
+      }
+    }
+  });
+  return c;
+}
+
+Tensor bmm_tn(const Tensor& a, const Tensor& b) {
+  GEOFM_CHECK(a.rank() == 3 && b.rank() == 3 && a.dim(0) == b.dim(0) &&
+              a.dim(1) == b.dim(1),
+              "bmm_tn shapes: " << a.shape_str() << " x " << b.shape_str());
+  const i64 batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  Tensor c({batch, k, n});
+  parallel_for(batch, [&](i64 b0, i64 b1) {
+    for (i64 i = b0; i < b1; ++i) {
+      const float* ap = a.data() + i * m * k;
+      const float* bp = b.data() + i * m * n;
+      float* cp = c.data() + i * k * n;
+      std::fill_n(cp, k * n, 0.f);
+      for (i64 r = 0; r < m; ++r) {
+        const float* arow = ap + r * k;
+        const float* brow = bp + r * n;
+        for (i64 p = 0; p < k; ++p) {
+          const float av = arow[p];
+          float* crow = cp + p * n;
+          for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  });
+  return c;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  GEOFM_CHECK(a.shape() == b.shape(), "add shape mismatch");
+  Tensor out = a.clone();
+  out.add_(b);
+  return out;
+}
+
+void add_bias_rows(Tensor& x, const Tensor& bias) {
+  const Dims2 d = as_2d(x);
+  GEOFM_CHECK(bias.numel() == d.cols, "bias size mismatch");
+  float* xp = x.data();
+  const float* bp = bias.data();
+  parallel_for(d.rows, [&](i64 r0, i64 r1) {
+    for (i64 r = r0; r < r1; ++r) {
+      float* row = xp + r * d.cols;
+      for (i64 c = 0; c < d.cols; ++c) row[c] += bp[c];
+    }
+  });
+}
+
+void accumulate_bias_grad(const Tensor& grad, Tensor& grad_bias) {
+  const Dims2 d = as_2d(grad);
+  GEOFM_CHECK(grad_bias.numel() == d.cols, "bias grad size mismatch");
+  const float* gp = grad.data();
+  float* bp = grad_bias.data();
+  for (i64 r = 0; r < d.rows; ++r) {
+    const float* row = gp + r * d.cols;
+    for (i64 c = 0; c < d.cols; ++c) bp[c] += row[c];
+  }
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+Tensor gelu(const Tensor& x) {
+  Tensor y(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  parallel_for(x.numel(), [&](i64 i0, i64 i1) {
+    for (i64 i = i0; i < i1; ++i) {
+      const float v = xp[i];
+      const float t = std::tanh(kGeluC * (v + kGeluA * v * v * v));
+      yp[i] = 0.5f * v * (1.f + t);
+    }
+  });
+  return y;
+}
+
+Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
+  GEOFM_CHECK(dy.numel() == x.numel());
+  Tensor dx(x.shape());
+  const float* dyp = dy.data();
+  const float* xp = x.data();
+  float* dxp = dx.data();
+  parallel_for(x.numel(), [&](i64 i0, i64 i1) {
+    for (i64 i = i0; i < i1; ++i) {
+      const float v = xp[i];
+      const float u = kGeluC * (v + kGeluA * v * v * v);
+      const float t = std::tanh(u);
+      const float dudv = kGeluC * (1.f + 3.f * kGeluA * v * v);
+      const float dgelu = 0.5f * (1.f + t) + 0.5f * v * (1.f - t * t) * dudv;
+      dxp[i] = dyp[i] * dgelu;
+    }
+  });
+  return dx;
+}
+
+Tensor softmax_lastdim(const Tensor& x) {
+  const Dims2 d = as_2d(x);
+  Tensor y(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  parallel_for(d.rows, [&](i64 r0, i64 r1) {
+    for (i64 r = r0; r < r1; ++r) {
+      const float* xi = xp + r * d.cols;
+      float* yi = yp + r * d.cols;
+      float mx = xi[0];
+      for (i64 c = 1; c < d.cols; ++c) mx = std::max(mx, xi[c]);
+      float sum = 0.f;
+      for (i64 c = 0; c < d.cols; ++c) {
+        yi[c] = std::exp(xi[c] - mx);
+        sum += yi[c];
+      }
+      const float inv = 1.f / sum;
+      for (i64 c = 0; c < d.cols; ++c) yi[c] *= inv;
+    }
+  });
+  return y;
+}
+
+Tensor softmax_backward_lastdim(const Tensor& dy, const Tensor& y) {
+  GEOFM_CHECK(dy.shape() == y.shape());
+  const Dims2 d = as_2d(y);
+  Tensor dx(y.shape());
+  const float* dyp = dy.data();
+  const float* yp = y.data();
+  float* dxp = dx.data();
+  parallel_for(d.rows, [&](i64 r0, i64 r1) {
+    for (i64 r = r0; r < r1; ++r) {
+      const float* dyi = dyp + r * d.cols;
+      const float* yi = yp + r * d.cols;
+      float* dxi = dxp + r * d.cols;
+      float dot = 0.f;
+      for (i64 c = 0; c < d.cols; ++c) dot += dyi[c] * yi[c];
+      for (i64 c = 0; c < d.cols; ++c) dxi[c] = yi[c] * (dyi[c] - dot);
+    }
+  });
+  return dx;
+}
+
+Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps, LayerNormCache& cache) {
+  const Dims2 d = as_2d(x);
+  GEOFM_CHECK(gamma.numel() == d.cols && beta.numel() == d.cols,
+              "layernorm affine size mismatch");
+  Tensor y(x.shape());
+  cache.mean = Tensor({d.rows});
+  cache.rstd = Tensor({d.rows});
+  const float* xp = x.data();
+  const float* gp = gamma.data();
+  const float* bp = beta.data();
+  float* yp = y.data();
+  float* mp = cache.mean.data();
+  float* rp = cache.rstd.data();
+  parallel_for(d.rows, [&](i64 r0, i64 r1) {
+    for (i64 r = r0; r < r1; ++r) {
+      const float* xi = xp + r * d.cols;
+      float* yi = yp + r * d.cols;
+      double mean = 0.0;
+      for (i64 c = 0; c < d.cols; ++c) mean += xi[c];
+      mean /= static_cast<double>(d.cols);
+      double var = 0.0;
+      for (i64 c = 0; c < d.cols; ++c) {
+        const double diff = xi[c] - mean;
+        var += diff * diff;
+      }
+      var /= static_cast<double>(d.cols);
+      const float rstd = static_cast<float>(1.0 / std::sqrt(var + eps));
+      mp[r] = static_cast<float>(mean);
+      rp[r] = rstd;
+      for (i64 c = 0; c < d.cols; ++c) {
+        yi[c] = (xi[c] - mp[r]) * rstd * gp[c] + bp[c];
+      }
+    }
+  });
+  return y;
+}
+
+Tensor layernorm_backward(const Tensor& dy, const Tensor& x,
+                          const Tensor& gamma, const LayerNormCache& cache,
+                          Tensor& dgamma, Tensor& dbeta) {
+  const Dims2 d = as_2d(x);
+  GEOFM_CHECK(dy.numel() == x.numel());
+  GEOFM_CHECK(dgamma.numel() == d.cols && dbeta.numel() == d.cols);
+  Tensor dx(x.shape());
+  const float* dyp = dy.data();
+  const float* xp = x.data();
+  const float* gp = gamma.data();
+  const float* mp = cache.mean.data();
+  const float* rp = cache.rstd.data();
+  float* dxp = dx.data();
+  float* dgp = dgamma.data();
+  float* dbp = dbeta.data();
+
+  // dgamma/dbeta accumulate across rows — do serially to stay deterministic.
+  for (i64 r = 0; r < d.rows; ++r) {
+    const float* dyi = dyp + r * d.cols;
+    const float* xi = xp + r * d.cols;
+    for (i64 c = 0; c < d.cols; ++c) {
+      const float xhat = (xi[c] - mp[r]) * rp[r];
+      dgp[c] += dyi[c] * xhat;
+      dbp[c] += dyi[c];
+    }
+  }
+
+  parallel_for(d.rows, [&](i64 r0, i64 r1) {
+    for (i64 r = r0; r < r1; ++r) {
+      const float* dyi = dyp + r * d.cols;
+      const float* xi = xp + r * d.cols;
+      float* dxi = dxp + r * d.cols;
+      // Two row reductions, then the standard LN gradient identity.
+      float sum_g = 0.f, sum_gx = 0.f;
+      for (i64 c = 0; c < d.cols; ++c) {
+        const float g = dyi[c] * gp[c];
+        const float xhat = (xi[c] - mp[r]) * rp[r];
+        sum_g += g;
+        sum_gx += g * xhat;
+      }
+      const float inv_n = 1.f / static_cast<float>(d.cols);
+      for (i64 c = 0; c < d.cols; ++c) {
+        const float g = dyi[c] * gp[c];
+        const float xhat = (xi[c] - mp[r]) * rp[r];
+        dxi[c] = rp[r] * (g - inv_n * sum_g - xhat * inv_n * sum_gx);
+      }
+    }
+  });
+  return dx;
+}
+
+SoftmaxCrossEntropy softmax_cross_entropy(const Tensor& logits,
+                                          const std::vector<i64>& labels) {
+  GEOFM_CHECK(logits.rank() == 2);
+  const i64 batch = logits.dim(0), classes = logits.dim(1);
+  GEOFM_CHECK(static_cast<i64>(labels.size()) == batch);
+  SoftmaxCrossEntropy out;
+  out.probs = softmax_lastdim(logits);
+  double loss = 0.0;
+  const float* pp = out.probs.data();
+  for (i64 r = 0; r < batch; ++r) {
+    const i64 y = labels[static_cast<size_t>(r)];
+    GEOFM_CHECK(y >= 0 && y < classes, "label out of range");
+    loss -= std::log(std::max(pp[r * classes + y], 1e-12f));
+  }
+  out.loss = static_cast<float>(loss / static_cast<double>(batch));
+  return out;
+}
+
+Tensor softmax_cross_entropy_backward(const SoftmaxCrossEntropy& fwd,
+                                      const std::vector<i64>& labels) {
+  const i64 batch = fwd.probs.dim(0), classes = fwd.probs.dim(1);
+  Tensor dlogits = fwd.probs.clone();
+  float* dp = dlogits.data();
+  const float inv_b = 1.f / static_cast<float>(batch);
+  for (i64 r = 0; r < batch; ++r) {
+    dp[r * classes + labels[static_cast<size_t>(r)]] -= 1.f;
+  }
+  dlogits.scale_(inv_b);
+  return dlogits;
+}
+
+double topk_accuracy(const Tensor& logits, const std::vector<i64>& labels,
+                     int k) {
+  GEOFM_CHECK(logits.rank() == 2 && k >= 1);
+  const i64 batch = logits.dim(0), classes = logits.dim(1);
+  GEOFM_CHECK(static_cast<i64>(labels.size()) == batch);
+  const float* lp = logits.data();
+  i64 hits = 0;
+  for (i64 r = 0; r < batch; ++r) {
+    const float* row = lp + r * classes;
+    const float label_score = row[labels[static_cast<size_t>(r)]];
+    // Count strictly-greater scores; the label is in the top-k iff fewer
+    // than k classes beat it (ties resolved in the label's favour, which
+    // is deterministic and conservative-free for distinct float logits).
+    int greater = 0;
+    for (i64 c = 0; c < classes; ++c) {
+      if (row[c] > label_score) ++greater;
+      if (greater >= k) break;
+    }
+    if (greater < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(batch);
+}
+
+float masked_mse(const Tensor& pred, const Tensor& target,
+                 const std::vector<u32>& row_mask, Tensor* dpred) {
+  const Dims2 d = as_2d(pred);
+  GEOFM_CHECK(target.numel() == pred.numel());
+  GEOFM_CHECK(static_cast<i64>(row_mask.size()) == d.rows);
+  i64 active = 0;
+  for (u32 m : row_mask) active += (m != 0);
+  GEOFM_CHECK(active > 0, "masked_mse with empty mask");
+
+  const float* pp = pred.data();
+  const float* tp = target.data();
+  double loss = 0.0;
+  const double denom = static_cast<double>(active) * d.cols;
+  float* dp = nullptr;
+  if (dpred != nullptr) {
+    *dpred = Tensor::zeros(pred.shape());
+    dp = dpred->data();
+  }
+  for (i64 r = 0; r < d.rows; ++r) {
+    if (row_mask[static_cast<size_t>(r)] == 0) continue;
+    const float* pi = pp + r * d.cols;
+    const float* ti = tp + r * d.cols;
+    for (i64 c = 0; c < d.cols; ++c) {
+      const double diff = static_cast<double>(pi[c]) - ti[c];
+      loss += diff * diff;
+      if (dp != nullptr) {
+        dp[r * d.cols + c] = static_cast<float>(2.0 * diff / denom);
+      }
+    }
+  }
+  return static_cast<float>(loss / denom);
+}
+
+Tensor patchify(const Tensor& images, i64 patch) {
+  GEOFM_CHECK(images.rank() == 4, "patchify expects [B,C,H,W]");
+  const i64 b = images.dim(0), c = images.dim(1), h = images.dim(2),
+            w = images.dim(3);
+  GEOFM_CHECK(h % patch == 0 && w % patch == 0, "image not divisible by patch");
+  const i64 gh = h / patch, gw = w / patch, n = gh * gw;
+  const i64 pdim = patch * patch * c;
+  Tensor out({b, n, pdim});
+  const float* ip = images.data();
+  float* op = out.data();
+  parallel_for(b * n, [&](i64 i0, i64 i1) {
+    for (i64 idx = i0; idx < i1; ++idx) {
+      const i64 bi = idx / n;
+      const i64 pi = idx % n;
+      const i64 py = pi / gw, px = pi % gw;
+      float* dst = op + idx * pdim;
+      for (i64 ci = 0; ci < c; ++ci) {
+        for (i64 y = 0; y < patch; ++y) {
+          const float* src = ip + ((bi * c + ci) * h + py * patch + y) * w +
+                             px * patch;
+          std::memcpy(dst, src, static_cast<size_t>(patch) * sizeof(float));
+          dst += patch;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor unpatchify(const Tensor& patches, i64 patch, i64 channels) {
+  GEOFM_CHECK(patches.rank() == 3, "unpatchify expects [B,N,P*P*C]");
+  const i64 b = patches.dim(0), n = patches.dim(1);
+  GEOFM_CHECK(patches.dim(2) == patch * patch * channels);
+  const i64 g = static_cast<i64>(std::llround(std::sqrt(double(n))));
+  GEOFM_CHECK(g * g == n, "unpatchify expects square grid");
+  const i64 hw = g * patch;
+  Tensor out({b, channels, hw, hw});
+  const float* pp = patches.data();
+  float* op = out.data();
+  const i64 pdim = patch * patch * channels;
+  parallel_for(b * n, [&](i64 i0, i64 i1) {
+    for (i64 idx = i0; idx < i1; ++idx) {
+      const i64 bi = idx / n;
+      const i64 pi = idx % n;
+      const i64 py = pi / g, px = pi % g;
+      const float* src = pp + idx * pdim;
+      for (i64 ci = 0; ci < channels; ++ci) {
+        for (i64 y = 0; y < patch; ++y) {
+          float* dst = op + ((bi * channels + ci) * hw + py * patch + y) * hw +
+                       px * patch;
+          std::memcpy(dst, src, static_cast<size_t>(patch) * sizeof(float));
+          src += patch;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor transpose2d(const Tensor& x) {
+  GEOFM_CHECK(x.rank() == 2);
+  const i64 r = x.dim(0), c = x.dim(1);
+  Tensor y({c, r});
+  const float* xp = x.data();
+  float* yp = y.data();
+  for (i64 i = 0; i < r; ++i) {
+    for (i64 j = 0; j < c; ++j) yp[j * r + i] = xp[i * c + j];
+  }
+  return y;
+}
+
+Tensor gather_rows(const Tensor& x, const std::vector<i64>& index) {
+  const Dims2 d = as_2d(x);
+  Tensor out({static_cast<i64>(index.size()), d.cols});
+  const float* xp = x.data();
+  float* op = out.data();
+  for (size_t i = 0; i < index.size(); ++i) {
+    const i64 r = index[i];
+    GEOFM_CHECK(r >= 0 && r < d.rows, "gather_rows index out of range");
+    std::memcpy(op + static_cast<i64>(i) * d.cols, xp + r * d.cols,
+                static_cast<size_t>(d.cols) * sizeof(float));
+  }
+  return out;
+}
+
+void scatter_rows_add(const Tensor& x, const std::vector<i64>& index,
+                      Tensor& out) {
+  const Dims2 dx = as_2d(x);
+  const Dims2 dout = as_2d(out);
+  GEOFM_CHECK(dx.cols == dout.cols, "scatter_rows_add col mismatch");
+  GEOFM_CHECK(static_cast<i64>(index.size()) == dx.rows);
+  const float* xp = x.data();
+  float* op = out.data();
+  for (size_t i = 0; i < index.size(); ++i) {
+    const i64 r = index[i];
+    GEOFM_CHECK(r >= 0 && r < dout.rows, "scatter_rows_add out of range");
+    const float* src = xp + static_cast<i64>(i) * dx.cols;
+    float* dst = op + r * dout.cols;
+    for (i64 c = 0; c < dx.cols; ++c) dst[c] += src[c];
+  }
+}
+
+}  // namespace geofm::ops

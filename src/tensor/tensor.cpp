@@ -1,0 +1,238 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+namespace geofm {
+
+i64 Tensor::compute_numel(const std::vector<i64>& shape) {
+  i64 n = 1;
+  for (i64 d : shape) {
+    GEOFM_CHECK(d >= 0, "negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<i64> shape)
+    : shape_(std::move(shape)), numel_(compute_numel(shape_)) {
+  buf_ = std::make_shared<std::vector<float>>(static_cast<size_t>(numel_));
+}
+
+Tensor::Tensor(std::shared_ptr<std::vector<float>> buf, i64 offset,
+               std::vector<i64> shape)
+    : buf_(std::move(buf)),
+      offset_(offset),
+      shape_(std::move(shape)),
+      numel_(compute_numel(shape_)) {
+  GEOFM_CHECK(offset_ >= 0 && offset_ + numel_ <=
+                  static_cast<i64>(buf_->size()),
+              "view window out of range");
+}
+
+Tensor Tensor::zeros(std::vector<i64> shape) {
+  Tensor t(std::move(shape));
+  t.fill_(0.f);
+  return t;
+}
+
+Tensor Tensor::full(std::vector<i64> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<i64> shape, Rng& rng, float stddev,
+                     float mean) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (i64 i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand(std::vector<i64> shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (i64 i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(i64 n) {
+  Tensor t({n});
+  float* p = t.data();
+  for (i64 i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::from(std::vector<float> values) {
+  Tensor t({static_cast<i64>(values.size())});
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+i64 Tensor::dim(int i) const {
+  if (i < 0) i += rank();
+  GEOFM_CHECK(i >= 0 && i < rank(), "dim index out of range");
+  return shape_[static_cast<size_t>(i)];
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream oss;
+  oss << '[';
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) oss << ", ";
+    oss << shape_[i];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+Tensor Tensor::view(std::vector<i64> shape) const {
+  GEOFM_CHECK(defined());
+  const i64 n = compute_numel(shape);
+  GEOFM_CHECK(n == numel_, "view numel mismatch: " << n << " vs " << numel_);
+  return Tensor(buf_, offset_, std::move(shape));
+}
+
+Tensor Tensor::flat_view(i64 offset, i64 len) const {
+  GEOFM_CHECK(defined());
+  GEOFM_CHECK(offset >= 0 && len >= 0 && offset + len <= numel_,
+              "flat_view [" << offset << ", " << offset + len
+                            << ") out of numel " << numel_);
+  return Tensor(buf_, offset_ + offset, {len});
+}
+
+float* Tensor::data() {
+  GEOFM_CHECK(defined());
+  return buf_->data() + offset_;
+}
+
+const float* Tensor::data() const {
+  GEOFM_CHECK(defined());
+  return buf_->data() + offset_;
+}
+
+namespace {
+i64 flat_index(const std::vector<i64>& shape, std::initializer_list<i64> idx) {
+  GEOFM_CHECK(idx.size() == shape.size(), "index arity != tensor rank");
+  i64 flat = 0;
+  auto it = idx.begin();
+  for (size_t d = 0; d < shape.size(); ++d, ++it) {
+    GEOFM_CHECK(*it >= 0 && *it < shape[d], "index out of range in dim " << d);
+    flat = flat * shape[d] + *it;
+  }
+  return flat;
+}
+}  // namespace
+
+float& Tensor::at(std::initializer_list<i64> idx) {
+  return data()[flat_index(shape_, idx)];
+}
+
+float Tensor::at(std::initializer_list<i64> idx) const {
+  return data()[flat_index(shape_, idx)];
+}
+
+float& Tensor::operator[](i64 flat) {
+  GEOFM_CHECK(flat >= 0 && flat < numel_);
+  return data()[flat];
+}
+
+float Tensor::operator[](i64 flat) const {
+  GEOFM_CHECK(flat >= 0 && flat < numel_);
+  return data()[flat];
+}
+
+Tensor& Tensor::fill_(float value) {
+  std::fill_n(data(), numel_, value);
+  return *this;
+}
+
+Tensor& Tensor::copy_(const Tensor& src) {
+  GEOFM_CHECK(src.numel() == numel_, "copy_ numel mismatch");
+  std::copy_n(src.data(), numel_, data());
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other, float alpha) {
+  GEOFM_CHECK(other.numel() == numel_, "add_ numel mismatch");
+  float* a = data();
+  const float* b = other.data();
+  for (i64 i = 0; i < numel_; ++i) a[i] += alpha * b[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  GEOFM_CHECK(other.numel() == numel_, "mul_ numel mismatch");
+  float* a = data();
+  const float* b = other.data();
+  for (i64 i = 0; i < numel_; ++i) a[i] *= b[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float alpha) {
+  float* a = data();
+  for (i64 i = 0; i < numel_; ++i) a[i] *= alpha;
+  return *this;
+}
+
+Tensor& Tensor::add_scalar_(float alpha) {
+  float* a = data();
+  for (i64 i = 0; i < numel_; ++i) a[i] += alpha;
+  return *this;
+}
+
+Tensor Tensor::clone() const {
+  Tensor out(shape_);
+  out.copy_(*this);
+  return out;
+}
+
+float Tensor::sum() const {
+  const float* a = data();
+  // Pairwise-ish accumulation in double to keep large reductions stable.
+  double acc = 0.0;
+  for (i64 i = 0; i < numel_; ++i) acc += a[i];
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  GEOFM_CHECK(numel_ > 0);
+  return static_cast<float>(static_cast<double>(sum()) / numel_);
+}
+
+float Tensor::abs_max() const {
+  const float* a = data();
+  float m = 0.f;
+  for (i64 i = 0; i < numel_; ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+float Tensor::norm() const {
+  const float* a = data();
+  double acc = 0.0;
+  for (i64 i = 0; i < numel_; ++i) {
+    acc += static_cast<double>(a[i]) * a[i];
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+bool Tensor::allclose(const Tensor& other, float rtol, float atol) const {
+  if (shape_ != other.shape()) return false;
+  const float* a = data();
+  const float* b = other.data();
+  for (i64 i = 0; i < numel_; ++i) {
+    const float tol = atol + rtol * std::fabs(b[i]);
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace geofm

@@ -1,0 +1,18 @@
+// Binary checkpointing of module parameters (name-keyed, versioned).
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace geofm::train {
+
+/// Writes every parameter (name, shape, data) of `module` to `path`.
+void save_checkpoint(nn::Module& module, const std::string& path);
+
+/// Loads a checkpoint into `module`. Every parameter in the module must be
+/// present in the file with a matching element count; extra entries in the
+/// file are ignored. Throws geofm::Error on mismatch or malformed input.
+void load_checkpoint(nn::Module& module, const std::string& path);
+
+}  // namespace geofm::train

@@ -1,0 +1,125 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace geofm {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+std::string fmt_tick(double v) {
+  char buf[32];
+  if (std::fabs(v) >= 1e5 || (std::fabs(v) < 1e-2 && v != 0)) {
+    std::snprintf(buf, sizeof(buf), "%.1e", v);
+  } else if (std::fabs(v - std::llround(v)) < 1e-9) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(std::llround(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+AsciiChart::AsciiChart(Options options) : options_(options) {
+  GEOFM_CHECK(options_.width >= 16 && options_.height >= 4,
+              "chart too small");
+}
+
+void AsciiChart::add_series(std::string name, std::vector<double> x,
+                            std::vector<double> y) {
+  GEOFM_CHECK(x.size() == y.size() && !x.empty(),
+              "series needs equal-length non-empty x/y");
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (options_.log_x) GEOFM_CHECK(x[i] > 0, "log-x requires positive x");
+    if (options_.log_y) GEOFM_CHECK(y[i] > 0, "log-y requires positive y");
+  }
+  Series s;
+  s.name = std::move(name);
+  s.x = std::move(x);
+  s.y = std::move(y);
+  s.glyph = kGlyphs[series_.size() % sizeof(kGlyphs)];
+  series_.push_back(std::move(s));
+}
+
+double AsciiChart::tx(double x) const {
+  return options_.log_x ? std::log2(x) : x;
+}
+
+double AsciiChart::ty(double y) const {
+  return options_.log_y ? std::log2(y) : y;
+}
+
+std::string AsciiChart::render() const {
+  GEOFM_CHECK(!series_.empty(), "nothing to plot");
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  for (const auto& s : series_) {
+    for (size_t i = 0; i < s.x.size(); ++i) {
+      xmin = std::min(xmin, tx(s.x[i]));
+      xmax = std::max(xmax, tx(s.x[i]));
+      ymin = std::min(ymin, ty(s.y[i]));
+      ymax = std::max(ymax, ty(s.y[i]));
+    }
+  }
+  if (xmax - xmin < 1e-12) xmax = xmin + 1;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1;
+
+  const int w = options_.width, h = options_.height;
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), ' '));
+  for (const auto& s : series_) {
+    for (size_t i = 0; i < s.x.size(); ++i) {
+      const int col = static_cast<int>(std::lround(
+          (tx(s.x[i]) - xmin) / (xmax - xmin) * (w - 1)));
+      const int row = static_cast<int>(std::lround(
+          (ty(s.y[i]) - ymin) / (ymax - ymin) * (h - 1)));
+      auto& cell = grid[static_cast<size_t>(h - 1 - row)]
+                       [static_cast<size_t>(col)];
+      // First writer wins; overlaps become '?'.
+      cell = (cell == ' ' || cell == s.glyph) ? s.glyph : '?';
+    }
+  }
+
+  std::ostringstream oss;
+  if (!options_.y_label.empty()) {
+    oss << options_.y_label;
+    if (options_.log_y) oss << " (log)";
+    oss << '\n';
+  }
+  const std::string ytop = fmt_tick(options_.log_y ? std::exp2(ymax) : ymax);
+  const std::string ybot = fmt_tick(options_.log_y ? std::exp2(ymin) : ymin);
+  const size_t margin = std::max(ytop.size(), ybot.size());
+  for (int r = 0; r < h; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = ytop + std::string(margin - ytop.size(), ' ');
+    if (r == h - 1) label = ybot + std::string(margin - ybot.size(), ' ');
+    oss << label << " |" << grid[static_cast<size_t>(r)] << '\n';
+  }
+  oss << std::string(margin + 1, ' ') << '+'
+      << std::string(static_cast<size_t>(w), '-') << '\n';
+  const std::string xlo = fmt_tick(options_.log_x ? std::exp2(xmin) : xmin);
+  const std::string xhi = fmt_tick(options_.log_x ? std::exp2(xmax) : xmax);
+  oss << std::string(margin + 2, ' ') << xlo
+      << std::string(
+             std::max<size_t>(1, static_cast<size_t>(w) - xlo.size() -
+                                     xhi.size()),
+             ' ')
+      << xhi;
+  if (!options_.x_label.empty()) {
+    oss << "   " << options_.x_label;
+    if (options_.log_x) oss << " (log)";
+  }
+  oss << '\n';
+
+  oss << "legend:";
+  for (const auto& s : series_) oss << "  " << s.glyph << " = " << s.name;
+  oss << '\n';
+  return oss.str();
+}
+
+void AsciiChart::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace geofm

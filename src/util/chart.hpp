@@ -1,0 +1,51 @@
+// ASCII line charts for the benchmark harness: the paper's figures are
+// log-log weak-scaling plots, and a rendered chart makes shape checks
+// (crossovers, flattening) legible directly in terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace geofm {
+
+/// Multi-series scatter/line chart rendered to text. Series are plotted
+/// with distinct glyphs; axes can be linear or log2/log10.
+class AsciiChart {
+ public:
+  struct Options {
+    int width = 72;    // plot area columns
+    int height = 20;   // plot area rows
+    bool log_x = false;
+    bool log_y = false;
+    std::string x_label;
+    std::string y_label;
+  };
+
+  explicit AsciiChart(Options options);
+
+  /// Adds a named series; x and y must be equal length, positive when the
+  /// corresponding axis is logarithmic.
+  void add_series(std::string name, std::vector<double> x,
+                  std::vector<double> y);
+
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+    char glyph;
+  };
+
+  double tx(double x) const;  // axis transforms
+  double ty(double y) const;
+
+  Options options_;
+  std::vector<Series> series_;
+};
+
+}  // namespace geofm

@@ -1,0 +1,13 @@
+#include "util/common.hpp"
+
+namespace geofm::detail {
+
+void check_failed(const char* file, int line, const char* cond,
+                  const std::string& msg) {
+  std::ostringstream oss;
+  oss << "GEOFM_CHECK failed at " << file << ":" << line << ": " << cond;
+  if (!msg.empty()) oss << " — " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace geofm::detail

@@ -1,0 +1,45 @@
+// Common support macros and small helpers shared across geofm.
+//
+// Error handling policy (per C++ Core Guidelines E.12/E.13): programming
+// errors and violated invariants abort with a diagnostic; recoverable
+// conditions throw geofm::Error.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace geofm {
+
+/// Exception type for recoverable errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* file, int line, const char* cond,
+                               const std::string& msg);
+
+}  // namespace detail
+
+/// Index type used for tensor shapes and loop bounds.
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+using u32 = std::uint32_t;
+
+}  // namespace geofm
+
+/// GEOFM_CHECK(cond) / GEOFM_CHECK(cond, msg...) — always-on invariant check.
+/// Aborts via geofm::Error with file/line context when `cond` is false.
+#define GEOFM_CHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream geofm_check_oss_;                                  \
+      geofm_check_oss_ << "" __VA_ARGS__;                                   \
+      ::geofm::detail::check_failed(__FILE__, __LINE__, #cond,              \
+                                    geofm_check_oss_.str());                \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,36 @@
+// Minimal leveled logger. Thread-safe; writes to stderr. Level is taken
+// from GEOFM_LOG (trace|debug|info|warn|error), default info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace geofm {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Current global level (initialized once from the environment).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace geofm
+
+#define GEOFM_LOG_AT(level, ...)                            \
+  do {                                                      \
+    if (static_cast<int>(level) >=                          \
+        static_cast<int>(::geofm::log_level())) {           \
+      std::ostringstream geofm_log_oss_;                    \
+      geofm_log_oss_ << __VA_ARGS__;                        \
+      ::geofm::detail::log_emit(level, geofm_log_oss_.str()); \
+    }                                                       \
+  } while (0)
+
+#define GEOFM_TRACE(...) GEOFM_LOG_AT(::geofm::LogLevel::kTrace, __VA_ARGS__)
+#define GEOFM_DEBUG(...) GEOFM_LOG_AT(::geofm::LogLevel::kDebug, __VA_ARGS__)
+#define GEOFM_INFO(...) GEOFM_LOG_AT(::geofm::LogLevel::kInfo, __VA_ARGS__)
+#define GEOFM_WARN(...) GEOFM_LOG_AT(::geofm::LogLevel::kWarn, __VA_ARGS__)
+#define GEOFM_ERROR(...) GEOFM_LOG_AT(::geofm::LogLevel::kError, __VA_ARGS__)

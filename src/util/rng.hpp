@@ -1,0 +1,86 @@
+// Deterministic, splittable random number generation.
+//
+// geofm needs reproducible streams per (seed, rank, purpose) so that
+// multi-rank runs are bitwise repeatable and independent of thread
+// scheduling. Rng is a counter-based generator in the spirit of Philox:
+// cheap to construct, cheap to split, no shared state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace geofm {
+
+/// Mixes 64-bit input to a well-distributed 64-bit output (splitmix64
+/// finalizer). Used both as a standalone hash and as the Rng core.
+constexpr u64 mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Counter-based deterministic RNG. Streams derived via `split` are
+/// statistically independent for distinct keys.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x5eedULL) : state_(mix64(seed + 0x1234)) {}
+
+  /// Derives an independent stream, e.g. rng.split(rank) or
+  /// rng.split(hash_of("weights")).
+  [[nodiscard]] Rng split(u64 key) const {
+    Rng out(0);
+    out.state_ = mix64(state_ ^ mix64(key + 0xabcdef));
+    return out;
+  }
+
+  /// Next 64 uniformly distributed bits.
+  u64 next_u64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return mix64(state_);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  i64 uniform_int(i64 n) {
+    GEOFM_CHECK(n > 0, "uniform_int requires positive bound");
+    return static_cast<i64>(next_u64() % static_cast<u64>(n));
+  }
+
+  /// Standard normal via Box–Muller (one draw per call; the pair's second
+  /// member is discarded to keep the generator stateless across calls).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+ private:
+  u64 state_;
+};
+
+/// FNV-1a hash of a string, for deriving Rng stream keys from names.
+constexpr u64 hash_name(const char* s) {
+  u64 h = 1469598103934665603ULL;
+  while (*s != '\0') {
+    h ^= static_cast<u64>(static_cast<unsigned char>(*s++));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace geofm

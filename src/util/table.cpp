@@ -1,0 +1,120 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace geofm {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GEOFM_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  GEOFM_CHECK(cells.size() == header_.size(), "row arity " << cells.size()
+                                              << " != header arity "
+                                              << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    oss << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ')
+          << " |";
+    }
+    oss << '\n';
+  };
+  auto emit_sep = [&] {
+    oss << "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      oss << std::string(width[c] + 2, '-') << '+';
+    }
+    oss << '\n';
+  };
+
+  emit_sep();
+  emit_row(header_);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row);
+  emit_sep();
+  return oss.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string TextTable::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) oss << ',';
+    oss << escape(header_[c]);
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) oss << ',';
+      oss << escape(row[c]);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::string fmt_f(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_i(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string fmt_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return fmt_f(bytes, 1) + " " + units[u];
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(p);
+  GEOFM_CHECK(out.good(), "cannot open " << path);
+  out << content;
+}
+
+}  // namespace geofm

@@ -1,0 +1,43 @@
+// ASCII table and CSV emission used by the benchmark harness to print the
+// paper's tables and figure series in a stable, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace geofm {
+
+/// Column-aligned plain-text table. Build row by row, then `to_string()`
+/// or `print()`. All cells are strings; use the `fmt_*` helpers below for
+/// consistent numeric formatting.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+  /// Serializes as CSV (header + rows), for EXPERIMENTS.md ingestion.
+  [[nodiscard]] std::string to_csv() const;
+
+  std::size_t n_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float, e.g. fmt_f(3.14159, 2) == "3.14".
+std::string fmt_f(double v, int precision = 2);
+/// Integer with no grouping.
+std::string fmt_i(long long v);
+/// Human-readable byte count (e.g. "61.4 GB").
+std::string fmt_bytes(double bytes);
+
+/// Writes `content` to `path`, creating parent directories as needed.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace geofm

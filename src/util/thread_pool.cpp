@@ -1,0 +1,127 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace geofm {
+
+ThreadPool::ThreadPool(int n_workers) {
+  GEOFM_CHECK(n_workers >= 0);
+  threads_.reserve(static_cast<size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_chunks(Task& task) {
+  for (;;) {
+    const i64 begin = task.next_index.fetch_add(task.chunk);
+    if (begin >= task.n) break;
+    const i64 end = std::min<i64>(begin + task.chunk, task.n);
+    (*task.fn)(begin, end);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  u64 seen = 0;
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = current_;
+    }
+    if (task == nullptr) continue;
+    try {
+      run_chunks(*task);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (task->remaining.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(i64 n, const std::function<void(i64, i64)>& fn) {
+  if (n <= 0) return;
+  const int workers = n_workers();
+  // Small loops: the dispatch cost outweighs parallelism.
+  if (workers == 0 || n < 512) {
+    fn(0, n);
+    return;
+  }
+
+  // Only one parallel region may own the pool at a time. Concurrent or
+  // nested callers (e.g. several communicator rank threads computing at
+  // once) degrade gracefully to inline execution — the ranks themselves
+  // already provide the parallelism in that case.
+  std::unique_lock<std::mutex> dispatch(dispatch_mu_, std::try_to_lock);
+  if (!dispatch.owns_lock()) {
+    fn(0, n);
+    return;
+  }
+
+  Task task;
+  task.fn = &fn;
+  task.n = n;
+  // Aim for ~4 chunks per participant for dynamic balance without
+  // excessive atomics traffic.
+  task.chunk = std::max<i64>(1, n / (static_cast<i64>(workers + 1) * 4));
+  task.remaining.store(workers);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    first_error_ = nullptr;
+    current_ = &task;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  // The caller participates instead of idling.
+  std::exception_ptr caller_error;
+  try {
+    run_chunks(task);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return task.remaining.load() == 0; });
+    current_ = nullptr;
+    if (caller_error) std::rethrow_exception(caller_error);
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("GEOFM_NUM_THREADS")) {
+      return std::max(0, std::atoi(env) - 1);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<int>(hw - 1) : 0;
+  }());
+  return pool;
+}
+
+void parallel_for(i64 n, const std::function<void(i64, i64)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace geofm

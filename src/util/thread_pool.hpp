@@ -1,0 +1,65 @@
+// A persistent worker pool with a blocking parallel_for, in the OpenMP
+// "parallel for" idiom: the caller thread participates, work is split into
+// contiguous index ranges, and the call returns only when every range is
+// done. Used by the tensor kernels; the communicator layer has its own
+// dedicated rank threads and does not go through this pool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace geofm {
+
+class ThreadPool {
+ public:
+  /// Creates `n_workers` persistent threads. n_workers == 0 means run
+  /// everything inline on the caller (useful for debugging).
+  explicit ThreadPool(int n_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int n_workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(begin, end) over disjoint subranges of [0, n) across the pool
+  /// plus the calling thread; blocks until all subranges complete.
+  /// Exceptions thrown by fn propagate to the caller (first one wins).
+  void parallel_for(i64 n, const std::function<void(i64, i64)>& fn);
+
+  /// Process-wide pool sized to the hardware; created on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(i64, i64)>* fn = nullptr;
+    i64 n = 0;
+    i64 chunk = 0;
+    std::atomic<i64> next_index{0};
+    std::atomic<int> remaining{0};
+  };
+
+  void worker_loop();
+  static void run_chunks(Task& task);
+
+  std::vector<std::thread> threads_;
+  std::mutex dispatch_mu_;  // serializes parallel regions; busy => inline
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task* current_ = nullptr;
+  u64 generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(i64 n, const std::function<void(i64, i64)>& fn);
+
+}  // namespace geofm

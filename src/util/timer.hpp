@@ -1,0 +1,27 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace geofm {
+
+/// Monotonic stopwatch; starts at construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace geofm

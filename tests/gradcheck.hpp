@@ -1,0 +1,93 @@
+// Finite-difference gradient checking harness shared by the nn tests.
+//
+// Strategy: fix a random weighting tensor w and define the scalar loss
+// L = sum(w ⊙ f(x)). The analytic backward pass is seeded with dy = w; the
+// numeric gradient of any scalar parameter or input element is estimated
+// by central differences. fp32 forward passes limit achievable agreement,
+// so tolerances are loose-ish but tight enough to catch any structural
+// mistake in a backward formula.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace geofm::testing {
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+};
+
+/// Compares the analytic gradient tensor `analytic` for the leaf `leaf`
+/// against central differences of `loss_fn` (which must re-run the full
+/// forward pass each call). Checks `n_probe` randomly chosen elements.
+inline GradCheckResult check_leaf_gradient(
+    Tensor& leaf, const Tensor& analytic,
+    const std::function<double()>& loss_fn, Rng& rng, int n_probe = 24,
+    double eps = 1e-3) {
+  GradCheckResult res;
+  const i64 n = leaf.numel();
+  const int probes = static_cast<int>(std::min<i64>(n_probe, n));
+  for (int p = 0; p < probes; ++p) {
+    const i64 i = (n <= n_probe) ? p : rng.uniform_int(n);
+    const float saved = leaf[i];
+    leaf[i] = saved + static_cast<float>(eps);
+    const double lp = loss_fn();
+    leaf[i] = saved - static_cast<float>(eps);
+    const double lm = loss_fn();
+    leaf[i] = saved;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    const double exact = analytic[i];
+    const double abs_err = std::abs(numeric - exact);
+    const double denom = std::max({std::abs(numeric), std::abs(exact), 1.0});
+    res.max_abs_err = std::max(res.max_abs_err, abs_err);
+    res.max_rel_err = std::max(res.max_rel_err, abs_err / denom);
+  }
+  return res;
+}
+
+/// Full module gradcheck: runs forward/backward once with dy = w, then
+/// probes the input and every parameter.
+///
+/// `forward` must be re-runnable (pure given current parameter values).
+inline void expect_gradients_match(
+    nn::Module& module, Tensor& x,
+    const std::function<Tensor()>& forward,
+    const std::function<Tensor(const Tensor&)>& backward, u64 seed = 1234,
+    double tol = 2e-2) {
+  Rng rng(seed);
+  Tensor y0 = forward();
+  Tensor w = Tensor::randn(y0.shape(), rng);
+  auto loss_fn = [&]() -> double {
+    Tensor y = forward();
+    double acc = 0.0;
+    for (i64 i = 0; i < y.numel(); ++i) {
+      acc += static_cast<double>(y[i]) * w[i];
+    }
+    return acc;
+  };
+
+  // One analytic pass (forward to refresh caches, then backward with w).
+  module.zero_grad();
+  (void)forward();
+  Tensor dx = backward(w);
+
+  Rng probe_rng(seed ^ 0x9999);
+  auto r = check_leaf_gradient(x, dx, loss_fn, probe_rng);
+  EXPECT_LT(r.max_rel_err, tol) << "input gradient mismatch (abs "
+                                << r.max_abs_err << ")";
+
+  for (nn::Parameter* param : module.parameters()) {
+    auto pr =
+        check_leaf_gradient(param->value, param->grad, loss_fn, probe_rng);
+    EXPECT_LT(pr.max_rel_err, tol)
+        << "parameter gradient mismatch for " << param->name << " (abs "
+        << pr.max_abs_err << ")";
+  }
+}
+
+}  // namespace geofm::testing

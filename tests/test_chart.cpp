@@ -1,0 +1,88 @@
+// Tests for the ASCII chart renderer used by the figure benches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/chart.hpp"
+
+namespace geofm {
+namespace {
+
+AsciiChart::Options small_opts() {
+  AsciiChart::Options o;
+  o.width = 24;
+  o.height = 8;
+  return o;
+}
+
+TEST(Chart, RendersAllSeriesGlyphsAndLegend) {
+  AsciiChart c(small_opts());
+  c.add_series("alpha", {1, 2, 3}, {1, 2, 3});
+  c.add_series("beta", {1, 2, 3}, {3, 2, 1});
+  const std::string out = c.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(Chart, MonotoneSeriesTopRightCorner) {
+  AsciiChart c(small_opts());
+  c.add_series("up", {0, 10}, {0, 100});
+  const std::string out = c.render();
+  // The maximum lands on the first plotted row (top), last column.
+  const size_t first_line = out.find('|');
+  ASSERT_NE(first_line, std::string::npos);
+  const size_t eol = out.find('\n', first_line);
+  const std::string top = out.substr(first_line + 1, eol - first_line - 1);
+  EXPECT_EQ(top.back(), '*');
+}
+
+TEST(Chart, LogAxesAcceptOnlyPositive) {
+  AsciiChart::Options o = small_opts();
+  o.log_x = true;
+  o.log_y = true;
+  AsciiChart c(o);
+  EXPECT_THROW(c.add_series("bad", {0, 1}, {1, 2}), Error);
+  EXPECT_THROW(c.add_series("bad", {1, 2}, {-1, 2}), Error);
+  c.add_series("ok", {1, 64}, {10, 640});
+  EXPECT_NE(c.render().find("ok"), std::string::npos);
+}
+
+TEST(Chart, LogLogLinearScalingIsDiagonal) {
+  AsciiChart::Options o;
+  o.width = 32;
+  o.height = 16;
+  o.log_x = o.log_y = true;
+  AsciiChart c(o);
+  std::vector<double> x, y;
+  for (int n = 1; n <= 64; n *= 2) {
+    x.push_back(n);
+    y.push_back(100.0 * n);  // ideal linear scaling
+  }
+  c.add_series("ideal", x, y);
+  const std::string out = c.render();
+  // 7 points, all distinct on a log-log diagonal (count the plot area
+  // only — the legend repeats the glyph once).
+  const std::string plot = out.substr(0, out.find("legend:"));
+  EXPECT_EQ(static_cast<int>(std::count(plot.begin(), plot.end(), '*')), 7);
+}
+
+TEST(Chart, RejectsDegenerateInput) {
+  AsciiChart c(small_opts());
+  EXPECT_THROW(c.render(), Error);  // no series
+  EXPECT_THROW(c.add_series("mismatch", {1, 2}, {1}), Error);
+  AsciiChart::Options tiny;
+  tiny.width = 4;
+  tiny.height = 1;
+  EXPECT_THROW(AsciiChart{tiny}, Error);
+}
+
+TEST(Chart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart c(small_opts());
+  c.add_series("flat", {1, 2, 3}, {5, 5, 5});
+  EXPECT_NO_THROW(c.render());
+}
+
+}  // namespace
+}  // namespace geofm

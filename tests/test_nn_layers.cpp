@@ -1,0 +1,197 @@
+// Layer-level tests: shapes, parameter registration, and gradcheck for
+// every nn module via central finite differences.
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "nn/attention.hpp"
+#include "nn/block.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/mlp.hpp"
+#include "nn/patch_embed.hpp"
+#include "nn/pos_embed.hpp"
+
+namespace geofm {
+namespace {
+
+using nn::Parameter;
+
+TEST(Linear, ForwardShapeAndBias) {
+  Rng rng(1);
+  nn::Linear lin("fc", 4, 6, rng);
+  Tensor x = Tensor::randn({2, 3, 4}, rng);
+  Tensor y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<i64>{2, 3, 6}));
+  // Zero weights + bias b must produce constant rows of b.
+  lin.weight.value.zero_();
+  lin.bias.value.fill_(2.5f);
+  Tensor y2 = lin.forward(x);
+  for (i64 i = 0; i < y2.numel(); ++i) EXPECT_FLOAT_EQ(y2[i], 2.5f);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(2);
+  nn::Linear lin("fc", 3, 3, rng, /*bias=*/false);
+  EXPECT_EQ(lin.parameters().size(), 1u);
+  Tensor x = Tensor::zeros({1, 3});
+  Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y.abs_max(), 0.f);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(3);
+  nn::Linear lin("fc", 5, 4, rng);
+  Tensor x = Tensor::randn({3, 5}, rng);
+  testing::expect_gradients_match(
+      lin, x, [&] { return lin.forward(x); },
+      [&](const Tensor& dy) { return lin.backward(dy); });
+}
+
+TEST(Linear, BackwardBeforeForwardRejected) {
+  Rng rng(4);
+  nn::Linear lin("fc", 2, 2, rng);
+  EXPECT_THROW(lin.backward(Tensor::zeros({1, 2})), Error);
+}
+
+TEST(LayerNorm, GradCheck) {
+  Rng rng(5);
+  nn::LayerNorm ln("ln", 8);
+  // Non-trivial affine so dgamma paths are exercised.
+  Tensor gscale = Tensor::randn({8}, rng, 0.3f, 1.f);
+  ln.gamma.value.copy_(gscale);
+  Tensor x = Tensor::randn({4, 8}, rng, 2.f, 0.5f);
+  testing::expect_gradients_match(
+      ln, x, [&] { return ln.forward(x); },
+      [&](const Tensor& dy) { return ln.backward(dy); });
+}
+
+TEST(Mlp, GradCheck) {
+  Rng rng(6);
+  nn::Mlp mlp("mlp", 6, 12, rng);
+  Tensor x = Tensor::randn({5, 6}, rng);
+  testing::expect_gradients_match(
+      mlp, x, [&] { return mlp.forward(x); },
+      [&](const Tensor& dy) { return mlp.backward(dy); });
+}
+
+TEST(Attention, ForwardShapeAndParamCount) {
+  Rng rng(7);
+  nn::MultiHeadSelfAttention attn("attn", 16, 4, rng);
+  Tensor x = Tensor::randn({2, 5, 16}, rng);
+  Tensor y = attn.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  // qkv: 16*48 + 48; proj: 16*16 + 16.
+  EXPECT_EQ(attn.num_params(), 16 * 48 + 48 + 16 * 16 + 16);
+}
+
+TEST(Attention, RejectsIndivisibleHeads) {
+  Rng rng(8);
+  EXPECT_THROW(nn::MultiHeadSelfAttention("a", 10, 3, rng), Error);
+}
+
+TEST(Attention, GradCheck) {
+  Rng rng(9);
+  nn::MultiHeadSelfAttention attn("attn", 8, 2, rng);
+  Tensor x = Tensor::randn({2, 4, 8}, rng);
+  testing::expect_gradients_match(
+      attn, x, [&] { return attn.forward(x); },
+      [&](const Tensor& dy) { return attn.backward(dy); });
+}
+
+TEST(TransformerBlock, GradCheck) {
+  Rng rng(10);
+  nn::TransformerBlock blk("blk", 8, 2, 16, rng);
+  Tensor x = Tensor::randn({2, 3, 8}, rng);
+  testing::expect_gradients_match(
+      blk, x, [&] { return blk.forward(x); },
+      [&](const Tensor& dy) { return blk.backward(dy); });
+}
+
+TEST(TransformerBlock, ResidualIdentityAtZeroWeights) {
+  Rng rng(11);
+  nn::TransformerBlock blk("blk", 8, 2, 16, rng);
+  // Zero the output projections => block becomes identity.
+  blk.attn.proj.weight.value.zero_();
+  blk.attn.proj.bias.value.zero_();
+  blk.mlp.fc2.weight.value.zero_();
+  blk.mlp.fc2.bias.value.zero_();
+  Tensor x = Tensor::randn({1, 4, 8}, rng);
+  Tensor y = blk.forward(x);
+  EXPECT_TRUE(y.allclose(x, 1e-5f, 1e-6f));
+}
+
+TEST(PatchEmbed, ShapeAndGradCheck) {
+  Rng rng(12);
+  nn::PatchEmbed pe("pe", 8, 4, 3, 10, rng);
+  EXPECT_EQ(pe.n_patches(), 4);
+  Tensor img = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor tok = pe.forward(img);
+  EXPECT_EQ(tok.shape(), (std::vector<i64>{2, 4, 10}));
+  testing::expect_gradients_match(
+      pe, img, [&] { return pe.forward(img); },
+      [&](const Tensor& dy) { return pe.backward(dy); });
+}
+
+TEST(PosEmbed, SinCosProperties) {
+  Tensor pe = nn::sincos_pos_embed_2d(16, 4, /*with_cls_token=*/true);
+  EXPECT_EQ(pe.shape(), (std::vector<i64>{17, 16}));
+  // cls row is zeros.
+  for (i64 c = 0; c < 16; ++c) EXPECT_FLOAT_EQ(pe.at({0, c}), 0.f);
+  // All entries bounded by 1.
+  EXPECT_LE(pe.abs_max(), 1.f + 1e-6f);
+  // Distinct positions get distinct embeddings.
+  Tensor r1({16}), r2({16});
+  r1.copy_(pe.flat_view(16, 16));
+  r2.copy_(pe.flat_view(32, 16));
+  EXPECT_FALSE(r1.allclose(r2, 1e-3f, 1e-3f));
+}
+
+TEST(PosEmbed, TranslationStructure1d) {
+  Tensor pos = Tensor::from({0.f, 1.f, 2.f});
+  Tensor pe = nn::sincos_pos_embed_1d(8, pos);
+  EXPECT_EQ(pe.shape(), (std::vector<i64>{3, 8}));
+  // First frequency: sin(p), cos(p).
+  EXPECT_NEAR(pe.at({1, 0}), std::sin(1.0), 1e-6);
+  EXPECT_NEAR(pe.at({1, 4}), std::cos(1.0), 1e-6);
+  EXPECT_THROW(nn::sincos_pos_embed_1d(7, pos), Error);
+}
+
+TEST(Module, ZeroGradAllocatesAndZeroes) {
+  Rng rng(13);
+  nn::Linear lin("fc", 3, 3, rng);
+  lin.zero_grad();
+  EXPECT_TRUE(lin.weight.grad.defined());
+  EXPECT_FLOAT_EQ(lin.weight.grad.abs_max(), 0.f);
+  Tensor x = Tensor::randn({2, 3}, rng);
+  lin.forward(x);
+  lin.backward(Tensor::ones({2, 3}));
+  EXPECT_GT(lin.weight.grad.abs_max(), 0.f);
+  lin.zero_grad();
+  EXPECT_FLOAT_EQ(lin.weight.grad.abs_max(), 0.f);
+}
+
+TEST(Module, TruncNormalBounded) {
+  Rng rng(14);
+  Tensor t({10000});
+  nn::trunc_normal_(t, rng, 0.02f);
+  EXPECT_LE(t.abs_max(), 0.04f + 1e-7f);
+  EXPECT_NEAR(t.mean(), 0.f, 1e-3f);
+}
+
+TEST(Module, BackwardAccumulatesAcrossCalls) {
+  Rng rng(15);
+  nn::Linear lin("fc", 2, 2, rng);
+  Tensor x = Tensor::randn({1, 2}, rng);
+  lin.zero_grad();
+  lin.forward(x);
+  lin.backward(Tensor::ones({1, 2}));
+  Tensor g1 = lin.weight.grad.clone();
+  lin.forward(x);
+  lin.backward(Tensor::ones({1, 2}));
+  Tensor g2 = lin.weight.grad.clone();
+  g1.scale_(2.f);
+  EXPECT_TRUE(g2.allclose(g1, 1e-5f, 1e-6f));
+}
+
+}  // namespace
+}  // namespace geofm

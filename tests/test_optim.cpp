@@ -1,0 +1,181 @@
+// Optimizer tests: hand-checked update rules, convergence on quadratics,
+// LARS trust-ratio behaviour, and the cosine-warmup schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+#include "optim/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace geofm {
+namespace {
+
+using nn::Parameter;
+
+Parameter make_param(std::vector<float> v) {
+  Parameter p;
+  p.name = "p";
+  p.value = Tensor::from(std::move(v));
+  p.ensure_grad();
+  return p;
+}
+
+// Minimizes f(w) = 0.5 * ||w - target||^2 with the given optimizer.
+template <typename Opt>
+float run_quadratic(Opt& opt, Parameter& p, const Tensor& target, int steps) {
+  for (int s = 0; s < steps; ++s) {
+    opt.zero_grad();
+    for (i64 i = 0; i < p.numel(); ++i) {
+      p.grad[i] = p.value[i] - target[i];
+    }
+    opt.step();
+  }
+  Tensor diff = p.value.clone();
+  diff.add_(target, -1.f);
+  return diff.norm();
+}
+
+TEST(Sgd, PlainUpdateRule) {
+  Parameter p = make_param({1.f, 2.f});
+  p.grad[0] = 0.5f;
+  p.grad[1] = -1.f;
+  optim::Sgd opt({&p}, 0.1);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.f + 0.1f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Parameter p = make_param({0.f});
+  optim::Sgd opt({&p}, 1.0, /*momentum=*/0.5);
+  p.grad[0] = 1.f;
+  opt.step();  // v = 1, w = -1
+  EXPECT_FLOAT_EQ(p.value[0], -1.f);
+  p.grad[0] = 1.f;
+  opt.step();  // v = 1.5, w = -2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Rng rng(1);
+  Parameter p = make_param({5.f, -3.f, 2.f});
+  Tensor target = Tensor::from({1.f, 1.f, 1.f});
+  optim::Sgd opt({&p}, 0.3);
+  EXPECT_LT(run_quadratic(opt, p, target, 50), 1e-3f);
+}
+
+TEST(Sgd, SkipsFrozenParams) {
+  Parameter p = make_param({1.f});
+  p.requires_grad = false;
+  p.grad[0] = 10.f;
+  optim::Sgd opt({&p}, 1.0);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.f);
+}
+
+TEST(AdamW, FirstStepMagnitudeIsLr) {
+  // With bias correction, the first Adam step is ~lr * sign(g).
+  Parameter p = make_param({0.f});
+  p.grad[0] = 3.f;
+  optim::AdamW opt({&p}, 0.01, 0.9, 0.999, 1e-8, /*weight_decay=*/0.0);
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.01, 1e-5);
+}
+
+TEST(AdamW, DecoupledWeightDecayActsWithoutGradient) {
+  Parameter p = make_param({2.f});
+  p.grad[0] = 0.f;
+  optim::AdamW opt({&p}, 0.1, 0.9, 0.999, 1e-8, /*weight_decay=*/0.5);
+  opt.step();
+  // Pure decay: w -= lr * wd * w = 2 - 0.1*0.5*2 = 1.9 (Adam term ~0).
+  EXPECT_NEAR(p.value[0], 1.9f, 1e-4);
+}
+
+TEST(AdamW, ConvergesOnQuadratic) {
+  Parameter p = make_param({4.f, -4.f});
+  Tensor target = Tensor::from({1.f, 2.f});
+  optim::AdamW opt({&p}, 0.1, 0.9, 0.999, 1e-8, 0.0);
+  EXPECT_LT(run_quadratic(opt, p, target, 300), 1e-2f);
+}
+
+TEST(AdamW, StateBytesForMemoryModel) {
+  Parameter p = make_param({0.f});
+  optim::AdamW adam({&p}, 0.1);
+  EXPECT_EQ(adam.state_bytes_per_element(), 8);  // two fp32 moments
+  optim::Sgd sgd_plain({&p}, 0.1);
+  EXPECT_EQ(sgd_plain.state_bytes_per_element(), 0);
+  optim::Sgd sgd_mom({&p}, 0.1, 0.9);
+  EXPECT_EQ(sgd_mom.state_bytes_per_element(), 4);
+}
+
+TEST(Lars, TrustRatioScalesUpdate) {
+  // Two parameters with identical gradients but different weight norms
+  // must receive different update magnitudes (layer-wise adaptation).
+  Parameter small = make_param({0.01f});
+  Parameter large = make_param({10.f});
+  small.grad[0] = 1.f;
+  large.grad[0] = 1.f;
+  optim::Lars opt({&small, &large}, 1.0, /*momentum=*/0.0,
+                  /*weight_decay=*/0.0, /*trust=*/0.001);
+  const float s0 = small.value[0], l0 = large.value[0];
+  opt.step();
+  const float ds = std::abs(small.value[0] - s0);
+  const float dl = std::abs(large.value[0] - l0);
+  EXPECT_GT(dl, ds * 100.f);
+}
+
+TEST(Lars, TrainsLinearClassifierOnBlobs) {
+  // Two well-separated Gaussian blobs; a LARS-trained linear layer must
+  // reach high accuracy (this is the linear-probing optimizer).
+  Rng rng(7);
+  const int n = 128, dim = 8;
+  Tensor x({n, dim});
+  std::vector<i64> labels(n);
+  for (int i = 0; i < n; ++i) {
+    const i64 y = i % 2;
+    labels[static_cast<size_t>(i)] = y;
+    for (int d = 0; d < dim; ++d) {
+      x.at({i, d}) = static_cast<float>(rng.normal((y == 0 ? -1.0 : 1.0), 0.5));
+    }
+  }
+  nn::Linear clf("clf", dim, 2, rng);
+  optim::Lars opt(clf.parameters(), 0.1, 0.9, 0.0, 0.01);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    opt.zero_grad();
+    Tensor logits = clf.forward(x);
+    auto ce = ops::softmax_cross_entropy(logits, labels);
+    clf.backward(ops::softmax_cross_entropy_backward(ce, labels));
+    opt.step();
+  }
+  Tensor logits = clf.forward(x);
+  EXPECT_GT(ops::topk_accuracy(logits, labels, 1), 0.95);
+}
+
+TEST(Schedule, WarmupRampsLinearly) {
+  const double base = 1.0;
+  EXPECT_NEAR(optim::cosine_warmup_lr(base, 0, 10, 100), 0.1, 1e-9);
+  EXPECT_NEAR(optim::cosine_warmup_lr(base, 4, 10, 100), 0.5, 1e-9);
+  EXPECT_NEAR(optim::cosine_warmup_lr(base, 9, 10, 100), 1.0, 1e-9);
+}
+
+TEST(Schedule, CosineDecaysToMinLr) {
+  const double base = 1.0, min_lr = 0.05;
+  EXPECT_NEAR(optim::cosine_warmup_lr(base, 10, 10, 110, min_lr), base, 1e-9);
+  EXPECT_NEAR(optim::cosine_warmup_lr(base, 110, 10, 110, min_lr), min_lr,
+              1e-9);
+  // Monotone decreasing after warmup.
+  double prev = base + 1;
+  for (i64 s = 10; s <= 110; s += 10) {
+    const double lr = optim::cosine_warmup_lr(base, s, 10, 110, min_lr);
+    EXPECT_LT(lr, prev + 1e-12);
+    prev = lr;
+  }
+}
+
+TEST(Schedule, NoWarmupStartsAtBase) {
+  EXPECT_NEAR(optim::cosine_warmup_lr(2.0, 0, 0, 100), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace geofm

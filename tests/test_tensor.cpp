@@ -1,0 +1,140 @@
+// Tests for tensor/: construction, views, in-place ops, reductions.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace geofm {
+namespace {
+
+TEST(Tensor, ZerosAndShape) {
+  Tensor t = Tensor::zeros({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  for (i64 i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({5}, 3.5f);
+  for (i64 i = 0; i < 5; ++i) EXPECT_EQ(t[i], 3.5f);
+  t.fill_(-1.f);
+  EXPECT_EQ(t.sum(), -5.f);
+}
+
+TEST(Tensor, AtIndexing) {
+  Tensor t = Tensor::arange(6).view({2, 3});
+  EXPECT_EQ(t.at({0, 0}), 0.f);
+  EXPECT_EQ(t.at({1, 2}), 5.f);
+  t.at({1, 0}) = 42.f;
+  EXPECT_EQ(t[3], 42.f);
+}
+
+TEST(Tensor, CopySharesStorageCloneDoesNot) {
+  Tensor a = Tensor::arange(4);
+  Tensor alias = a;            // shares
+  Tensor deep = a.clone();     // fresh
+  a[0] = 99.f;
+  EXPECT_EQ(alias[0], 99.f);
+  EXPECT_EQ(deep[0], 0.f);
+}
+
+TEST(Tensor, ViewSharesStorage) {
+  Tensor a = Tensor::arange(12);
+  Tensor v = a.view({3, 4});
+  v.at({2, 3}) = -7.f;
+  EXPECT_EQ(a[11], -7.f);
+  EXPECT_THROW(a.view({5, 5}), Error);
+}
+
+TEST(Tensor, FlatViewWindows) {
+  Tensor a = Tensor::arange(10);
+  Tensor w = a.flat_view(3, 4);
+  EXPECT_EQ(w.numel(), 4);
+  EXPECT_EQ(w[0], 3.f);
+  w.fill_(0.f);
+  EXPECT_EQ(a[3], 0.f);
+  EXPECT_EQ(a[6], 0.f);
+  EXPECT_EQ(a[7], 7.f);
+  EXPECT_THROW(a.flat_view(8, 5), Error);
+}
+
+TEST(Tensor, NestedFlatViewOffsets) {
+  Tensor a = Tensor::arange(20);
+  Tensor w1 = a.flat_view(5, 10);
+  Tensor w2 = w1.flat_view(2, 3);
+  EXPECT_EQ(w2[0], 7.f);
+  w2[0] = 100.f;
+  EXPECT_EQ(a[7], 100.f);
+}
+
+TEST(Tensor, InplaceArithmetic) {
+  Tensor a = Tensor::ones({4});
+  Tensor b = Tensor::arange(4);
+  a.add_(b, 2.f);
+  EXPECT_EQ(a[3], 7.f);
+  a.scale_(0.5f);
+  EXPECT_EQ(a[3], 3.5f);
+  a.mul_(b);
+  EXPECT_EQ(a[0], 0.f);
+  EXPECT_EQ(a[3], 10.5f);
+  a.add_scalar_(1.f);
+  EXPECT_EQ(a[0], 1.f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor a = Tensor::from({1.f, -2.f, 3.f, -4.f});
+  EXPECT_FLOAT_EQ(a.sum(), -2.f);
+  EXPECT_FLOAT_EQ(a.mean(), -0.5f);
+  EXPECT_FLOAT_EQ(a.abs_max(), 4.f);
+  EXPECT_FLOAT_EQ(a.norm(), std::sqrt(30.f));
+}
+
+TEST(Tensor, AllClose) {
+  Tensor a = Tensor::from({1.f, 2.f});
+  Tensor b = Tensor::from({1.f + 1e-7f, 2.f});
+  EXPECT_TRUE(a.allclose(b));
+  Tensor c = Tensor::from({1.1f, 2.f});
+  EXPECT_FALSE(a.allclose(c));
+  Tensor d = Tensor::from({1.f, 2.f, 3.f});
+  EXPECT_FALSE(a.allclose(d));
+}
+
+TEST(Tensor, RandnDeterministicPerSeed) {
+  Rng r1(9), r2(9);
+  Tensor a = Tensor::randn({100}, r1);
+  Tensor b = Tensor::randn({100}, r2);
+  EXPECT_TRUE(a.allclose(b, 0.f, 0.f));
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(123);
+  Tensor a = Tensor::randn({20000}, rng, 2.f, 1.f);
+  EXPECT_NEAR(a.mean(), 1.f, 0.1f);
+  double var = 0;
+  for (i64 i = 0; i < a.numel(); ++i) {
+    var += (a[i] - a.mean()) * (a[i] - a.mean());
+  }
+  var /= static_cast<double>(a.numel());
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Tensor, ErrorsOnShapeMisuse) {
+  Tensor a = Tensor::zeros({2, 2});
+  Tensor b = Tensor::zeros({3});
+  EXPECT_THROW(a.add_(b), Error);
+  EXPECT_THROW(a.copy_(b), Error);
+  EXPECT_THROW(a.at({0}), Error);
+  EXPECT_THROW(a.at({0, 5}), Error);
+  EXPECT_THROW(a.dim(5), Error);
+}
+
+TEST(Tensor, UndefinedTensorBehaviour) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_THROW(t.data(), Error);
+}
+
+}  // namespace
+}  // namespace geofm

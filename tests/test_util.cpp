@@ -1,0 +1,156 @@
+// Tests for util/: RNG determinism, thread pool, table formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace geofm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng root(7);
+  Rng a1 = root.split(0), a2 = root.split(0), b = root.split(1);
+  EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  Rng c1 = root.split(0);
+  EXPECT_NE(c1.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(5);
+  std::set<i64> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, HashNameDistinct) {
+  EXPECT_NE(hash_name("weights"), hash_name("bias"));
+  EXPECT_EQ(hash_name("x"), hash_name("x"));
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(10000, [&](i64 b, i64 e) {
+    for (i64 i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  i64 total = 0;
+  pool.parallel_for(100, [&](i64 b, i64 e) { total += e - b; });
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](i64, i64) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(10000,
+                        [&](i64 b, i64) {
+                          if (b == 0) throw Error("boom");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, ConcurrentCallersDegradeGracefully) {
+  // Two threads hammer the global pool simultaneously; each call must
+  // still cover its range exactly.
+  std::atomic<i64> total{0};
+  auto work = [&] {
+    for (int rep = 0; rep < 20; ++rep) {
+      parallel_for(5000, [&](i64 b, i64 e) { total += e - b; });
+    }
+  };
+  std::thread t1(work), t2(work);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(total.load(), 2 * 20 * 5000);
+}
+
+TEST(Check, ThrowsGeofmError) {
+  EXPECT_THROW(GEOFM_CHECK(false, "context " << 42), Error);
+  EXPECT_NO_THROW(GEOFM_CHECK(true));
+}
+
+TEST(Table, FormatsAndCounts) {
+  TextTable t({"model", "ips"});
+  t.add_row({"ViT-3B", fmt_f(123.456, 1)});
+  EXPECT_EQ(t.n_rows(), 1u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("ViT-3B"), std::string::npos);
+  EXPECT_NE(s.find("123.5"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, CsvEscaping) {
+  TextTable t({"name", "v"});
+  t.add_row({"a,b", "x\"y"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"x\"\"y\""), std::string::npos);
+}
+
+TEST(Fmt, Bytes) {
+  EXPECT_EQ(fmt_bytes(512.0), "512.0 B");
+  EXPECT_EQ(fmt_bytes(2048.0), "2.0 KB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024.0 * 1024.0 * 1024.0), "3.5 GB");
+}
+
+}  // namespace
+}  // namespace geofm
