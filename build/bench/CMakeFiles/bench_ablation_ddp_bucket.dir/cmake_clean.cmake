@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ddp_bucket.dir/bench_ablation_ddp_bucket.cpp.o"
+  "CMakeFiles/bench_ablation_ddp_bucket.dir/bench_ablation_ddp_bucket.cpp.o.d"
+  "bench_ablation_ddp_bucket"
+  "bench_ablation_ddp_bucket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ddp_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

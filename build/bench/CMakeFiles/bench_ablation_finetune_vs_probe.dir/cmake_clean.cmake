@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_finetune_vs_probe.dir/bench_ablation_finetune_vs_probe.cpp.o"
+  "CMakeFiles/bench_ablation_finetune_vs_probe.dir/bench_ablation_finetune_vs_probe.cpp.o.d"
+  "bench_ablation_finetune_vs_probe"
+  "bench_ablation_finetune_vs_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_finetune_vs_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

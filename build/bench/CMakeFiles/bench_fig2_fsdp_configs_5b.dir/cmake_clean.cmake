@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_fsdp_configs_5b.dir/bench_fig2_fsdp_configs_5b.cpp.o"
+  "CMakeFiles/bench_fig2_fsdp_configs_5b.dir/bench_fig2_fsdp_configs_5b.cpp.o.d"
+  "bench_fig2_fsdp_configs_5b"
+  "bench_fig2_fsdp_configs_5b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fsdp_configs_5b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

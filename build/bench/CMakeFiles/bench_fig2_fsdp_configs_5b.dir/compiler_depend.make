@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2_fsdp_configs_5b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_linear_probe.dir/bench_table3_linear_probe.cpp.o"
+  "CMakeFiles/bench_table3_linear_probe.dir/bench_table3_linear_probe.cpp.o.d"
+  "bench_table3_linear_probe"
+  "bench_table3_linear_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_linear_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

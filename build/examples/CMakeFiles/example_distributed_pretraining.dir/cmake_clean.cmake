@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_pretraining.dir/distributed_pretraining.cpp.o"
+  "CMakeFiles/example_distributed_pretraining.dir/distributed_pretraining.cpp.o.d"
+  "example_distributed_pretraining"
+  "example_distributed_pretraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_pretraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mae_reconstruction.dir/mae_reconstruction.cpp.o"
+  "CMakeFiles/example_mae_reconstruction.dir/mae_reconstruction.cpp.o.d"
+  "example_mae_reconstruction"
+  "example_mae_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mae_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/communicator.cpp" "src/CMakeFiles/geofm.dir/comm/communicator.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/comm/communicator.cpp.o.d"
+  "/root/repo/src/data/dataloader.cpp" "src/CMakeFiles/geofm.dir/data/dataloader.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/data/dataloader.cpp.o.d"
+  "/root/repo/src/data/datasets.cpp" "src/CMakeFiles/geofm.dir/data/datasets.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/data/datasets.cpp.o.d"
+  "/root/repo/src/data/scene_generator.cpp" "src/CMakeFiles/geofm.dir/data/scene_generator.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/data/scene_generator.cpp.o.d"
+  "/root/repo/src/data/transforms.cpp" "src/CMakeFiles/geofm.dir/data/transforms.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/data/transforms.cpp.o.d"
+  "/root/repo/src/models/config.cpp" "src/CMakeFiles/geofm.dir/models/config.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/models/config.cpp.o.d"
+  "/root/repo/src/models/mae.cpp" "src/CMakeFiles/geofm.dir/models/mae.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/models/mae.cpp.o.d"
+  "/root/repo/src/models/vit.cpp" "src/CMakeFiles/geofm.dir/models/vit.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/models/vit.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/geofm.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/block.cpp" "src/CMakeFiles/geofm.dir/nn/block.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/nn/block.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/CMakeFiles/geofm.dir/nn/layernorm.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/nn/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/geofm.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/geofm.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/geofm.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/patch_embed.cpp" "src/CMakeFiles/geofm.dir/nn/patch_embed.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/nn/patch_embed.cpp.o.d"
+  "/root/repo/src/nn/pos_embed.cpp" "src/CMakeFiles/geofm.dir/nn/pos_embed.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/nn/pos_embed.cpp.o.d"
+  "/root/repo/src/optim/optimizer.cpp" "src/CMakeFiles/geofm.dir/optim/optimizer.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/optim/optimizer.cpp.o.d"
+  "/root/repo/src/parallel/ddp.cpp" "src/CMakeFiles/geofm.dir/parallel/ddp.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/parallel/ddp.cpp.o.d"
+  "/root/repo/src/parallel/fsdp.cpp" "src/CMakeFiles/geofm.dir/parallel/fsdp.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/parallel/fsdp.cpp.o.d"
+  "/root/repo/src/sim/collective.cpp" "src/CMakeFiles/geofm.dir/sim/collective.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/sim/collective.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/geofm.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/geofm.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/geofm.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/sim/workload.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/geofm.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/geofm.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/train/checkpoint.cpp" "src/CMakeFiles/geofm.dir/train/checkpoint.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/train/checkpoint.cpp.o.d"
+  "/root/repo/src/train/finetune.cpp" "src/CMakeFiles/geofm.dir/train/finetune.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/train/finetune.cpp.o.d"
+  "/root/repo/src/train/linear_probe.cpp" "src/CMakeFiles/geofm.dir/train/linear_probe.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/train/linear_probe.cpp.o.d"
+  "/root/repo/src/train/pretrain.cpp" "src/CMakeFiles/geofm.dir/train/pretrain.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/train/pretrain.cpp.o.d"
+  "/root/repo/src/util/chart.cpp" "src/CMakeFiles/geofm.dir/util/chart.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/util/chart.cpp.o.d"
+  "/root/repo/src/util/common.cpp" "src/CMakeFiles/geofm.dir/util/common.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/util/common.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/geofm.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/geofm.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/geofm.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/geofm.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

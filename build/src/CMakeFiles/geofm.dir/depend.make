@@ -1,0 +1,2 @@
+# Empty dependencies file for geofm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_chart.cpp" "tests/CMakeFiles/geofm_tests.dir/test_chart.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_chart.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/geofm_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/geofm_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_finetune.cpp" "tests/CMakeFiles/geofm_tests.dir/test_finetune.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_finetune.cpp.o.d"
+  "/root/repo/tests/test_fsdp.cpp" "tests/CMakeFiles/geofm_tests.dir/test_fsdp.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_fsdp.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/geofm_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/geofm_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/geofm_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_ops.cpp" "tests/CMakeFiles/geofm_tests.dir/test_ops.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_ops.cpp.o.d"
+  "/root/repo/tests/test_optim.cpp" "tests/CMakeFiles/geofm_tests.dir/test_optim.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_optim.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/geofm_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/geofm_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/geofm_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_train.cpp" "tests/CMakeFiles/geofm_tests.dir/test_train.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_train.cpp.o.d"
+  "/root/repo/tests/test_transforms.cpp" "tests/CMakeFiles/geofm_tests.dir/test_transforms.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_transforms.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/geofm_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/geofm_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geofm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
