@@ -1,14 +1,79 @@
 // Ablation: how much of FSDP's throughput comes from compute/communication
 // overlap — prefetch modes, the all-gather rate limiter, and a
 // no-overlap counterfactual (DESIGN.md design-decision #1/#2).
+//
+// Two views of the same question:
+//   1. modeled  — the Frontier simulator at paper scale (ViT-5B, 8 nodes);
+//   2. measured — the functional async runtime on 4 thread ranks, reporting
+//      the exposed-wait vs hidden-communication split the nonblocking
+//      engine actually achieved, plus the in-flight gather peak that
+//      limit_all_gathers caps.
+#include <mutex>
+
 #include "bench_common.hpp"
+#include "comm/communicator.hpp"
 #include "models/config.hpp"
+#include "models/mae.hpp"
+#include "parallel/fsdp.hpp"
 #include "sim/simulator.hpp"
 
 using namespace geofm;
 using namespace geofm::sim;
 using parallel::BackwardPrefetch;
 using parallel::ShardingStrategy;
+
+namespace {
+
+struct Measured {
+  double exposed_ms = 0;
+  double overlapped_ms = 0;
+  int completed_before_wait = 0;
+  int waits = 0;
+  int peak_inflight = 0;
+};
+
+// Trains a proxy MAE for a few steps on 4 thread ranks under the given
+// overlap knobs and returns rank 0's accumulated wait accounting.
+Measured measure_functional(BackwardPrefetch pf, bool limit) {
+  constexpr int kRanks = 4;
+  const int steps = bench::quick_mode() ? 2 : 4;
+  Measured out;
+  std::mutex mu;
+  comm::run_ranks(kRanks, [&](comm::Communicator& c) {
+    Rng rng(1);
+    models::MAE mae(models::mae_for(models::proxy_base()), rng);
+    parallel::FsdpOptions opts;
+    opts.strategy = ShardingStrategy::kFullShard;
+    opts.prefetch = pf;
+    opts.limit_all_gathers = limit;
+    parallel::Fsdp fsdp(mae, c, opts);
+
+    Rng data_rng(100 + static_cast<u64>(c.rank()));
+    Tensor batch = Tensor::randn({2, 3, 32, 32}, data_rng, 0.5f);
+    for (int s = 0; s < steps; ++s) {
+      Rng mask_rng(static_cast<u64>(50 + s));
+      fsdp.begin_step();
+      mae.forward(batch, mask_rng, 0);
+      mae.backward();
+      fsdp.end_backward();
+      if (s == 0) continue;  // warm-up step: first-touch noise
+      if (c.rank() == 0) {
+        std::lock_guard<std::mutex> lk(mu);
+        const auto& st = fsdp.last_step_stats();
+        out.exposed_ms += 1e3 * st.exposed_wait_seconds;
+        out.overlapped_ms += 1e3 * st.overlapped_seconds();
+        out.completed_before_wait += st.completed_before_wait;
+        out.waits += st.waits;
+        out.peak_inflight =
+            std::max(out.peak_inflight, fsdp.peak_inflight_gathers());
+      }
+    }
+    c.barrier();
+  });
+  return out;
+}
+
+}  // namespace
 
 int main() {
   bench::banner("Ablation — overlap machinery (prefetch, rate limiter)",
@@ -50,5 +115,32 @@ int main() {
       "behind backward compute; the zero-contention row bounds what ideal\n"
       "overlap could buy on hardware where comm kernels were free.\n");
   bench::save_csv(t, "ablation_overlap");
+
+  std::printf("\nmeasured — functional async runtime, FULL_SHARD on 4 thread "
+              "ranks (proxy ViT-Base MAE):\n");
+  TextTable m({"Config", "exposed [ms]", "hidden [ms]", "done@wait",
+               "peak in-flight"});
+  auto measured_row = [&](const char* label, BackwardPrefetch pf, bool limit) {
+    const Measured r = measure_functional(pf, limit);
+    m.add_row({label, fmt_f(r.exposed_ms, 2), fmt_f(r.overlapped_ms, 2),
+               fmt_f(100.0 * r.completed_before_wait /
+                         std::max(1, r.waits), 0) + "%",
+               std::to_string(r.peak_inflight)});
+  };
+  measured_row("BACKWARD_PRE + limiter", BackwardPrefetch::kBackwardPre, true);
+  measured_row("BACKWARD_POST + limiter", BackwardPrefetch::kBackwardPost,
+               true);
+  measured_row("no prefetch + limiter", BackwardPrefetch::kNone, true);
+  measured_row("BACKWARD_PRE, limiter off", BackwardPrefetch::kBackwardPre,
+               false);
+  m.print();
+  std::printf(
+      "takeaway: on thread ranks the collective executes on the last rank\n"
+      "to join, so \"done@wait\" (collectives already complete when waited)\n"
+      "and hidden-vs-exposed milliseconds are direct measurements of the\n"
+      "overlap the nonblocking engine achieved; the limiter bounds the\n"
+      "in-flight gather peak at %d.\n",
+      parallel::kAllGatherInflightCap);
+  bench::save_csv(m, "ablation_overlap_measured");
   return 0;
 }

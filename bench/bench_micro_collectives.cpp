@@ -2,6 +2,8 @@
 // all-gather / reduce-scatter across rank counts and payload sizes.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "comm/communicator.hpp"
 
 using namespace geofm;
@@ -55,6 +57,59 @@ void BM_ReduceScatter(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * ranks * chunk);
 }
 BENCHMARK(BM_ReduceScatter)->Args({4, 1 << 12});
+
+// Nonblocking engine: `inflight` all-reduces posted back-to-back before any
+// wait. Compares per-op cost against the blocking form (BM_AllReduce) and
+// shows how issue/wait pipelining amortizes rendezvous overhead.
+void BM_NonblockingAllReduceInFlight(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const i64 elems = state.range(1);
+  const int inflight = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    comm::run_ranks(ranks, [&](comm::Communicator& c) {
+      std::vector<Tensor> bufs;
+      std::vector<comm::CollectiveHandle> handles;
+      bufs.reserve(static_cast<size_t>(inflight));
+      handles.reserve(static_cast<size_t>(inflight));
+      for (int k = 0; k < inflight; ++k) {
+        bufs.push_back(Tensor::full({elems}, static_cast<float>(c.rank())));
+        handles.push_back(c.iall_reduce(bufs.back(), comm::ReduceOp::kSum));
+      }
+      for (auto& h : handles) h.wait();
+      benchmark::DoNotOptimize(bufs.front().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * elems * inflight);
+}
+BENCHMARK(BM_NonblockingAllReduceInFlight)
+    ->Args({4, 1 << 12, 1})
+    ->Args({4, 1 << 12, 4})
+    ->Args({4, 1 << 12, 16})
+    ->Args({8, 1 << 12, 8});
+
+// Post + compute + wait: how much of the collective's latency a rank can
+// hide behind independent local work (the DDP/FSDP overlap pattern).
+void BM_NonblockingAllReduceOverlapsCompute(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const i64 elems = state.range(1);
+  for (auto _ : state) {
+    comm::run_ranks(ranks, [&](comm::Communicator& c) {
+      Tensor t = Tensor::full({elems}, static_cast<float>(c.rank()));
+      Tensor local = Tensor::ones({elems});
+      auto h = c.iall_reduce(t, comm::ReduceOp::kSum);
+      // Independent compute while the collective is in flight.
+      float acc = 0.f;
+      for (i64 i = 0; i < local.numel(); ++i) acc += local[i] * local[i];
+      benchmark::DoNotOptimize(acc);
+      h.wait();
+      benchmark::DoNotOptimize(t.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * elems);
+}
+BENCHMARK(BM_NonblockingAllReduceOverlapsCompute)
+    ->Args({4, 1 << 12})
+    ->Args({4, 1 << 16});
 
 }  // namespace
 

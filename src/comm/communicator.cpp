@@ -21,16 +21,148 @@ void LeaderBarrier::arrive(const std::function<void()>& leader) {
   }
 }
 
+PendingOp::PendingOp(Kind k, ReduceOp r, int n_ranks)
+    : kind(k),
+      red(r),
+      n(n_ranks),
+      src(static_cast<size_t>(n_ranks), nullptr),
+      dst(static_cast<size_t>(n_ranks), nullptr),
+      counts(static_cast<size_t>(n_ranks), 0) {}
+
 CommGroup::CommGroup(int n)
     : size(n),
       barrier(n),
-      src(static_cast<size_t>(n), nullptr),
-      dst(static_cast<size_t>(n), nullptr),
-      counts(static_cast<size_t>(n), 0),
+      next_ticket(static_cast<size_t>(n), 0),
       colors(static_cast<size_t>(n), 0),
       keys(static_cast<size_t>(n), 0) {}
 
+namespace {
+
+// Executes a fully-joined op on the calling (last-arriving) thread. All
+// reductions run in rank order into op-owned scratch, so results are
+// bitwise deterministic and identical on every rank. Throws on cross-rank
+// shape mismatches; the caller converts that into an op error.
+void execute_op(PendingOp& op) {
+  const i64 n0 = op.counts[0];
+  switch (op.kind) {
+    case PendingOp::Kind::kAllReduce: {
+      for (int r = 0; r < op.n; ++r) {
+        GEOFM_CHECK(op.counts[static_cast<size_t>(r)] == n0,
+                    "all_reduce size mismatch across ranks");
+      }
+      // src may alias dst (in-place), so reduce into scratch first.
+      std::vector<float> scratch(static_cast<size_t>(n0));
+      if (op.red == ReduceOp::kMax) {
+        std::copy_n(op.src[0], n0, scratch.data());
+        for (int r = 1; r < op.n; ++r) {
+          const float* s = op.src[static_cast<size_t>(r)];
+          for (i64 i = 0; i < n0; ++i) {
+            scratch[static_cast<size_t>(i)] =
+                std::max(scratch[static_cast<size_t>(i)], s[i]);
+          }
+        }
+      } else {
+        std::fill(scratch.begin(), scratch.end(), 0.f);
+        for (int r = 0; r < op.n; ++r) {
+          const float* s = op.src[static_cast<size_t>(r)];
+          for (i64 i = 0; i < n0; ++i) scratch[static_cast<size_t>(i)] += s[i];
+        }
+        if (op.red == ReduceOp::kAvg) {
+          const float inv = 1.f / static_cast<float>(op.n);
+          for (float& v : scratch) v *= inv;
+        }
+      }
+      for (int r = 0; r < op.n; ++r) {
+        std::copy_n(scratch.data(), n0, op.dst[static_cast<size_t>(r)]);
+      }
+      break;
+    }
+    case PendingOp::Kind::kAllGather: {
+      for (int r = 0; r < op.n; ++r) {
+        GEOFM_CHECK(op.counts[static_cast<size_t>(r)] == n0,
+                    "all_gather shard size mismatch across ranks");
+      }
+      for (int d = 0; d < op.n; ++d) {
+        float* out = op.dst[static_cast<size_t>(d)];
+        for (int r = 0; r < op.n; ++r) {
+          std::copy_n(op.src[static_cast<size_t>(r)], n0,
+                      out + static_cast<i64>(r) * n0);
+        }
+      }
+      break;
+    }
+    case PendingOp::Kind::kReduceScatter: {
+      GEOFM_CHECK(op.red != ReduceOp::kMax,
+                  "reduce_scatter kMax not supported");
+      for (int r = 0; r < op.n; ++r) {
+        GEOFM_CHECK(op.counts[static_cast<size_t>(r)] == n0,
+                    "reduce_scatter input size mismatch across ranks");
+      }
+      GEOFM_CHECK(n0 % op.n == 0, "reduce_scatter size not divisible");
+      const i64 chunk = n0 / op.n;
+      std::vector<float> scratch(static_cast<size_t>(chunk));
+      for (int d = 0; d < op.n; ++d) {
+        const i64 offset = static_cast<i64>(d) * chunk;
+        std::fill(scratch.begin(), scratch.end(), 0.f);
+        for (int r = 0; r < op.n; ++r) {
+          const float* s = op.src[static_cast<size_t>(r)] + offset;
+          for (i64 i = 0; i < chunk; ++i) scratch[static_cast<size_t>(i)] += s[i];
+        }
+        if (op.red == ReduceOp::kAvg) {
+          const float inv = 1.f / static_cast<float>(op.n);
+          for (float& v : scratch) v *= inv;
+        }
+        std::copy_n(scratch.data(), chunk, op.dst[static_cast<size_t>(d)]);
+      }
+      break;
+    }
+    case PendingOp::Kind::kBroadcast: {
+      for (int r = 0; r < op.n; ++r) {
+        GEOFM_CHECK(op.counts[static_cast<size_t>(r)] == n0,
+                    "broadcast size mismatch across ranks");
+      }
+      const float* root_src = op.src[static_cast<size_t>(op.root)];
+      for (int d = 0; d < op.n; ++d) {
+        if (d == op.root) continue;
+        std::copy_n(root_src, n0, op.dst[static_cast<size_t>(d)]);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
 }  // namespace detail
+
+bool CollectiveHandle::test() const {
+  if (!op_) return true;
+  std::lock_guard<std::mutex> lk(op_->mu);
+  return op_->complete;
+}
+
+void CollectiveHandle::wait(CommStats* stats) {
+  if (!op_) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  bool was_complete;
+  {
+    std::unique_lock<std::mutex> lk(op_->mu);
+    was_complete = op_->complete;
+    op_->cv.wait(lk, [&] { return op_->complete; });
+  }
+  if (stats != nullptr) {
+    const auto t1 = std::chrono::steady_clock::now();
+    ++stats->waits;
+    if (was_complete) ++stats->completed_before_wait;
+    stats->exposed_wait_seconds +=
+        std::chrono::duration<double>(t1 - t0).count();
+    const double busy =
+        std::chrono::duration<double>(op_->complete_tp - issued_).count();
+    stats->busy_seconds += busy > 0 ? busy : 0;
+  }
+  std::exception_ptr err = op_->error;
+  op_.reset();
+  if (err) std::rethrow_exception(err);
+}
 
 Communicator::Communicator(std::shared_ptr<detail::CommGroup> group, int rank)
     : group_(std::move(group)), rank_(rank) {
@@ -40,117 +172,119 @@ Communicator::Communicator(std::shared_ptr<detail::CommGroup> group, int rank)
 
 void Communicator::barrier() { group_->barrier.arrive(); }
 
-void Communicator::all_reduce(Tensor& t, ReduceOp op) {
+CollectiveHandle Communicator::post(detail::PendingOp::Kind kind, ReduceOp red,
+                                    int root, const float* src, float* dst,
+                                    i64 count) {
+  using detail::PendingOp;
   auto& g = *group_;
-  const i64 n = t.numel();
-  g.src[static_cast<size_t>(rank_)] = t.data();
-  g.counts[static_cast<size_t>(rank_)] = n;
+  const auto issued = std::chrono::steady_clock::now();
 
-  // Phase A: everyone published; the leader validates and reduces into
-  // scratch in rank order (deterministic float summation).
-  g.barrier.arrive([&] {
-    for (int r = 0; r < g.size; ++r) {
-      GEOFM_CHECK(g.counts[static_cast<size_t>(r)] == n,
-                  "all_reduce size mismatch across ranks");
-    }
-    g.scratch.assign(static_cast<size_t>(n), 0.f);
-    if (op == ReduceOp::kMax) {
-      std::copy_n(g.src[0], n, g.scratch.data());
-      for (int r = 1; r < g.size; ++r) {
-        const float* s = g.src[static_cast<size_t>(r)];
-        for (i64 i = 0; i < n; ++i) {
-          g.scratch[static_cast<size_t>(i)] =
-              std::max(g.scratch[static_cast<size_t>(i)], s[i]);
-        }
-      }
+  std::shared_ptr<PendingOp> op;
+  u64 ticket;
+  {
+    std::lock_guard<std::mutex> lk(g.async_mu);
+    ticket = g.next_ticket[static_cast<size_t>(rank_)]++;
+    auto it = g.inflight.find(ticket);
+    if (it == g.inflight.end()) {
+      op = std::make_shared<PendingOp>(kind, red, g.size);
+      g.inflight.emplace(ticket, op);
     } else {
-      for (int r = 0; r < g.size; ++r) {
-        const float* s = g.src[static_cast<size_t>(r)];
-        for (i64 i = 0; i < n; ++i) g.scratch[static_cast<size_t>(i)] += s[i];
-      }
-      if (op == ReduceOp::kAvg) {
-        const float inv = 1.f / static_cast<float>(g.size);
-        for (float& v : g.scratch) v *= inv;
+      op = it->second;
+    }
+  }
+
+  bool execute = false;
+  {
+    std::lock_guard<std::mutex> lk(op->mu);
+    // Join: publish buffers, detect cross-rank call mismatches (same group,
+    // same ticket, different collective) without deadlocking anyone.
+    if (op->kind != kind || (kind != PendingOp::Kind::kBroadcast &&
+                             op->red != red)) {
+      if (!op->error) {
+        op->error = std::make_exception_ptr(
+            Error("mismatched collective calls on communicator: ranks "
+                  "disagree on the operation for the same ticket"));
       }
     }
-  });
+    if (kind == PendingOp::Kind::kBroadcast) {
+      if (op->root == -1) {
+        op->root = root;
+      } else if (op->root != root && !op->error) {
+        op->error = std::make_exception_ptr(
+            Error("broadcast root mismatch across ranks"));
+      }
+    }
+    op->src[static_cast<size_t>(rank_)] = src;
+    op->dst[static_cast<size_t>(rank_)] = dst;
+    op->counts[static_cast<size_t>(rank_)] = count;
+    execute = (++op->arrived == op->n);
+  }
 
-  // Phase B: everyone copies the result, then leaves together so scratch
-  // can be reused by the next collective.
-  std::copy_n(g.scratch.data(), n, t.data());
-  g.barrier.arrive();
+  if (execute) {
+    {
+      // Fully joined: retire the ticket so the registry stays bounded.
+      std::lock_guard<std::mutex> lk(g.async_mu);
+      g.inflight.erase(ticket);
+    }
+    if (!op->error) {
+      try {
+        detail::execute_op(*op);
+      } catch (...) {
+        op->error = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(op->mu);
+      op->complete = true;
+      op->complete_tp = std::chrono::steady_clock::now();
+    }
+    op->cv.notify_all();
+  }
+  return CollectiveHandle(std::move(op), issued);
+}
+
+CollectiveHandle Communicator::iall_reduce(Tensor& t, ReduceOp op) {
+  return post(detail::PendingOp::Kind::kAllReduce, op, -1, t.data(), t.data(),
+              t.numel());
+}
+
+CollectiveHandle Communicator::iall_gather(const Tensor& shard, Tensor& out) {
+  GEOFM_CHECK(out.numel() == shard.numel() * group_->size,
+              "all_gather output size mismatch");
+  return post(detail::PendingOp::Kind::kAllGather, ReduceOp::kSum, -1,
+              shard.data(), out.data(), shard.numel());
+}
+
+CollectiveHandle Communicator::ireduce_scatter(const Tensor& in, Tensor& shard,
+                                               ReduceOp op) {
+  GEOFM_CHECK(in.numel() == shard.numel() * group_->size,
+              "reduce_scatter size mismatch");
+  return post(detail::PendingOp::Kind::kReduceScatter, op, -1, in.data(),
+              shard.data(), in.numel());
+}
+
+CollectiveHandle Communicator::ibroadcast(Tensor& t, int root) {
+  GEOFM_CHECK(root >= 0 && root < group_->size,
+              "broadcast root out of range");
+  return post(detail::PendingOp::Kind::kBroadcast, ReduceOp::kSum, root,
+              t.data(), t.data(), t.numel());
+}
+
+void Communicator::all_reduce(Tensor& t, ReduceOp op) {
+  iall_reduce(t, op).wait();
 }
 
 void Communicator::all_gather(const Tensor& shard, Tensor& out) {
-  auto& g = *group_;
-  const i64 n = shard.numel();
-  GEOFM_CHECK(out.numel() == n * g.size, "all_gather output size mismatch");
-  g.src[static_cast<size_t>(rank_)] = shard.data();
-  g.counts[static_cast<size_t>(rank_)] = n;
-
-  g.barrier.arrive([&] {
-    for (int r = 0; r < g.size; ++r) {
-      GEOFM_CHECK(g.counts[static_cast<size_t>(r)] == n,
-                  "all_gather shard size mismatch across ranks");
-    }
-  });
-
-  float* o = out.data();
-  for (int r = 0; r < g.size; ++r) {
-    std::copy_n(g.src[static_cast<size_t>(r)], n, o + static_cast<i64>(r) * n);
-  }
-  g.barrier.arrive();
+  iall_gather(shard, out).wait();
 }
 
 void Communicator::reduce_scatter(const Tensor& in, Tensor& shard,
                                   ReduceOp op) {
-  auto& g = *group_;
-  const i64 chunk = shard.numel();
-  GEOFM_CHECK(in.numel() == chunk * g.size, "reduce_scatter size mismatch");
-  g.src[static_cast<size_t>(rank_)] = in.data();
-  g.counts[static_cast<size_t>(rank_)] = in.numel();
-
-  g.barrier.arrive([&] {
-    for (int r = 0; r < g.size; ++r) {
-      GEOFM_CHECK(g.counts[static_cast<size_t>(r)] == chunk * g.size,
-                  "reduce_scatter input size mismatch across ranks");
-    }
-  });
-
-  // Each rank reduces its own chunk across all peers, in rank order.
-  const i64 offset = static_cast<i64>(rank_) * chunk;
-  float* o = shard.data();
-  std::fill_n(o, chunk, 0.f);
-  for (int r = 0; r < g.size; ++r) {
-    const float* s = g.src[static_cast<size_t>(r)] + offset;
-    for (i64 i = 0; i < chunk; ++i) o[i] += s[i];
-  }
-  if (op == ReduceOp::kAvg) {
-    const float inv = 1.f / static_cast<float>(g.size);
-    for (i64 i = 0; i < chunk; ++i) o[i] *= inv;
-  }
-  GEOFM_CHECK(op != ReduceOp::kMax, "reduce_scatter kMax not supported");
-  g.barrier.arrive();
+  ireduce_scatter(in, shard, op).wait();
 }
 
 void Communicator::broadcast(Tensor& t, int root) {
-  auto& g = *group_;
-  GEOFM_CHECK(root >= 0 && root < g.size, "broadcast root out of range");
-  const i64 n = t.numel();
-  g.src[static_cast<size_t>(rank_)] = t.data();
-  g.counts[static_cast<size_t>(rank_)] = n;
-
-  g.barrier.arrive([&] {
-    for (int r = 0; r < g.size; ++r) {
-      GEOFM_CHECK(g.counts[static_cast<size_t>(r)] == n,
-                  "broadcast size mismatch across ranks");
-    }
-  });
-
-  if (rank_ != root) {
-    std::copy_n(g.src[static_cast<size_t>(root)], n, t.data());
-  }
-  g.barrier.arrive();
+  ibroadcast(t, root).wait();
 }
 
 Communicator Communicator::split(int color, int key) {
@@ -223,4 +357,4 @@ void run_ranks(int n_ranks, const std::function<void(Communicator&)>& fn) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
-}  // namespace comm::geofm
+}  // namespace geofm::comm

@@ -1,18 +1,30 @@
 // In-process collective communication over thread ranks.
 //
 // This is geofm's stand-in for RCCL/NCCL: each "GPU rank" is a thread, and
-// collectives are implemented with a leader barrier plus direct reads of
-// peer buffers. Semantics match MPI/NCCL:
+// collectives are implemented over shared per-group progress state.
+// Semantics match MPI/NCCL:
 //   * every rank of a communicator must call the same collectives in the
-//     same order (mismatched calls deadlock, as on the real machine);
+//     same order (mismatched calls raise an error on every participant);
 //   * reductions are performed in rank order, so results are deterministic
 //     and identical on every rank.
 //
+// The engine is *nonblocking*: `iall_reduce` / `iall_gather` /
+// `ireduce_scatter` / `ibroadcast` post the rank's buffers into a pending
+// operation and return a `CollectiveHandle` immediately, so the rank thread
+// keeps computing while the collective is in flight. Operations are matched
+// across ranks by issue order on the communicator (rank r's k-th post pairs
+// with every peer's k-th post); the last rank to join an operation executes
+// the data movement and wakes all waiters. Any number of operations may be
+// in flight per rank, and `wait()`s may complete out of issue order.
+// Blocking collectives (`all_reduce`, ...) are post+wait wrappers.
+//
 // Sub-communicators (`split`, in the MPI_Comm_split idiom) provide the
 // hierarchical process groups HYBRID_SHARD requires (intra-node sharding
-// group x inter-node replication group).
+// group x inter-node replication group); each group has its own matching
+// sequence, so parent and child collectives interleave freely.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -26,6 +38,24 @@
 namespace geofm::comm {
 
 enum class ReduceOp { kSum, kAvg, kMax };
+
+/// Per-rank accounting of nonblocking-collective cost, accumulated by
+/// `CollectiveHandle::wait(&stats)`. `busy_seconds` is the wall time each
+/// operation was in flight (issue -> completion); `exposed_wait_seconds` is
+/// the part the rank actually spent blocked in wait(). The difference is
+/// communication that was hidden behind compute.
+struct CommStats {
+  int waits = 0;
+  int completed_before_wait = 0;  // handle was done before wait() was called
+  double busy_seconds = 0;        // sum of per-op (completion - issue)
+  double exposed_wait_seconds = 0;  // time blocked inside wait()
+
+  double overlapped_seconds() const {
+    const double d = busy_seconds - exposed_wait_seconds;
+    return d > 0 ? d : 0;
+  }
+  void reset() { *this = CommStats{}; }
+};
 
 namespace detail {
 
@@ -44,6 +74,34 @@ class LeaderBarrier {
   std::condition_variable cv_;
 };
 
+/// One in-flight collective: the rendezvous record every participating rank
+/// posts its buffers into. The last rank to arrive executes the operation
+/// (reductions in rank order, into op-owned scratch) and publishes
+/// completion; waiters block on the op's condition variable. Validation
+/// failures (size/kind/root mismatch across ranks) complete the op with an
+/// error that every waiter rethrows, instead of deadlocking.
+struct PendingOp {
+  enum class Kind { kAllReduce, kAllGather, kReduceScatter, kBroadcast };
+
+  PendingOp(Kind k, ReduceOp r, int n_ranks);
+
+  const Kind kind;
+  const ReduceOp red;
+  const int n;
+  int root = -1;  // broadcast only
+
+  std::vector<const float*> src;
+  std::vector<float*> dst;
+  std::vector<i64> counts;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  bool complete = false;
+  std::exception_ptr error;
+  std::chrono::steady_clock::time_point complete_tp;
+};
+
 /// Shared state of one communicator (all ranks of the group point here).
 struct CommGroup {
   explicit CommGroup(int n);
@@ -51,16 +109,18 @@ struct CommGroup {
   const int size;
   LeaderBarrier barrier;
 
-  // Publication slots for in-flight collectives.
-  std::vector<const float*> src;
-  std::vector<float*> dst;
-  std::vector<i64> counts;
+  // Nonblocking engine: per-group progress state. `next_ticket[r]` is rank
+  // r's issue counter; ticket k on this group names the k-th collective,
+  // matched across all ranks. `inflight` maps tickets to their pending op
+  // until every rank has joined.
+  std::mutex async_mu;
+  std::vector<u64> next_ticket;
+  std::map<u64, std::shared_ptr<PendingOp>> inflight;
+
+  // split() publication slots + registry: (split sequence number, color) ->
+  // subgroup + the member world-ranks in key order.
   std::vector<int> colors;
   std::vector<int> keys;
-  std::vector<float> scratch;
-
-  // split() registry: (split sequence number, color) -> subgroup + the
-  // member world-ranks in key order.
   std::mutex split_mu;
   u64 split_seq = 0;
   std::map<std::pair<u64, int>, std::shared_ptr<CommGroup>> subgroups;
@@ -68,6 +128,37 @@ struct CommGroup {
 };
 
 }  // namespace detail
+
+/// Request object for one nonblocking collective (MPI_Request idiom).
+/// Movable and cheap; an empty handle (default-constructed, moved-from, or
+/// already waited) is complete. The posting rank must not touch the
+/// operation's buffers between post and wait(); wait() is idempotent and
+/// rethrows any cross-rank matching error.
+class CollectiveHandle {
+ public:
+  CollectiveHandle() = default;
+
+  /// True once the collective has executed (never blocks). An empty handle
+  /// reports true.
+  bool test() const;
+
+  /// True if this handle still refers to an un-waited operation.
+  bool pending() const { return op_ != nullptr; }
+
+  /// Blocks until the collective completes; optionally accumulates timing
+  /// into `stats`. Rethrows if the operation failed validation. After
+  /// wait() the handle is empty.
+  void wait(CommStats* stats = nullptr);
+
+ private:
+  friend class Communicator;
+  CollectiveHandle(std::shared_ptr<detail::PendingOp> op,
+                   std::chrono::steady_clock::time_point issued)
+      : op_(std::move(op)), issued_(issued) {}
+
+  std::shared_ptr<detail::PendingOp> op_;
+  std::chrono::steady_clock::time_point issued_{};
+};
 
 /// Per-rank handle to a communicator. Cheap to copy.
 class Communicator {
@@ -80,19 +171,31 @@ class Communicator {
   /// Blocks until every rank of this communicator has arrived.
   void barrier();
 
+  // ----- nonblocking collectives -----------------------------------------
+  // Buffers must stay valid and untouched until the returned handle's
+  // wait() (the MPI nonblocking contract). Results are bitwise identical
+  // to the blocking forms.
+
   /// In-place all-reduce of `t` (same numel on every rank).
-  void all_reduce(Tensor& t, ReduceOp op = ReduceOp::kSum);
+  CollectiveHandle iall_reduce(Tensor& t, ReduceOp op = ReduceOp::kSum);
 
   /// Gathers equal-size shards: out.numel() == shard.numel() * size().
   /// Rank r's shard lands at offset r * shard.numel().
-  void all_gather(const Tensor& shard, Tensor& out);
+  CollectiveHandle iall_gather(const Tensor& shard, Tensor& out);
 
   /// Reduces `in` (same numel everywhere) and scatters equal chunks:
   /// shard.numel() * size() == in.numel(); rank r receives chunk r.
-  void reduce_scatter(const Tensor& in, Tensor& shard,
-                      ReduceOp op = ReduceOp::kSum);
+  CollectiveHandle ireduce_scatter(const Tensor& in, Tensor& shard,
+                                   ReduceOp op = ReduceOp::kSum);
 
   /// Copies root's tensor to every rank (same numel everywhere).
+  CollectiveHandle ibroadcast(Tensor& t, int root);
+
+  // ----- blocking wrappers (post + wait) ----------------------------------
+  void all_reduce(Tensor& t, ReduceOp op = ReduceOp::kSum);
+  void all_gather(const Tensor& shard, Tensor& out);
+  void reduce_scatter(const Tensor& in, Tensor& shard,
+                      ReduceOp op = ReduceOp::kSum);
   void broadcast(Tensor& t, int root);
 
   /// Collective split: ranks with equal `color` form a new communicator;
@@ -101,6 +204,9 @@ class Communicator {
   Communicator split(int color, int key);
 
  private:
+  CollectiveHandle post(detail::PendingOp::Kind kind, ReduceOp red, int root,
+                        const float* src, float* dst, i64 count);
+
   std::shared_ptr<detail::CommGroup> group_;
   int rank_;
 };

@@ -13,7 +13,7 @@
 //   nn/        layers with forward/backward
 //   models/    ViT encoder, MAE, Table I configs
 //   optim/     SGD / AdamW / LARS, cosine-warmup schedule
-//   comm/      thread-rank collectives (all-reduce/gather/scatter, split)
+//   comm/      thread-rank collectives (nonblocking engine + split)
 //   parallel/  DDP and FSDP (all sharding strategies, prefetch modes)
 //   data/      procedural scene datasets (Table II), DataLoader
 //   train/     pretraining, linear probing, checkpoints
@@ -31,6 +31,7 @@
 #include "parallel/fsdp.hpp"
 #include "sim/simulator.hpp"
 #include "train/checkpoint.hpp"
+#include "train/distributed.hpp"
 #include "train/linear_probe.hpp"
 #include "train/pretrain.hpp"
 #include "util/log.hpp"

@@ -1,14 +1,28 @@
 #include "parallel/ddp.hpp"
 
+#include <algorithm>
+#include <map>
+
 namespace geofm::parallel {
 
-Ddp::Ddp(nn::Module& model, comm::Communicator comm, i64 bucket_cap_bytes)
-    : comm_(comm) {
+Ddp::Ddp(nn::StagedModel& model, comm::Communicator comm, i64 bucket_cap_bytes)
+    : model_(model), comm_(comm) {
   GEOFM_CHECK(bucket_cap_bytes > 0);
   const i64 cap_elements = std::max<i64>(1, bucket_cap_bytes / 4);
 
+  // Map each parameter to the stage whose backward finalizes its gradient;
+  // parameters outside every stage belong to the root (final only when the
+  // whole backward has finished).
+  std::map<const nn::Parameter*, int> stage_of;
+  auto stage_modules = model_.stages();
+  for (size_t s = 0; s < stage_modules.size(); ++s) {
+    for (nn::Parameter* p : stage_modules[s]->parameters()) {
+      stage_of[p] = static_cast<int>(s);
+    }
+  }
+
   // Sync initial parameters across replicas.
-  auto params = model.parameters();
+  auto params = model_.module().parameters();
   for (nn::Parameter* p : params) {
     comm_.broadcast(p->value, /*root=*/0);
     p->ensure_grad();
@@ -27,23 +41,88 @@ Ddp::Ddp(nn::Module& model, comm::Communicator comm, i64 bucket_cap_bytes)
     current.elements += p->numel();
   }
   if (current.elements > 0) buckets_.push_back(std::move(current));
-  for (Bucket& b : buckets_) b.buffer = Tensor::zeros({b.elements});
+
+  buckets_of_stage_.resize(stage_modules.size());
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    Bucket& bucket = buckets_[b];
+    bucket.buffer = Tensor::zeros({bucket.elements});
+    for (nn::Parameter* p : bucket.params) {
+      auto it = stage_of.find(p);
+      const int stage = (it != stage_of.end()) ? it->second : kRootStage;
+      if (std::find(bucket.stages.begin(), bucket.stages.end(), stage) ==
+          bucket.stages.end()) {
+        bucket.stages.push_back(stage);
+        if (stage != kRootStage) buckets_of_stage_[static_cast<size_t>(stage)]
+            .push_back(b);
+      }
+    }
+  }
+
+  stage_done_.assign(stage_modules.size(), false);
+  hooks_.after_backward = [this](int s) { on_stage_done(s); };
+  model_.install_stage_hooks(&hooks_);
+}
+
+Ddp::~Ddp() { model_.install_stage_hooks(nullptr); }
+
+void Ddp::begin_cycle() {
+  cycle_open_ = true;
+  launched_in_backward_ = 0;
+  stats_.reset();
+  launch_order_.clear();
+  std::fill(stage_done_.begin(), stage_done_.end(), false);
+  for (Bucket& b : buckets_) {
+    b.stages_pending = static_cast<int>(b.stages.size());
+    b.launched = false;
+  }
+}
+
+void Ddp::launch(Bucket& bucket, bool from_hook) {
+  i64 offset = 0;
+  for (nn::Parameter* p : bucket.params) {
+    bucket.buffer.flat_view(offset, p->numel()).copy_(p->grad);
+    offset += p->numel();
+  }
+  bucket.handle = comm_.iall_reduce(bucket.buffer, comm::ReduceOp::kAvg);
+  bucket.launched = true;
+  if (from_hook) ++launched_in_backward_;
+  launch_order_.push_back(static_cast<size_t>(&bucket - buckets_.data()));
+}
+
+void Ddp::on_stage_done(int stage) {
+  if (!cycle_open_) begin_cycle();
+  if (stage < 0 || stage >= static_cast<int>(stage_done_.size())) return;
+  if (stage_done_[static_cast<size_t>(stage)]) return;
+  stage_done_[static_cast<size_t>(stage)] = true;
+
+  for (size_t b : buckets_of_stage_[static_cast<size_t>(stage)]) {
+    Bucket& bucket = buckets_[b];
+    if (bucket.launched) continue;
+    if (--bucket.stages_pending == 0) launch(bucket, /*from_hook=*/true);
+  }
 }
 
 void Ddp::synchronize_gradients() {
+  if (!cycle_open_) begin_cycle();
+
+  // Root gradients are final now; launch every bucket still pending
+  // (root-containing buckets, or all of them if the model has no stages /
+  // no hooks fired).
   for (Bucket& bucket : buckets_) {
+    if (!bucket.launched) launch(bucket, /*from_hook=*/false);
+  }
+
+  // Drain in launch order and unpack each result as it lands.
+  for (size_t b : launch_order_) {
+    Bucket& bucket = buckets_[b];
+    bucket.handle.wait(&stats_);
     i64 offset = 0;
-    for (nn::Parameter* p : bucket.params) {
-      bucket.buffer.flat_view(offset, p->numel()).copy_(p->grad);
-      offset += p->numel();
-    }
-    comm_.all_reduce(bucket.buffer, comm::ReduceOp::kAvg);
-    offset = 0;
     for (nn::Parameter* p : bucket.params) {
       p->grad.copy_(bucket.buffer.flat_view(offset, p->numel()));
       offset += p->numel();
     }
   }
+  cycle_open_ = false;
 }
 
 std::vector<i64> Ddp::bucket_elements() const {

@@ -2,39 +2,84 @@
 // bucketed gradient all-reduce, mirroring PyTorch DDP's default behaviour
 // (25 MB buckets filled in reverse parameter order). The paper contrasts
 // this fixed-message-size scheme against FSDP's per-unit communication.
+//
+// Communication overlaps the backward pass: Ddp installs stage hooks on
+// the wrapped model and launches a bucket's nonblocking all-reduce the
+// moment every gradient in it is final (all contributing stages have run
+// their backward), exactly as PyTorch DDP's autograd-hook-driven buckets
+// do. `synchronize_gradients()` then only launches the buckets that had to
+// wait for root gradients and drains the in-flight requests.
 #pragma once
 
 #include <vector>
 
 #include "comm/communicator.hpp"
-#include "nn/module.hpp"
+#include "nn/staged_model.hpp"
 
 namespace geofm::parallel {
 
 class Ddp {
  public:
-  /// Wraps `model`: broadcasts rank 0's parameters and builds gradient
-  /// buckets. Default bucket cap matches PyTorch (25 MB).
-  Ddp(nn::Module& model, comm::Communicator comm,
+  /// Wraps `model`: broadcasts rank 0's parameters, builds gradient
+  /// buckets, and installs backward hooks that launch each bucket's
+  /// all-reduce as soon as it is ready. Default bucket cap matches
+  /// PyTorch (25 MB). The wrapper must outlive wrapped training.
+  Ddp(nn::StagedModel& model, comm::Communicator comm,
       i64 bucket_cap_bytes = 25ll * 1024 * 1024);
+  ~Ddp();
 
-  /// All-reduce-averages every gradient, one bucket at a time. Call after
-  /// the local backward pass, before the optimizer step.
+  Ddp(const Ddp&) = delete;
+  Ddp& operator=(const Ddp&) = delete;
+
+  /// Finishes the step's gradient averaging: launches any bucket still
+  /// waiting on root (non-stage) gradients, waits for every in-flight
+  /// all-reduce, and unpacks results. Call after the local backward pass,
+  /// before the optimizer step. One call per backward (no gradient
+  /// accumulation across backwards).
   void synchronize_gradients();
 
   int n_buckets() const { return static_cast<int>(buckets_.size()); }
   /// Elements per bucket, in reduction order.
   std::vector<i64> bucket_elements() const;
 
+  // ----- overlap introspection -------------------------------------------
+  /// Buckets whose all-reduce launched from a backward hook (i.e. before
+  /// synchronize_gradients) in the last completed sync cycle.
+  int buckets_launched_in_backward() const { return launched_in_backward_; }
+  /// Wait/overlap accounting for the last completed sync cycle.
+  const comm::CommStats& last_sync_stats() const { return stats_; }
+
  private:
   struct Bucket {
     std::vector<nn::Parameter*> params;
     i64 elements = 0;
     Tensor buffer;
+    // Stages whose backward must finish before this bucket is ready
+    // (kRootStage for parameters outside any stage). Rebuilt each cycle.
+    std::vector<int> stages;
+    int stages_pending = 0;
+    bool launched = false;
+    comm::CollectiveHandle handle;
   };
 
+  static constexpr int kRootStage = -1;
+
+  void begin_cycle();
+  void on_stage_done(int stage);
+  void launch(Bucket& bucket, bool from_hook);
+
+  nn::StagedModel& model_;
   comm::Communicator comm_;
   std::vector<Bucket> buckets_;
+  // stage -> indices of buckets containing that stage's parameters.
+  std::vector<std::vector<size_t>> buckets_of_stage_;
+  std::vector<bool> stage_done_;
+  std::vector<size_t> launch_order_;
+  nn::StageHooks hooks_;
+
+  bool cycle_open_ = false;
+  int launched_in_backward_ = 0;
+  comm::CommStats stats_;
 };
 
 }  // namespace geofm::parallel

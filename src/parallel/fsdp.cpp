@@ -1,5 +1,6 @@
 #include "parallel/fsdp.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace geofm::parallel {
@@ -141,10 +142,27 @@ void Fsdp::build_unit(Unit& unit, std::vector<nn::Parameter*> params,
 void Fsdp::unshard(Unit& unit, int unit_index) {
   if (unit.unsharded) return;
   if (shard_comm_->size() > 1) {
-    shard_comm_->all_gather(unit.shard, unit.full);
+    if (unit_index >= 0) {
+      // Functional limit_all_gathers: block issuing once the cap of
+      // in-flight stage gathers is reached, by retiring the oldest
+      // outstanding gather first (all ranks do this in the same order, so
+      // matching stays deterministic).
+      if (options_.limit_all_gathers) {
+        while (static_cast<int>(outstanding_gathers_.size()) >=
+               kAllGatherInflightCap) {
+          const int oldest = outstanding_gathers_.front();
+          ensure_ready(unit_at(oldest), oldest);
+        }
+      }
+    }
+    unit.gather = shard_comm_->iall_gather(unit.shard, unit.full);
     schedule_.push_back(
         {FsdpEvent::Type::kAllGather, unit_index, unit.padded});
     if (unit_index >= 0) {
+      outstanding_gathers_.push_back(unit_index);
+      peak_inflight_gathers_ =
+          std::max(peak_inflight_gathers_,
+                   static_cast<int>(outstanding_gathers_.size()));
       ++unsharded_count_;
       peak_unsharded_ = std::max(peak_unsharded_, unsharded_count_);
     }
@@ -152,9 +170,21 @@ void Fsdp::unshard(Unit& unit, int unit_index) {
   unit.unsharded = true;
 }
 
+void Fsdp::ensure_ready(Unit& unit, int unit_index) {
+  if (!unit.gather.pending()) return;
+  unit.gather.wait(&stats_);
+  if (unit_index >= 0) {
+    auto it = std::find(outstanding_gathers_.begin(),
+                        outstanding_gathers_.end(), unit_index);
+    if (it != outstanding_gathers_.end()) outstanding_gathers_.erase(it);
+  }
+}
+
 void Fsdp::reshard(Unit& unit, int unit_index) {
   if (!unit.unsharded) return;
   if (shard_comm_->size() > 1) {
+    // A unit must never be freed with its gather still in flight.
+    ensure_ready(unit, unit_index);
     // Poison the freed buffer: any use before the next gather is a bug and
     // will surface as NaN immediately.
     unit.full.fill_(std::numeric_limits<float>::quiet_NaN());
@@ -165,29 +195,59 @@ void Fsdp::reshard(Unit& unit, int unit_index) {
   // Degenerate group: parameters live in `full` permanently; nothing to do.
 }
 
-void Fsdp::reduce_grads(Unit& unit, int unit_index) {
+void Fsdp::launch_reduce(Unit& unit, int unit_index) {
   const bool shard_active = shard_comm_->size() > 1;
+  const bool replica_active = replica_comm_->size() > 1;
   if (shard_active) {
-    shard_comm_->reduce_scatter(unit.full_grad, unit.shard_grad,
-                                comm::ReduceOp::kSum);
+    unit.reduce_scatter = shard_comm_->ireduce_scatter(
+        unit.full_grad, unit.shard_grad, comm::ReduceOp::kSum);
     schedule_.push_back(
         {FsdpEvent::Type::kReduceScatter, unit_index, unit.padded});
-  }
-  if (replica_comm_->size() > 1) {
-    replica_comm_->all_reduce(unit.shard_grad, comm::ReduceOp::kSum);
+    // A replica all-reduce consumes the reduce-scatter's output, so it is
+    // chained when the reduce-scatter is drained in end_backward().
+    pending_reductions_.push_back(unit_index);
+  } else if (replica_active) {
+    unit.all_reduce =
+        replica_comm_->iall_reduce(unit.shard_grad, comm::ReduceOp::kSum);
     schedule_.push_back(
         {FsdpEvent::Type::kAllReduce, unit_index, unit.chunk});
+    pending_reductions_.push_back(unit_index);
   }
-  // Average over the global data-parallel world.
-  if (world_.size() > 1) {
-    unit.shard_grad.scale_(1.f / static_cast<float>(world_.size()));
+}
+
+void Fsdp::drain_reductions() {
+  const bool shard_active = shard_comm_->size() > 1;
+  const bool replica_active = replica_comm_->size() > 1;
+
+  if (shard_active && replica_active) {
+    // HYBRID: chain each unit's replica all-reduce onto its completed
+    // reduce-scatter, in issue order on every rank.
+    for (int idx : pending_reductions_) {
+      Unit& unit = unit_at(idx);
+      unit.reduce_scatter.wait(&stats_);
+      unit.all_reduce =
+          replica_comm_->iall_reduce(unit.shard_grad, comm::ReduceOp::kSum);
+      schedule_.push_back({FsdpEvent::Type::kAllReduce, idx, unit.chunk});
+    }
   }
+  for (int idx : pending_reductions_) {
+    Unit& unit = unit_at(idx);
+    unit.reduce_scatter.wait(&stats_);
+    unit.all_reduce.wait(&stats_);
+    // Average over the global data-parallel world.
+    if (world_.size() > 1) {
+      unit.shard_grad.scale_(1.f / static_cast<float>(world_.size()));
+    }
+  }
+  pending_reductions_.clear();
 }
 
 void Fsdp::begin_step() {
   schedule_.clear();
   unsharded_count_ = 0;
   peak_unsharded_ = 0;
+  peak_inflight_gathers_ = 0;
+  stats_.reset();
 
   for (auto& unit : units_) unit.full_grad.zero_();
   root_.full_grad.zero_();
@@ -200,21 +260,29 @@ void Fsdp::begin_step() {
   unshard(root_, -1);
 
   // SHARD_GRAD_OP gathers every unit up front ("parameters are sharded
-  // outside computation"); NO_SHARD units are always resident.
+  // outside computation"); the gathers stay in flight (subject to the rate
+  // limiter) and are waited as each stage's compute reaches them.
   if (options_.strategy == ShardingStrategy::kShardGradOp) {
     for (size_t i = 0; i < units_.size(); ++i) {
       unshard(units_[i], static_cast<int>(i));
     }
   }
+
+  // The model reads root parameters (patch embed, cls) before the first
+  // stage hook fires, so the root gather cannot stay in flight.
+  ensure_ready(root_, -1);
 }
 
 void Fsdp::end_backward() {
-  reduce_grads(root_, -1);
+  launch_reduce(root_, -1);
+  drain_reductions();
   reshard(root_, -1);
 }
 
 void Fsdp::on_before_forward(int stage) {
-  unshard(units_[static_cast<size_t>(stage)], stage);
+  Unit& unit = units_[static_cast<size_t>(stage)];
+  unshard(unit, stage);
+  ensure_ready(unit, stage);
 }
 
 void Fsdp::on_after_forward(int stage) {
@@ -229,9 +297,11 @@ void Fsdp::on_after_forward(int stage) {
 void Fsdp::on_before_backward(int stage) {
   unshard(units_[static_cast<size_t>(stage)], stage);
   if (options_.prefetch == BackwardPrefetch::kBackwardPre && stage > 0) {
-    // Issue the next-needed gather before this stage's backward compute.
+    // Issue the next-needed gather before this stage's backward compute;
+    // it progresses while this stage computes.
     unshard(units_[static_cast<size_t>(stage - 1)], stage - 1);
   }
+  ensure_ready(units_[static_cast<size_t>(stage)], stage);
 }
 
 void Fsdp::on_after_backward(int stage) {
@@ -240,7 +310,7 @@ void Fsdp::on_after_backward(int stage) {
     unshard(units_[static_cast<size_t>(stage - 1)], stage - 1);
   }
   Unit& unit = units_[static_cast<size_t>(stage)];
-  reduce_grads(unit, stage);
+  launch_reduce(unit, stage);
   if (options_.strategy != ShardingStrategy::kNoShard) {
     reshard(unit, stage);
   }
@@ -250,6 +320,10 @@ void Fsdp::gather_full_parameters() {
   unshard(root_, -1);
   for (size_t i = 0; i < units_.size(); ++i) {
     unshard(units_[i], static_cast<int>(i));
+  }
+  ensure_ready(root_, -1);
+  for (size_t i = 0; i < units_.size(); ++i) {
+    ensure_ready(units_[i], static_cast<int>(i));
   }
 }
 

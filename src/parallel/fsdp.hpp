@@ -20,12 +20,19 @@
 //                    semantics through the HYBRID code path, matching the
 //                    paper's separate measurement of the two.
 //
-// Backward prefetch (BACKWARD_PRE / BACKWARD_POST / none) and
-// limit_all_gathers are tracked faithfully in the step's event schedule —
-// functionally they are reorderings, but the recorded schedule is what the
-// performance simulator executes, and tests assert it.
+// Communication is asynchronous and overlaps compute: unshard() issues a
+// nonblocking all-gather and the parameters are only waited for when the
+// stage's compute is about to use them (BACKWARD_PRE/POST prefetch turn
+// into genuinely concurrent gathers); per-stage gradient reduce-scatters
+// are issued from the backward hooks and drained in end_backward(), so
+// they overlap the remaining backward compute. `limit_all_gathers` is
+// enforced functionally: issuing a new stage gather blocks (waits on the
+// oldest outstanding gather) once 2 are in flight, PyTorch's rate-limiter
+// semantics. The recorded `FsdpEvent` schedule (events at issue time) is
+// unchanged and remains the contract the performance simulator executes.
 #pragma once
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -52,11 +59,15 @@ struct FsdpOptions {
   /// Must divide the world size. Ignored by other strategies.
   int hybrid_group_size = 1;
   BackwardPrefetch prefetch = BackwardPrefetch::kBackwardPre;
-  /// Rate-limit in-flight all-gathers (paper's limit_all_gathers). The
-  /// functional runtime records the in-flight peak; the simulator enforces
-  /// the cap (2 when enabled, unbounded otherwise).
+  /// Rate-limit in-flight all-gathers (paper's limit_all_gathers): when
+  /// enabled, issuing a stage gather while 2 are already outstanding first
+  /// waits on the oldest one. Enforced functionally by the async runtime
+  /// (and mirrored by the simulator's cost model).
   bool limit_all_gathers = true;
 };
+
+/// In-flight stage all-gathers the rate limiter allows when enabled.
+inline constexpr int kAllGatherInflightCap = 2;
 
 /// One step-schedule entry, for tests and for the performance simulator.
 struct FsdpEvent {
@@ -86,11 +97,11 @@ class Fsdp {
 
   /// Call before each forward: zeroes gradients, gathers what the strategy
   /// needs up front (root always; all units for SHARD_GRAD_OP/NO_SHARD),
-  /// and resets the event schedule.
+  /// and resets the event schedule and overlap counters.
   void begin_step();
 
   /// Call after the model's backward: reduces root-unit gradients and
-  /// finishes any pending per-unit work. After this, optimizer_parameters()
+  /// drains every in-flight collective. After this, optimizer_parameters()
   /// hold averaged gradients.
   void end_backward();
 
@@ -101,7 +112,8 @@ class Fsdp {
 
   /// Checkpoint/eval path: gathers every unit so the wrapped model's
   /// parameters are fully materialized and readable. They stay valid until
-  /// the next begin_step() or hook-driven reshard.
+  /// the next begin_step() or hook-driven reshard. Gathers are issued
+  /// asynchronously (subject to the rate limiter) and all waited here.
   void gather_full_parameters();
 
   // ----- introspection ---------------------------------------------------
@@ -117,6 +129,13 @@ class Fsdp {
   i64 max_unit_elements() const;
   /// Peak number of simultaneously unsharded stage units last step.
   int peak_unsharded_units() const { return peak_unsharded_; }
+  /// Peak number of stage all-gathers simultaneously in flight (issued but
+  /// not yet waited) since the last begin_step() — the quantity
+  /// limit_all_gathers caps at kAllGatherInflightCap.
+  int peak_inflight_gathers() const { return peak_inflight_gathers_; }
+  /// Wait/overlap accounting since the last begin_step(): exposed wait vs
+  /// communication hidden behind compute.
+  const comm::CommStats& last_step_stats() const { return stats_; }
   /// The communication schedule recorded during the last step.
   const std::vector<FsdpEvent>& last_schedule() const { return schedule_; }
 
@@ -131,7 +150,10 @@ class Fsdp {
     Tensor shard;       // [chunk] owned parameter slice
     Tensor shard_grad;  // [chunk] owned reduced-gradient slice
     nn::Parameter opt_param;
-    bool unsharded = false;
+    bool unsharded = false;       // gather issued (params valid after ready)
+    comm::CollectiveHandle gather;         // outstanding all-gather
+    comm::CollectiveHandle reduce_scatter; // outstanding grad reduce-scatter
+    comm::CollectiveHandle all_reduce;     // outstanding replica all-reduce
   };
 
   bool sharded() const {
@@ -141,9 +163,19 @@ class Fsdp {
 
   void build_unit(Unit& unit, std::vector<nn::Parameter*> params,
                   const std::string& name);
+  Unit& unit_at(int unit_index) {
+    return unit_index < 0 ? root_ : units_[static_cast<size_t>(unit_index)];
+  }
+  /// Issues the unit's all-gather (respecting the rate limiter) without
+  /// waiting for it.
   void unshard(Unit& unit, int unit_index);
+  /// Blocks until the unit's gathered parameters are usable.
+  void ensure_ready(Unit& unit, int unit_index);
   void reshard(Unit& unit, int unit_index);
-  void reduce_grads(Unit& unit, int unit_index);
+  /// Issues the unit's gradient reduction (reduce-scatter and/or replica
+  /// all-reduce) without waiting; drained by drain_reductions().
+  void launch_reduce(Unit& unit, int unit_index);
+  void drain_reductions();
 
   void on_before_forward(int stage);
   void on_after_forward(int stage);
@@ -164,6 +196,13 @@ class Fsdp {
   std::vector<FsdpEvent> schedule_;
   int unsharded_count_ = 0;
   int peak_unsharded_ = 0;
+
+  // Stage gathers issued but not yet waited, oldest first (limiter queue).
+  std::deque<int> outstanding_gathers_;
+  int peak_inflight_gathers_ = 0;
+  // Units with in-flight gradient reductions, in issue order.
+  std::vector<int> pending_reductions_;
+  comm::CommStats stats_;
 };
 
 }  // namespace geofm::parallel

@@ -1,0 +1,89 @@
+#include "train/distributed.hpp"
+
+#include <algorithm>
+
+#include "data/dataloader.hpp"
+#include "optim/optimizer.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace geofm::train {
+
+DistributedPretrainResult pretrain_mae_distributed(
+    models::MAE& mae, parallel::Fsdp& fsdp, comm::Communicator& comm,
+    const data::SceneDataset& corpus, const DistributedPretrainConfig& cfg) {
+  GEOFM_CHECK(cfg.steps > 0 && cfg.global_batch > 0);
+  GEOFM_CHECK(cfg.global_batch % comm.size() == 0,
+              "global batch " << cfg.global_batch << " not divisible by "
+                              << comm.size() << " ranks");
+  const i64 local_batch = cfg.global_batch / comm.size();
+  Timer timer;
+
+  // Every rank renders the same global batch stream (same seed) and takes
+  // its contiguous slice — the simplest SPMD pattern, and deterministic
+  // regardless of rank count.
+  data::DataLoader::Options lopts;
+  lopts.batch_size = cfg.global_batch;
+  lopts.n_workers = cfg.loader_workers;
+  lopts.shuffle = true;
+  lopts.seed = cfg.seed;
+  data::DataLoader loader(corpus, data::Split::kTrain, lopts);
+  GEOFM_CHECK(loader.batches_per_epoch() > 0,
+              "corpus smaller than the global batch");
+
+  optim::AdamW opt(fsdp.optimizer_parameters(), cfg.lr, 0.9, 0.95, 1e-8,
+                   cfg.weight_decay);
+
+  DistributedPretrainResult result;
+  result.step_losses.reserve(static_cast<size_t>(cfg.steps));
+
+  i64 step = 0;
+  for (i64 epoch = 0; step < cfg.steps; ++epoch) {
+    loader.start_epoch(epoch);
+    while (auto batch = loader.next()) {
+      if (step >= cfg.steps) break;
+      const i64 per = batch->images.numel() / batch->images.dim(0);
+      Tensor mine({local_batch, batch->images.dim(1), batch->images.dim(2),
+                   batch->images.dim(3)});
+      mine.copy_(batch->images.flat_view(comm.rank() * local_batch * per,
+                                         local_batch * per));
+
+      // The async step: begin_step() issues what the strategy needs up
+      // front; stage hooks overlap gathers/reductions with compute;
+      // end_backward() drains every in-flight collective.
+      fsdp.begin_step();
+      Rng mask_rng(cfg.seed ^ (0x9e3779b9ULL + static_cast<u64>(step)));
+      const float local_loss =
+          mae.forward(mine, mask_rng, comm.rank() * local_batch);
+      mae.backward();
+      fsdp.end_backward();
+      opt.step();
+
+      const auto& stats = fsdp.last_step_stats();
+      result.collectives_waited += stats.waits;
+      result.collectives_overlapped += stats.completed_before_wait;
+      result.comm_busy_seconds += stats.busy_seconds;
+      result.exposed_wait_seconds += stats.exposed_wait_seconds;
+      result.overlapped_comm_seconds += stats.overlapped_seconds();
+      result.peak_inflight_gathers =
+          std::max(result.peak_inflight_gathers, fsdp.peak_inflight_gathers());
+
+      Tensor loss_t = Tensor::from({local_loss});
+      comm.all_reduce(loss_t, comm::ReduceOp::kAvg);
+      result.step_losses.push_back(loss_t[0]);
+      result.images_seen += cfg.global_batch;
+      if (cfg.verbose && comm.rank() == 0 && step % 10 == 0) {
+        GEOFM_INFO("dist pretrain step " << step << " loss " << loss_t[0]
+                                         << " exposed "
+                                         << stats.exposed_wait_seconds
+                                         << "s overlapped "
+                                         << stats.overlapped_seconds() << "s");
+      }
+      ++step;
+    }
+  }
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace geofm::train

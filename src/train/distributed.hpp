@@ -1,0 +1,52 @@
+// Distributed MAE pretraining driver over the async FSDP runtime — the
+// functional analogue of the paper's Frontier runs. Each rank trains its
+// slice of every global batch; parameter gathers and gradient reductions
+// are nonblocking and overlap compute, and the driver aggregates the
+// per-step exposed-wait vs overlapped-communication accounting that the
+// paper's prefetch/limit_all_gathers ablations are about.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "data/datasets.hpp"
+#include "models/mae.hpp"
+#include "parallel/fsdp.hpp"
+
+namespace geofm::train {
+
+struct DistributedPretrainConfig {
+  i64 steps = 30;
+  i64 global_batch = 64;   // split evenly across ranks
+  double lr = 3e-3;
+  double weight_decay = 0.05;
+  u64 seed = 9;
+  int loader_workers = 0;  // per rank; 0 = synchronous rendering
+  bool verbose = false;
+};
+
+struct DistributedPretrainResult {
+  std::vector<float> step_losses;  // globally averaged, one per step
+  double wall_seconds = 0;
+  i64 images_seen = 0;  // global
+
+  // Overlap accounting for this rank, summed over all steps.
+  int collectives_waited = 0;
+  int collectives_overlapped = 0;     // already complete when waited on
+  double comm_busy_seconds = 0;       // total in-flight collective time
+  double exposed_wait_seconds = 0;    // time actually blocked waiting
+  double overlapped_comm_seconds = 0; // comm hidden behind compute
+  int peak_inflight_gathers = 0;      // max over steps
+};
+
+/// Runs `cfg.steps` optimizer steps of MAE pretraining on `mae`, already
+/// wrapped by `fsdp`, over the train split of `corpus`. Every rank loads
+/// the global batch deterministically and trains on its own slice (SPMD),
+/// so the result is step-equivalent to a single-rank full-batch run. The
+/// caller keeps ownership of the wrapper (e.g. to gather_full_parameters()
+/// and checkpoint afterwards).
+DistributedPretrainResult pretrain_mae_distributed(
+    models::MAE& mae, parallel::Fsdp& fsdp, comm::Communicator& comm,
+    const data::SceneDataset& corpus, const DistributedPretrainConfig& cfg);
+
+}  // namespace geofm::train

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <utility>
+#include <vector>
 
 #include "comm/communicator.hpp"
 
@@ -224,6 +226,175 @@ TEST(Comm, SingleRankCollectivesAreIdentity) {
     Tensor shard({2});
     c.reduce_scatter(t, shard, ReduceOp::kSum);
     EXPECT_FLOAT_EQ(shard[0], 1.f);
+  });
+}
+
+// ----- nonblocking engine ---------------------------------------------------
+
+TEST_P(CollectivesAcrossRanks, NonblockingAllReduceMatchesBlocking) {
+  const int n = GetParam();
+  run_ranks(n, [&](Communicator& c) {
+    Tensor t = Tensor::full({6}, static_cast<float>(c.rank() + 1));
+    comm::CollectiveHandle h = c.iall_reduce(t, ReduceOp::kSum);
+    EXPECT_TRUE(h.pending());
+    h.wait();
+    EXPECT_FALSE(h.pending());
+    EXPECT_TRUE(h.test());  // empty handle reports complete
+    const float expect = static_cast<float>(n * (n + 1) / 2);
+    for (i64 i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(t[i], expect);
+  });
+}
+
+TEST(Comm, DefaultHandleIsCompleteAndWaitIsNoop) {
+  comm::CollectiveHandle h;
+  EXPECT_TRUE(h.test());
+  EXPECT_FALSE(h.pending());
+  h.wait();  // must not block or throw
+}
+
+TEST(Comm, SingleRankNonblockingCompletesInline) {
+  run_ranks(1, [&](Communicator& c) {
+    Tensor t = Tensor::from({3.f, 4.f});
+    comm::CollectiveHandle h = c.iall_reduce(t, ReduceOp::kSum);
+    EXPECT_TRUE(h.test());  // no peers to wait for
+    h.wait();
+    EXPECT_FLOAT_EQ(t[0], 3.f);
+  });
+}
+
+TEST(Comm, ManyInFlightWaitedInReverseOrder) {
+  constexpr int kOps = 32;
+  run_ranks(4, [&](Communicator& c) {
+    std::vector<Tensor> bufs;
+    std::vector<comm::CollectiveHandle> handles;
+    bufs.reserve(kOps);
+    handles.reserve(kOps);
+    for (int k = 0; k < kOps; ++k) {
+      bufs.push_back(Tensor::full({8}, static_cast<float>(c.rank() + k)));
+      handles.push_back(c.iall_reduce(bufs.back(), ReduceOp::kSum));
+    }
+    // Drain newest-first: completion order must be independent of wait order.
+    for (int k = kOps - 1; k >= 0; --k) {
+      handles[static_cast<size_t>(k)].wait();
+      const float expect = static_cast<float>(4 * k + 6);  // sum(r) + 4k
+      for (i64 i = 0; i < 8; ++i) {
+        EXPECT_FLOAT_EQ(bufs[static_cast<size_t>(k)][i], expect);
+      }
+    }
+  });
+}
+
+TEST(Comm, MixedKindsInFlightSimultaneously) {
+  run_ranks(3, [&](Communicator& c) {
+    Tensor red = Tensor::full({4}, static_cast<float>(c.rank()));
+    Tensor shard = Tensor::full({2}, static_cast<float>(c.rank() * 10));
+    Tensor gathered({6});
+    Tensor bcast = Tensor::full({3}, c.rank() == 1 ? 42.f : -1.f);
+    auto h1 = c.iall_reduce(red, ReduceOp::kSum);
+    auto h2 = c.iall_gather(shard, gathered);
+    auto h3 = c.ibroadcast(bcast, 1);
+    h3.wait();
+    h1.wait();
+    h2.wait();
+    EXPECT_FLOAT_EQ(red[0], 3.f);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_FLOAT_EQ(gathered[r * 2], static_cast<float>(r * 10));
+    }
+    EXPECT_FLOAT_EQ(bcast[0], 42.f);
+  });
+}
+
+TEST(Comm, RandomizedStressAcrossSubCommunicators) {
+  // Every rank derives the same issue schedule from a shared seed (the MPI
+  // matching contract), posts everything nonblocking on a mix of the world
+  // communicator and two overlapping sub-communicators, then drains in a
+  // rank-private shuffled order.
+  constexpr int kWorld = 8;
+  constexpr int kOps = 60;
+  run_ranks(kWorld, [&](Communicator& world) {
+    Communicator evens_odds = world.split(world.rank() % 2, world.rank());
+    Communicator pairs = world.split(world.rank() / 2, world.rank());
+
+    struct Issued {
+      Tensor buf;
+      comm::CollectiveHandle handle;
+      float expect;
+    };
+    std::vector<Issued> ops;
+    ops.reserve(kOps);
+
+    Rng schedule(777);  // identical stream on every rank
+    for (int k = 0; k < kOps; ++k) {
+      Communicator* c = nullptr;
+      switch (schedule.uniform_int(3)) {
+        case 0: c = &world; break;
+        case 1: c = &evens_odds; break;
+        default: c = &pairs; break;
+      }
+      const bool reduce = schedule.uniform_int(2) == 0;
+      Issued op{Tensor::full({5}, 1.f), {}, 0.f};
+      if (reduce) {
+        op.handle = c->iall_reduce(op.buf, ReduceOp::kSum);
+        op.expect = static_cast<float>(c->size());
+      } else {
+        op.handle = c->ibroadcast(op.buf, 0);
+        op.expect = 1.f;
+      }
+      ops.push_back(std::move(op));
+    }
+
+    // Per-rank drain order: shuffle indices with a rank-salted stream.
+    Rng order(991 + static_cast<u64>(world.rank()));
+    std::vector<int> idx(kOps);
+    for (int k = 0; k < kOps; ++k) idx[static_cast<size_t>(k)] = k;
+    for (int k = kOps - 1; k > 0; --k) {
+      std::swap(idx[static_cast<size_t>(k)],
+                idx[static_cast<size_t>(order.uniform_int(k + 1))]);
+    }
+    for (int k : idx) {
+      auto& op = ops[static_cast<size_t>(k)];
+      op.handle.wait();
+      for (i64 i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(op.buf[i], op.expect);
+    }
+  });
+}
+
+TEST(Comm, MismatchedCountsRaiseOnEveryRank) {
+  run_ranks(2, [&](Communicator& c) {
+    // Ranks disagree on the payload size for the same ticket; both must see
+    // the error from wait() instead of deadlocking.
+    Tensor t = Tensor::ones({c.rank() == 0 ? 4 : 8});
+    EXPECT_THROW(c.all_reduce(t, ReduceOp::kSum), Error);
+  });
+}
+
+TEST(Comm, MismatchedKindsRaiseOnEveryRank) {
+  run_ranks(2, [&](Communicator& c) {
+    Tensor t = Tensor::ones({4});
+    if (c.rank() == 0) {
+      EXPECT_THROW(c.all_reduce(t, ReduceOp::kSum), Error);
+    } else {
+      Tensor out({8});
+      EXPECT_THROW(c.all_gather(t, out), Error);
+    }
+  });
+}
+
+TEST(Comm, WaitStatsCountCompletedBeforeWait) {
+  run_ranks(4, [&](Communicator& c) {
+    comm::CommStats stats;
+    Tensor t = Tensor::ones({16});
+    auto h = c.iall_reduce(t, ReduceOp::kSum);
+    // After the barrier every rank has posted, so the op has executed and
+    // this wait() must be a non-blocking bookkeeping visit.
+    c.barrier();
+    EXPECT_TRUE(h.test());
+    h.wait(&stats);
+    EXPECT_EQ(stats.waits, 1);
+    EXPECT_EQ(stats.completed_before_wait, 1);
+    EXPECT_GE(stats.busy_seconds, 0.0);
+    EXPECT_GE(stats.exposed_wait_seconds, 0.0);
+    EXPECT_GE(stats.overlapped_seconds(), 0.0);
   });
 }
 

@@ -315,6 +315,91 @@ TEST(FsdpSchedule, PrefetchRaisesInFlightPeak) {
   EXPECT_GE(peak_pre, 2);  // current unit + prefetched unit
 }
 
+// ----- rate limiter and overlap accounting --------------------------------------
+
+// One full training step under `opts` on `n_ranks`; returns rank 0's
+// (peak_inflight_gathers, step stats).
+std::pair<int, comm::CommStats> one_step_overlap(const FsdpOptions& opts,
+                                                 int n_ranks,
+                                                 bool gather_after = false) {
+  int peak = 0;
+  comm::CommStats stats;
+  std::mutex mu;
+  run_ranks(n_ranks, [&](Communicator& c) {
+    Rng rng(1);
+    models::MAE mae(test_mae_cfg(), rng);
+    Fsdp fsdp(mae, c, opts);
+    Tensor batch = make_global_batch(2, 5);
+    Rng mask_rng(7);
+    fsdp.begin_step();
+    mae.forward(batch, mask_rng, 0);
+    mae.backward();
+    fsdp.end_backward();
+    if (gather_after) fsdp.gather_full_parameters();
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      peak = fsdp.peak_inflight_gathers();
+      stats = fsdp.last_step_stats();
+    }
+    c.barrier();
+  });
+  return {peak, stats};
+}
+
+TEST(FsdpLimiter, CapHoldsOnFullShardMultiRank) {
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kFullShard;
+  opts.prefetch = BackwardPrefetch::kBackwardPre;
+  opts.limit_all_gathers = true;
+  const auto [peak, stats] = one_step_overlap(opts, 4);
+  EXPECT_GE(peak, 1);
+  EXPECT_LE(peak, parallel::kAllGatherInflightCap);
+  EXPECT_GT(stats.waits, 0);
+}
+
+TEST(FsdpLimiter, CapHoldsThroughFullParameterGather) {
+  // gather_full_parameters() issues every unit's gather; the limiter must
+  // still bound how many are in flight at once.
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kFullShard;
+  opts.limit_all_gathers = true;
+  const auto [peak, stats] = one_step_overlap(opts, 4, /*gather_after=*/true);
+  EXPECT_LE(peak, parallel::kAllGatherInflightCap);
+}
+
+TEST(FsdpLimiter, DisablingLimiterExceedsCap) {
+  // SHARD_GRAD_OP issues every stage gather up front in begin_step(), so
+  // with the limiter off the in-flight count reaches the unit count (5),
+  // proving the cap above is enforcement and not a structural accident.
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kShardGradOp;
+  opts.limit_all_gathers = false;
+  const auto [peak, stats] = one_step_overlap(opts, 4);
+  EXPECT_GT(peak, parallel::kAllGatherInflightCap);
+}
+
+TEST(FsdpLimiter, LimiterCapsShardGradOpBatchIssue) {
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kShardGradOp;
+  opts.limit_all_gathers = true;
+  const auto [peak, stats] = one_step_overlap(opts, 4);
+  EXPECT_LE(peak, parallel::kAllGatherInflightCap);
+}
+
+TEST(FsdpOverlap, StepStatsAccountEveryWait) {
+  FsdpOptions opts;
+  opts.strategy = ShardingStrategy::kFullShard;
+  opts.prefetch = BackwardPrefetch::kBackwardPre;
+  const auto [peak, stats] = one_step_overlap(opts, 4);
+  // FULL_SHARD on one shard group: 11 gathers + 6 reduce-scatters waited.
+  EXPECT_EQ(stats.waits, 17);
+  EXPECT_GE(stats.busy_seconds, 0.0);
+  EXPECT_GE(stats.exposed_wait_seconds, 0.0);
+  EXPECT_GE(stats.overlapped_seconds(), 0.0);
+  EXPECT_GE(stats.completed_before_wait, 0);
+  EXPECT_LE(stats.completed_before_wait, stats.waits);
+}
+
 // ----- sharded storage accounting ----------------------------------------------
 
 TEST(FsdpMemory, ShardElementsScaleInverselyWithGroupSize) {
@@ -422,6 +507,60 @@ TEST(Ddp, MoreBucketsForBiggerModelAtFixedCap) {
     parallel::Ddp dbig(big, c, 8192);
     EXPECT_GT(dbig.n_buckets(), dsmall.n_buckets());
   });
+}
+
+TEST(Ddp, LaunchesBucketsFromBackwardHooks) {
+  // With a tiny bucket cap most buckets contain a single stage, so their
+  // all-reduces must launch from the backward hooks — before
+  // synchronize_gradients() is ever called — and every bucket is waited
+  // exactly once during the drain.
+  run_ranks(2, [&](Communicator& c) {
+    Rng rng(1);
+    models::MAE mae(test_mae_cfg(), rng);
+    parallel::Ddp ddp(mae, c, /*bucket_cap_bytes=*/4096);
+    ASSERT_GT(ddp.n_buckets(), 2);
+    Tensor batch = make_global_batch(2, 5);
+    Rng mask_rng(7);
+    for (nn::Parameter* p : mae.parameters()) p->grad.fill_(0.f);
+    mae.forward(batch, mask_rng, 0);
+    mae.backward();
+    ddp.synchronize_gradients();
+    EXPECT_GT(ddp.buckets_launched_in_backward(), 0);
+    EXPECT_LE(ddp.buckets_launched_in_backward(), ddp.n_buckets());
+    EXPECT_EQ(ddp.last_sync_stats().waits, ddp.n_buckets());
+    c.barrier();
+  });
+}
+
+TEST(Ddp, SmallBucketsMatchSingleRankTraining) {
+  // Equivalence must survive the hook-launched, multi-bucket async path.
+  const auto ref = reference_params_after_training(8, 3);
+  std::vector<float> got;
+  std::mutex mu;
+  run_ranks(4, [&](Communicator& c) {
+    Rng rng(42);
+    models::MAE mae(test_mae_cfg(), rng);
+    parallel::Ddp ddp(mae, c, /*bucket_cap_bytes=*/4096);
+    optim::AdamW opt(mae.parameters(), 1e-3, 0.9, 0.95, 1e-8, 0.01);
+    Tensor global = make_global_batch(8, 777);
+    Tensor mine = batch_slice(global, c.rank() * 2, 2);
+    for (int s = 0; s < 3; ++s) {
+      Rng mask_rng(static_cast<u64>(9000 + s));
+      opt.zero_grad();
+      mae.forward(mine, mask_rng, c.rank() * 2);
+      mae.backward();
+      ddp.synchronize_gradients();
+      opt.step();
+    }
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      for (nn::Parameter* p : mae.parameters()) {
+        for (i64 i = 0; i < p->numel(); ++i) got.push_back(p->value[i]);
+      }
+    }
+    c.barrier();
+  });
+  expect_params_close(got, ref, 2e-4f);
 }
 
 TEST(FsdpHybrid, RejectsNonDivisibleGroup) {
