@@ -141,6 +141,9 @@ int main() {
       "overlap the nonblocking engine achieved; the limiter bounds the\n"
       "in-flight gather peak at %d.\n",
       parallel::kAllGatherInflightCap);
+  std::printf(
+      "hint: rerun with GEOFM_TRACE=overlap.json to see the same waits as\n"
+      "per-rank \"comm.exposed\" spans on a Perfetto timeline.\n");
   bench::save_csv(m, "ablation_overlap_measured");
   return 0;
 }

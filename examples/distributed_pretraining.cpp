@@ -6,6 +6,9 @@
 // reports how much communication the async runtime hid behind compute.
 //
 // Run:  ./example_distributed_pretraining
+//
+// Set GEOFM_TRACE=trace.json to capture a Chrome-trace timeline of the
+// run (one track per rank; open in chrome://tracing or ui.perfetto.dev).
 #include <cstdio>
 #include <mutex>
 
@@ -22,6 +25,7 @@ int main() {
   cfg.lr = 3e-3;
   cfg.weight_decay = 0.05;
   cfg.seed = 9;
+  cfg.loader_workers = 2;  // prefetch batches off the training thread
   cfg.verbose = true;
 
   std::printf("distributed MAE pretraining: %d ranks, global batch %lld, "
@@ -64,6 +68,10 @@ int main() {
                   1e3 * result.exposed_wait_seconds,
                   result.peak_inflight_gathers,
                   parallel::kAllGatherInflightCap);
+      std::printf("  input pipeline: %.1f ms loader-exposed over %lld steps "
+                  "(%d workers/rank)\n",
+                  1e3 * result.loader_exposed_seconds,
+                  static_cast<long long>(cfg.steps), cfg.loader_workers);
     }
 
     // Materialize and checkpoint the full model from rank 0.

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the default build + full test suite, then the same suite
+# under ThreadSanitizer (the collective engine, FSDP runtime, loader, and
+# trace recorder are all concurrency-heavy — TSan is the real reviewer).
+#
+# Usage:  scripts/ci.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: default build + ctest =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure
+
+if [[ "$SKIP_TSAN" == "0" ]]; then
+  echo "== tier-1: ThreadSanitizer build + ctest =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGEOFM_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure
+fi
+
+echo "== ci.sh: all suites passed =="

@@ -3,7 +3,49 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_context.hpp"
+
 namespace geofm::comm {
+namespace {
+
+// Static span names per collective kind (trace names must be literals).
+const char* post_name(detail::PendingOp::Kind k) {
+  using Kind = detail::PendingOp::Kind;
+  switch (k) {
+    case Kind::kAllReduce: return "comm.post.all_reduce";
+    case Kind::kAllGather: return "comm.post.all_gather";
+    case Kind::kReduceScatter: return "comm.post.reduce_scatter";
+    case Kind::kBroadcast: return "comm.post.broadcast";
+  }
+  return "comm.post";
+}
+
+const char* wait_name(detail::PendingOp::Kind k) {
+  using Kind = detail::PendingOp::Kind;
+  switch (k) {
+    case Kind::kAllReduce: return "comm.wait.all_reduce";
+    case Kind::kAllGather: return "comm.wait.all_gather";
+    case Kind::kReduceScatter: return "comm.wait.reduce_scatter";
+    case Kind::kBroadcast: return "comm.wait.broadcast";
+  }
+  return "comm.wait";
+}
+
+const char* execute_name(detail::PendingOp::Kind k) {
+  using Kind = detail::PendingOp::Kind;
+  switch (k) {
+    case Kind::kAllReduce: return "comm.execute.all_reduce";
+    case Kind::kAllGather: return "comm.execute.all_gather";
+    case Kind::kReduceScatter: return "comm.execute.reduce_scatter";
+    case Kind::kBroadcast: return "comm.execute.broadcast";
+  }
+  return "comm.execute";
+}
+
+}  // namespace
+
 namespace detail {
 
 LeaderBarrier::LeaderBarrier(int n) : n_(n) { GEOFM_CHECK(n > 0); }
@@ -142,6 +184,28 @@ bool CollectiveHandle::test() const {
 
 void CollectiveHandle::wait(CommStats* stats) {
   if (!op_) return;
+  // Unaccounted waits (no stats sink, tracing off) take the bare fast
+  // path: the comm.* metrics below mirror the CommStats accounting, so
+  // traffic nobody measures costs no clock reads and no shared-cache-line
+  // atomics (the micro-collective benches hammer exactly this path).
+  if (stats == nullptr && !obs::trace_enabled()) {
+    {
+      std::unique_lock<std::mutex> lk(op_->mu);
+      op_->cv.wait(lk, [&] { return op_->complete; });
+    }
+    std::exception_ptr err = op_->error;
+    op_.reset();
+    if (err) std::rethrow_exception(err);
+    return;
+  }
+
+  // Category "comm.exposed" marks spans whose summed duration per rank is,
+  // by construction, the same quantity CommStats::exposed_wait_seconds
+  // accumulates (waits called without stats are plain "comm" spans and
+  // belong to no one's overlap accounting).
+  obs::TraceScope span(wait_name(op_->kind),
+                       stats != nullptr ? "comm.exposed" : "comm", "bytes",
+                       count_ * static_cast<i64>(sizeof(float)));
   const auto t0 = std::chrono::steady_clock::now();
   bool was_complete;
   {
@@ -149,15 +213,27 @@ void CollectiveHandle::wait(CommStats* stats) {
     was_complete = op_->complete;
     op_->cv.wait(lk, [&] { return op_->complete; });
   }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double blocked = std::chrono::duration<double>(t1 - t0).count();
   if (stats != nullptr) {
-    const auto t1 = std::chrono::steady_clock::now();
     ++stats->waits;
     if (was_complete) ++stats->completed_before_wait;
-    stats->exposed_wait_seconds +=
-        std::chrono::duration<double>(t1 - t0).count();
+    stats->exposed_wait_seconds += blocked;
     const double busy =
         std::chrono::duration<double>(op_->complete_tp - issued_).count();
     stats->busy_seconds += busy > 0 ? busy : 0;
+  }
+  {
+    static auto& waits = obs::MetricsRegistry::instance().counter("comm.waits");
+    static auto& bytes = obs::MetricsRegistry::instance().counter("comm.bytes");
+    static auto& exposed =
+        obs::MetricsRegistry::instance().counter("comm.exposed_wait_seconds");
+    static auto& hist =
+        obs::MetricsRegistry::instance().histogram("comm.wait_seconds");
+    waits.add(1);
+    bytes.add(static_cast<double>(count_) * sizeof(float));
+    if (stats != nullptr) exposed.add(blocked);
+    hist.observe(blocked);
   }
   std::exception_ptr err = op_->error;
   op_.reset();
@@ -177,6 +253,9 @@ CollectiveHandle Communicator::post(detail::PendingOp::Kind kind, ReduceOp red,
                                     i64 count) {
   using detail::PendingOp;
   auto& g = *group_;
+  obs::TraceScope span(post_name(kind), "comm", "bytes",
+                       count * static_cast<i64>(sizeof(float)), "ranks",
+                       g.size);
   const auto issued = std::chrono::steady_clock::now();
 
   std::shared_ptr<PendingOp> op;
@@ -228,6 +307,8 @@ CollectiveHandle Communicator::post(detail::PendingOp::Kind kind, ReduceOp red,
     }
     if (!op->error) {
       try {
+        obs::TraceScope exec(execute_name(kind), "comm", "bytes",
+                             count * static_cast<i64>(sizeof(float)));
         detail::execute_op(*op);
       } catch (...) {
         op->error = std::current_exception();
@@ -240,7 +321,7 @@ CollectiveHandle Communicator::post(detail::PendingOp::Kind kind, ReduceOp red,
     }
     op->cv.notify_all();
   }
-  return CollectiveHandle(std::move(op), issued);
+  return CollectiveHandle(std::move(op), issued, count);
 }
 
 CollectiveHandle Communicator::iall_reduce(Tensor& t, ReduceOp op) {
@@ -344,6 +425,9 @@ void run_ranks(int n_ranks, const std::function<void(Communicator&)>& fn) {
 
   for (int r = 0; r < n_ranks; ++r) {
     threads.emplace_back([&, r] {
+      set_thread_rank(r);
+      obs::set_thread_label("rank");
+      obs::TraceScope span("rank.run", "runtime", "world", n_ranks);
       Communicator comm(group, r);
       try {
         fn(comm);

@@ -153,11 +153,12 @@ class CollectiveHandle {
  private:
   friend class Communicator;
   CollectiveHandle(std::shared_ptr<detail::PendingOp> op,
-                   std::chrono::steady_clock::time_point issued)
-      : op_(std::move(op)), issued_(issued) {}
+                   std::chrono::steady_clock::time_point issued, i64 count)
+      : op_(std::move(op)), issued_(issued), count_(count) {}
 
   std::shared_ptr<detail::PendingOp> op_;
   std::chrono::steady_clock::time_point issued_{};
+  i64 count_ = 0;  // this rank's element count (trace span sizing)
 };
 
 /// Per-rank handle to a communicator. Cheap to copy.

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
+#include "util/thread_context.hpp"
 
 namespace geofm::data {
 
 DataLoader::DataLoader(const SceneDataset& dataset, Split split,
                        Options options)
-    : dataset_(dataset), split_(split), options_(options) {
+    : dataset_(dataset),
+      split_(split),
+      options_(options),
+      owner_rank_(this_thread_rank()) {
   GEOFM_CHECK(options_.batch_size > 0);
   GEOFM_CHECK(options_.n_workers >= 0);
   GEOFM_CHECK(options_.prefetch_batches >= 1);
@@ -86,7 +92,23 @@ Batch DataLoader::render_batch(i64 batch_index) const {
   return batch;
 }
 
+Batch DataLoader::render_batch_traced(i64 batch_index) const {
+  obs::TraceScope span("loader.render", "loader", "batch", batch_index,
+                       "samples", options_.batch_size);
+  const double t0 = monotonic_seconds();
+  Batch batch = render_batch(batch_index);
+  static auto& render_hist =
+      obs::MetricsRegistry::instance().histogram("loader.render_seconds");
+  static auto& rendered =
+      obs::MetricsRegistry::instance().counter("loader.batches_rendered");
+  render_hist.observe(monotonic_seconds() - t0);
+  rendered.add(1);
+  return batch;
+}
+
 void DataLoader::worker_loop() {
+  set_thread_rank(owner_rank_);
+  obs::set_thread_label("loader.worker");
   for (;;) {
     i64 mine = -1;
     {
@@ -99,7 +121,7 @@ void DataLoader::worker_loop() {
       if (stopping_ || next_to_claim_ >= n_batches_) return;
       mine = next_to_claim_++;
     }
-    Batch batch = render_batch(mine);
+    Batch batch = render_batch_traced(mine);
     {
       std::lock_guard<std::mutex> lk(mu_);
       ready_.emplace(mine, std::move(batch));
@@ -112,14 +134,30 @@ std::optional<Batch> DataLoader::next() {
   if (options_.n_workers == 0) {
     if (next_to_consume_ >= batches_per_epoch()) return std::nullopt;
     GEOFM_CHECK(!permutation_.empty(), "next() before start_epoch()");
-    return render_batch(next_to_consume_++);
+    // Synchronous path: the whole render happens on the consumer's
+    // critical path, so it is all exposed time.
+    const double t0 = monotonic_seconds();
+    Batch batch = render_batch_traced(next_to_consume_++);
+    static auto& exposed_sync =
+        obs::MetricsRegistry::instance().counter("loader.exposed_wait_seconds");
+    exposed_sync.add(monotonic_seconds() - t0);
+    return batch;
   }
 
   std::unique_lock<std::mutex> lk(mu_);
   GEOFM_CHECK(!permutation_.empty(), "next() before start_epoch()");
   if (next_to_consume_ >= n_batches_) return std::nullopt;
   const i64 want = next_to_consume_;
-  cv_consume_.wait(lk, [&] { return ready_.count(want) > 0; });
+  if (ready_.count(want) == 0) {
+    // Consumer outran the prefetchers: this wait is loader-exposed time,
+    // the analogue of CommStats::exposed_wait_seconds for input.
+    obs::TraceScope span("loader.wait", "loader", "batch", want);
+    const double t0 = monotonic_seconds();
+    cv_consume_.wait(lk, [&] { return ready_.count(want) > 0; });
+    static auto& exposed =
+        obs::MetricsRegistry::instance().counter("loader.exposed_wait_seconds");
+    exposed.add(monotonic_seconds() - t0);
+  }
   Batch batch = std::move(ready_.at(want));
   ready_.erase(want);
   ++next_to_consume_;

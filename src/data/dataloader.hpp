@@ -57,11 +57,15 @@ class DataLoader {
  private:
   void worker_loop();
   Batch render_batch(i64 batch_index) const;
+  Batch render_batch_traced(i64 batch_index) const;
   void stop_workers();
 
   const SceneDataset& dataset_;
   Split split_;
   Options options_;
+  // Rank of the thread that built the loader: workers adopt it so their
+  // trace activity groups under the owning rank's timeline.
+  int owner_rank_ = -1;
 
   std::vector<i64> permutation_;
   i64 n_batches_ = 0;

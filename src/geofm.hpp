@@ -18,6 +18,7 @@
 //   data/      procedural scene datasets (Table II), DataLoader
 //   train/     pretraining, linear probing, checkpoints
 //   sim/       Frontier machine model + training-step simulator
+//   obs/       per-rank tracing (Chrome-trace export) + metrics registry
 #pragma once
 
 #include "comm/communicator.hpp"
@@ -26,6 +27,8 @@
 #include "models/config.hpp"
 #include "models/mae.hpp"
 #include "models/vit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "optim/optimizer.hpp"
 #include "parallel/ddp.hpp"
 #include "parallel/fsdp.hpp"

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "nn/pos_embed.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace geofm::models {
@@ -115,6 +116,7 @@ MAE::MAE(const MaeConfig& cfg, Rng& rng)
 }
 
 float MAE::forward(const Tensor& images, Rng& mask_rng, i64 sample_offset) {
+  obs::TraceScope trace_span("mae.forward", "compute", "batch", images.dim(0));
   const i64 b = images.dim(0);
   const i64 n = cfg_.encoder.n_patches();
   const i64 we = cfg_.encoder.width;
@@ -156,7 +158,12 @@ float MAE::forward(const Tensor& images, Rng& mask_rng, i64 sample_offset) {
   for (size_t i = 0; i < enc_blocks_.size(); ++i) {
     const int stage = static_cast<int>(i);
     if (hooks_ != nullptr) hooks_->fire_before_forward(stage);
-    x = enc_blocks_[i]->forward(x);
+    {
+      // The span covers the stage's compute only; hook-driven gathers and
+      // reshards trace under their own fsdp/comm spans.
+      obs::TraceScope span("stage.forward", "compute", "stage", stage);
+      x = enc_blocks_[i]->forward(x);
+    }
     if (hooks_ != nullptr) hooks_->fire_after_forward(stage);
   }
   x = enc_norm.forward(x);  // latent [B,keep+1,we]
@@ -190,7 +197,10 @@ float MAE::forward(const Tensor& images, Rng& mask_rng, i64 sample_offset) {
   for (size_t i = 0; i < dec_blocks_.size(); ++i) {
     const int stage = static_cast<int>(enc_blocks_.size() + i);
     if (hooks_ != nullptr) hooks_->fire_before_forward(stage);
-    d = dec_blocks_[i]->forward(d);
+    {
+      obs::TraceScope span("stage.forward", "compute", "stage", stage);
+      d = dec_blocks_[i]->forward(d);
+    }
     if (hooks_ != nullptr) hooks_->fire_after_forward(stage);
   }
   d = dec_norm.forward(d);
@@ -213,6 +223,7 @@ float MAE::forward(const Tensor& images, Rng& mask_rng, i64 sample_offset) {
 }
 
 Tensor MAE::backward() {
+  obs::TraceScope trace_span("mae.backward", "compute", "batch", batch_);
   GEOFM_CHECK(dpred_.defined(), "MAE backward before forward");
   const i64 b = batch_;
   const i64 n = cfg_.encoder.n_patches();
@@ -233,7 +244,10 @@ Tensor MAE::backward() {
   for (int i = static_cast<int>(dec_blocks_.size()) - 1; i >= 0; --i) {
     const int stage = static_cast<int>(enc_blocks_.size()) + i;
     if (hooks_ != nullptr) hooks_->fire_before_backward(stage);
-    dd = dec_blocks_[static_cast<size_t>(i)]->backward(dd);
+    {
+      obs::TraceScope span("stage.backward", "compute", "stage", stage);
+      dd = dec_blocks_[static_cast<size_t>(i)]->backward(dd);
+    }
     if (hooks_ != nullptr) hooks_->fire_after_backward(stage);
   }
   // Positional table is fixed; gradient passes through unchanged.
@@ -269,7 +283,10 @@ Tensor MAE::backward() {
   dlatent = enc_norm.backward(dlatent);
   for (int i = static_cast<int>(enc_blocks_.size()) - 1; i >= 0; --i) {
     if (hooks_ != nullptr) hooks_->fire_before_backward(i);
-    dlatent = enc_blocks_[static_cast<size_t>(i)]->backward(dlatent);
+    {
+      obs::TraceScope span("stage.backward", "compute", "stage", i);
+      dlatent = enc_blocks_[static_cast<size_t>(i)]->backward(dlatent);
+    }
     if (hooks_ != nullptr) hooks_->fire_after_backward(i);
   }
 

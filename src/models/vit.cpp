@@ -1,6 +1,7 @@
 #include "models/vit.hpp"
 
 #include "nn/pos_embed.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/thread_pool.hpp"
 
@@ -81,7 +82,10 @@ Tensor ViTEncoder::forward(const Tensor& images) {
   for (size_t i = 0; i < blocks_.size(); ++i) {
     const int stage = static_cast<int>(i);
     if (hooks_ != nullptr) hooks_->fire_before_forward(stage);
-    x = blocks_[i]->forward(x);
+    {
+      obs::TraceScope span("stage.forward", "compute", "stage", stage);
+      x = blocks_[i]->forward(x);
+    }
     if (hooks_ != nullptr) hooks_->fire_after_forward(stage);
   }
   x = norm.forward(x);
@@ -114,7 +118,10 @@ Tensor ViTEncoder::backward(const Tensor& dy) {
   dx = norm.backward(dx);
   for (int i = static_cast<int>(blocks_.size()) - 1; i >= 0; --i) {
     if (hooks_ != nullptr) hooks_->fire_before_backward(i);
-    dx = blocks_[static_cast<size_t>(i)]->backward(dx);
+    {
+      obs::TraceScope span("stage.backward", "compute", "stage", i);
+      dx = blocks_[static_cast<size_t>(i)]->backward(dx);
+    }
     if (hooks_ != nullptr) hooks_->fire_after_backward(i);
   }
 

@@ -1,0 +1,198 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace geofm::obs {
+
+namespace {
+
+int bucket_index(double v) {
+  if (!(v > Histogram::kLo)) return 0;
+  const int idx = 1 + static_cast<int>(std::floor(
+                          std::log(v / Histogram::kLo) /
+                          std::log(Histogram::kGrowth)));
+  return std::min(idx, Histogram::kBuckets + 1);
+}
+
+/// Representative value of a bucket (geometric mean of its edges).
+double bucket_value(int idx) {
+  if (idx == 0) return Histogram::kLo;
+  const double lo = Histogram::kLo * std::pow(Histogram::kGrowth, idx - 1);
+  return lo * std::sqrt(Histogram::kGrowth);
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  buckets_[static_cast<size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const u64 n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::percentile(double p) const {
+  const u64 n = count();
+  if (n == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest value with cumulative count >= rank.
+  const u64 rank = std::max<u64>(
+      1, static_cast<u64>(std::ceil(clamped / 100.0 * static_cast<double>(n))));
+  u64 cum = 0;
+  for (int i = 0; i < kBuckets + 2; ++i) {
+    cum += buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      return std::clamp(bucket_value(i), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl i;
+  return i;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry r;
+  return r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  auto& slot = i.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  auto& slot = i.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  auto& slot = i.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  std::vector<MetricSample> out;
+  out.reserve(i.counters.size() + i.gauges.size() + i.histograms.size());
+  for (const auto& [name, c] : i.counters) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : i.gauges) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : i.histograms) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.value = h->sum();
+    s.count = h->count();
+    s.mean = h->mean();
+    s.p50 = h->percentile(50);
+    s.p90 = h->percentile(90);
+    s.p99 = h->percentile(99);
+    s.min = s.count > 0 ? h->min() : 0;
+    s.max = s.count > 0 ? h->max() : 0;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::dump_text() const {
+  std::ostringstream os;
+  for (const MetricSample& s : snapshot()) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << s.name << " = " << s.value << "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        os << s.name << " = " << s.value << " (gauge)\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        os << s.name << ": n=" << s.count << " sum=" << s.value
+           << " mean=" << s.mean << " p50=" << s.p50 << " p90=" << s.p90
+           << " p99=" << s.p99 << " min=" << s.min << " max=" << s.max
+           << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, g] : i.gauges) g->reset();
+  for (auto& [name, h] : i.histograms) h->reset();
+}
+
+}  // namespace geofm::obs

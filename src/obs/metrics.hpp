@@ -1,0 +1,121 @@
+// Process-wide metrics registry: named counters, gauges, and histograms
+// with percentile summaries. The companion to the trace recorder — traces
+// answer "where did this step's time go", metrics answer "how much, in
+// total, across the run".
+//
+// All instruments are thread-safe and lock-free on the update path
+// (atomics only). Lookup by name takes a registry mutex, so hot sites
+// should resolve their instrument once and cache the reference:
+//
+//   static auto& waits = obs::MetricsRegistry::instance().counter("comm.waits");
+//   waits.add(1);
+//
+// Histograms use geometric buckets (10% relative width) spanning 1e-9 to
+// ~1.8e4 (ns to hours when observations are seconds), so percentile
+// estimates carry at most ~5% relative error, clamped to the observed
+// min/max.
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace geofm::obs {
+
+class Counter {
+ public:
+  void add(double v) { v_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Keeps the maximum of all set_max() calls since reset.
+  void set_max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+class Histogram {
+ public:
+  // Geometric buckets: bucket 0 holds v <= kLo (incl. non-positive),
+  // buckets 1..kBuckets cover (kLo, kLo * kGrowth^kBuckets], the last
+  // bucket is overflow.
+  static constexpr double kLo = 1e-9;
+  static constexpr double kGrowth = 1.1;
+  static constexpr int kBuckets = 320;  // ~ up to 1.1^320 * 1e-9 ≈ 1.8e4
+
+  void observe(double v);
+
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // +inf when empty
+  double max() const;  // -inf when empty
+  double mean() const;
+  /// p in [0, 100]. Bucket-interpolated, clamped to the observed range.
+  double percentile(double p) const;
+  void reset();
+
+ private:
+  std::array<std::atomic<u64>, kBuckets + 2> buckets_{};
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// One instrument's state, as captured by MetricsRegistry::snapshot().
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0;  // counter/gauge value; histogram sum
+  u64 count = 0;     // histogram observations
+  double mean = 0, p50 = 0, p90 = 0, p99 = 0, min = 0, max = 0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Finds or creates. References stay valid for the process lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Point-in-time capture of every instrument, sorted by name — the
+  /// per-step snapshot API (diff two snapshots for a step's delta).
+  std::vector<MetricSample> snapshot() const;
+
+  /// Human-readable dump of snapshot().
+  std::string dump_text() const;
+
+  /// Zeroes every instrument (between runs / tests). Not linearizable
+  /// against concurrent updates.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace geofm::obs

@@ -1,0 +1,312 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <set>
+
+namespace geofm::obs {
+namespace detail {
+
+std::atomic<int> g_trace_state{0};
+
+ThreadTrack::ThreadTrack(int tid_, u64 capacity) : tid(tid_) {
+  buf.resize(static_cast<size_t>(capacity));
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr u64 kDefaultCapacity = 1u << 16;
+
+struct Registry {
+  mutable std::mutex mu;
+  std::vector<std::shared_ptr<detail::ThreadTrack>> tracks;
+  std::atomic<u64> capacity{kDefaultCapacity};
+  std::string exit_path;  // set from GEOFM_TRACE; written at process exit
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void write_exit_trace() {
+  const std::string& path = registry().exit_path;
+  if (path.empty()) return;
+  TraceRecorder::instance().write_json(path);
+  std::fprintf(stderr, "[geofm] trace written to %s (%llu events dropped)\n",
+               path.c_str(),
+               static_cast<unsigned long long>(
+                   TraceRecorder::instance().dropped_events()));
+}
+
+// JSON string escaping for names/labels (all are literals we control, but
+// stay safe).
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      os << hex;
+    } else {
+      os << c;
+    }
+  }
+}
+
+// pid encoding: rank r >= 0 -> r; untracked threads -> a sentinel process.
+constexpr int kUntrackedPid = 999;
+
+const char* process_label(int pid) {
+  return pid == kUntrackedPid ? "untracked" : "rank";
+}
+
+}  // namespace
+
+namespace detail {
+
+bool trace_init_slow() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("GEOFM_TRACE");
+    const char* cap = std::getenv("GEOFM_TRACE_BUFFER");
+    if (cap != nullptr) {
+      const long long v = std::atoll(cap);
+      if (v > 0) registry().capacity.store(static_cast<u64>(v));
+    }
+    if (env != nullptr && env[0] != '\0') {
+      registry().exit_path = env;
+      std::atexit(write_exit_trace);
+      g_trace_state.store(2, std::memory_order_relaxed);
+    } else {
+      g_trace_state.store(1, std::memory_order_relaxed);
+    }
+  });
+  return g_trace_state.load(std::memory_order_relaxed) == 2;
+}
+
+}  // namespace detail
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder r;
+  return r;
+}
+
+void TraceRecorder::enable() {
+  trace_enabled();  // ensure env init ran (so exit_path/capacity are set)
+  detail::g_trace_state.store(2, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  trace_enabled();
+  detail::g_trace_state.store(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (auto& t : r.tracks) {
+    t->count.store(0, std::memory_order_release);
+    t->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+void TraceRecorder::set_buffer_capacity(u64 events) {
+  GEOFM_CHECK(events > 0);
+  registry().capacity.store(events);
+}
+
+u64 TraceRecorder::buffer_capacity() const { return registry().capacity.load(); }
+
+detail::ThreadTrack& TraceRecorder::track() {
+  thread_local std::shared_ptr<detail::ThreadTrack> mine = [] {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto t = std::make_shared<detail::ThreadTrack>(
+        static_cast<int>(r.tracks.size()), r.capacity.load());
+    r.tracks.push_back(t);
+    return t;
+  }();
+  return *mine;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<std::shared_ptr<detail::ThreadTrack>> tracks;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    tracks = r.tracks;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& t : tracks) {
+    const u64 n = std::min<u64>(t->count.load(std::memory_order_acquire),
+                                t->buf.size());
+    out.insert(out.end(), t->buf.begin(),
+               t->buf.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return out;
+}
+
+u64 TraceRecorder::dropped_events() const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  u64 total = 0;
+  for (const auto& t : r.tracks) {
+    total += t->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  std::vector<std::shared_ptr<detail::ThreadTrack>> tracks;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    tracks = r.tracks;
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Metadata: name each (pid, tid) pair that carries events.
+  std::set<std::pair<int, int>> seen;
+  for (const auto& t : tracks) {
+    const u64 n = std::min<u64>(t->count.load(std::memory_order_acquire),
+                                t->buf.size());
+    const char* label = t->label.load(std::memory_order_relaxed);
+    for (u64 i = 0; i < n; ++i) {
+      const TraceEvent& e = t->buf[static_cast<size_t>(i)];
+      const int pid = e.rank >= 0 ? e.rank : kUntrackedPid;
+      if (!seen.insert({pid, t->tid}).second) continue;
+      sep();
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << t->tid << ",\"args\":{\"name\":\""
+         << process_label(pid);
+      if (pid != kUntrackedPid) os << " " << pid;
+      os << "\"}}";
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << t->tid << ",\"args\":{\"name\":\"";
+      write_escaped(os, label != nullptr ? label : "thread");
+      os << " (t" << t->tid << ")\"}}";
+    }
+  }
+
+  for (const auto& t : tracks) {
+    const u64 n = std::min<u64>(t->count.load(std::memory_order_acquire),
+                                t->buf.size());
+    for (u64 i = 0; i < n; ++i) {
+      const TraceEvent& e = t->buf[static_cast<size_t>(i)];
+      const int pid = e.rank >= 0 ? e.rank : kUntrackedPid;
+      sep();
+      os << "{\"name\":\"";
+      write_escaped(os, e.name);
+      os << "\",\"cat\":\"";
+      write_escaped(os, e.cat != nullptr ? e.cat : "app");
+      os << "\",\"pid\":" << pid << ",\"tid\":" << t->tid << ",\"ts\":";
+      char ts[32];
+      std::snprintf(ts, sizeof(ts), "%.3f",
+                    static_cast<double>(e.ts_ns) * 1e-3);
+      os << ts;
+      switch (e.phase) {
+        case TraceEvent::Phase::kComplete: {
+          char dur[32];
+          std::snprintf(dur, sizeof(dur), "%.3f",
+                        static_cast<double>(e.dur_ns) * 1e-3);
+          os << ",\"ph\":\"X\",\"dur\":" << dur;
+          break;
+        }
+        case TraceEvent::Phase::kInstant:
+          os << ",\"ph\":\"i\",\"s\":\"t\"";
+          break;
+        case TraceEvent::Phase::kCounter:
+          os << ",\"ph\":\"C\"";
+          break;
+      }
+      if (e.phase == TraceEvent::Phase::kCounter) {
+        os << ",\"args\":{\"value\":" << e.arg << "}";
+      } else if (e.arg_name != nullptr) {
+        os << ",\"args\":{\"";
+        write_escaped(os, e.arg_name);
+        os << "\":" << e.arg;
+        if (e.arg2_name != nullptr) {
+          os << ",\"";
+          write_escaped(os, e.arg2_name);
+          os << "\":" << e.arg2;
+        }
+        os << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+void TraceRecorder::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  GEOFM_CHECK(f.good(), "cannot open trace output " << path);
+  write_json(f);
+}
+
+void set_thread_label(const char* label) {
+  // No-op when disabled so threads never pay the track-buffer allocation
+  // unless a trace is actually being captured.
+  if (!trace_enabled()) return;
+  TraceRecorder::instance().track().label.store(label,
+                                                std::memory_order_relaxed);
+}
+
+void TraceScope::end() {
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.ts_ns = start_ns_;
+  e.dur_ns = monotonic_ns() - start_ns_;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.rank = this_thread_rank();
+  e.arg_name = arg_name_;
+  e.arg = arg_;
+  e.arg2_name = arg2_name_;
+  e.arg2 = arg2_;
+  TraceRecorder::instance().track().push(e);
+}
+
+void trace_instant(const char* name, const char* cat) {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = monotonic_ns();
+  e.phase = TraceEvent::Phase::kInstant;
+  e.rank = this_thread_rank();
+  TraceRecorder::instance().track().push(e);
+}
+
+void trace_counter(const char* name, i64 value) {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = "counter";
+  e.ts_ns = monotonic_ns();
+  e.phase = TraceEvent::Phase::kCounter;
+  e.rank = this_thread_rank();
+  e.arg = value;
+  TraceRecorder::instance().track().push(e);
+}
+
+}  // namespace geofm::obs

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace geofm::optim {
 
 Optimizer::Optimizer(std::vector<nn::Parameter*> params, double lr)
@@ -31,6 +33,7 @@ Sgd::Sgd(std::vector<nn::Parameter*> params, double lr, double momentum)
 }
 
 void Sgd::step() {
+  obs::TraceScope span("optim.step.sgd", "optim");
   for (size_t i = 0; i < params_.size(); ++i) {
     nn::Parameter* p = params_[i];
     if (!p->requires_grad || !p->grad.defined()) continue;
@@ -68,6 +71,7 @@ AdamW::AdamW(std::vector<nn::Parameter*> params, double lr, double beta1,
 }
 
 void AdamW::step() {
+  obs::TraceScope span("optim.step.adamw", "optim");
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
@@ -107,6 +111,7 @@ Lars::Lars(std::vector<nn::Parameter*> params, double lr, double momentum,
 }
 
 void Lars::step() {
+  obs::TraceScope span("optim.step.lars", "optim");
   for (size_t i = 0; i < params_.size(); ++i) {
     nn::Parameter* p = params_[i];
     if (!p->requires_grad || !p->grad.defined()) continue;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace geofm::parallel {
 
 Ddp::Ddp(nn::StagedModel& model, comm::Communicator comm, i64 bucket_cap_bytes)
@@ -78,6 +81,15 @@ void Ddp::begin_cycle() {
 }
 
 void Ddp::launch(Bucket& bucket, bool from_hook) {
+  obs::TraceScope span("ddp.bucket.launch", "ddp", "bucket",
+                       static_cast<i64>(&bucket - buckets_.data()), "bytes",
+                       bucket.elements * static_cast<i64>(sizeof(float)));
+  static auto& launched =
+      obs::MetricsRegistry::instance().counter("ddp.buckets_launched");
+  static auto& from_hooks = obs::MetricsRegistry::instance().counter(
+      "ddp.buckets_launched_from_hook");
+  launched.add(1);
+  if (from_hook) from_hooks.add(1);
   i64 offset = 0;
   for (nn::Parameter* p : bucket.params) {
     bucket.buffer.flat_view(offset, p->numel()).copy_(p->grad);
@@ -103,6 +115,7 @@ void Ddp::on_stage_done(int stage) {
 }
 
 void Ddp::synchronize_gradients() {
+  obs::TraceScope span("ddp.synchronize_gradients", "ddp");
   if (!cycle_open_) begin_cycle();
 
   // Root gradients are final now; launch every bucket still pending
@@ -122,6 +135,9 @@ void Ddp::synchronize_gradients() {
       offset += p->numel();
     }
   }
+  static auto& exposed = obs::MetricsRegistry::instance().histogram(
+      "ddp.sync.exposed_wait_seconds");
+  exposed.observe(stats_.exposed_wait_seconds);
   cycle_open_ = false;
 }
 

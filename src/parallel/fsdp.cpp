@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace geofm::parallel {
 
 std::string to_string(ShardingStrategy s) {
@@ -142,6 +145,8 @@ void Fsdp::build_unit(Unit& unit, std::vector<nn::Parameter*> params,
 void Fsdp::unshard(Unit& unit, int unit_index) {
   if (unit.unsharded) return;
   if (shard_comm_->size() > 1) {
+    obs::TraceScope span("fsdp.unshard", "fsdp", "unit", unit_index, "bytes",
+                         unit.padded * static_cast<i64>(sizeof(float)));
     if (unit_index >= 0) {
       // Functional limit_all_gathers: block issuing once the cap of
       // in-flight stage gathers is reached, by retiring the oldest
@@ -150,6 +155,11 @@ void Fsdp::unshard(Unit& unit, int unit_index) {
       if (options_.limit_all_gathers) {
         while (static_cast<int>(outstanding_gathers_.size()) >=
                kAllGatherInflightCap) {
+          obs::TraceScope stall("fsdp.limiter.stall", "fsdp", "unit",
+                                outstanding_gathers_.front());
+          static auto& stalls =
+              obs::MetricsRegistry::instance().counter("fsdp.limiter_stalls");
+          stalls.add(1);
           const int oldest = outstanding_gathers_.front();
           ensure_ready(unit_at(oldest), oldest);
         }
@@ -172,6 +182,7 @@ void Fsdp::unshard(Unit& unit, int unit_index) {
 
 void Fsdp::ensure_ready(Unit& unit, int unit_index) {
   if (!unit.gather.pending()) return;
+  obs::TraceScope span("fsdp.gather.wait", "fsdp", "unit", unit_index);
   unit.gather.wait(&stats_);
   if (unit_index >= 0) {
     auto it = std::find(outstanding_gathers_.begin(),
@@ -183,6 +194,7 @@ void Fsdp::ensure_ready(Unit& unit, int unit_index) {
 void Fsdp::reshard(Unit& unit, int unit_index) {
   if (!unit.unsharded) return;
   if (shard_comm_->size() > 1) {
+    obs::TraceScope span("fsdp.reshard", "fsdp", "unit", unit_index);
     // A unit must never be freed with its gather still in flight.
     ensure_ready(unit, unit_index);
     // Poison the freed buffer: any use before the next gather is a bug and
@@ -198,6 +210,7 @@ void Fsdp::reshard(Unit& unit, int unit_index) {
 void Fsdp::launch_reduce(Unit& unit, int unit_index) {
   const bool shard_active = shard_comm_->size() > 1;
   const bool replica_active = replica_comm_->size() > 1;
+  obs::TraceScope span("fsdp.reduce.issue", "fsdp", "unit", unit_index);
   if (shard_active) {
     unit.reduce_scatter = shard_comm_->ireduce_scatter(
         unit.full_grad, unit.shard_grad, comm::ReduceOp::kSum);
@@ -216,6 +229,8 @@ void Fsdp::launch_reduce(Unit& unit, int unit_index) {
 }
 
 void Fsdp::drain_reductions() {
+  obs::TraceScope span("fsdp.drain_reductions", "fsdp", "pending",
+                       static_cast<i64>(pending_reductions_.size()));
   const bool shard_active = shard_comm_->size() > 1;
   const bool replica_active = replica_comm_->size() > 1;
 
@@ -243,6 +258,7 @@ void Fsdp::drain_reductions() {
 }
 
 void Fsdp::begin_step() {
+  obs::TraceScope span("fsdp.begin_step", "fsdp");
   schedule_.clear();
   unsharded_count_ = 0;
   peak_unsharded_ = 0;
@@ -274,9 +290,16 @@ void Fsdp::begin_step() {
 }
 
 void Fsdp::end_backward() {
+  obs::TraceScope span("fsdp.end_backward", "fsdp");
   launch_reduce(root_, -1);
   drain_reductions();
   reshard(root_, -1);
+  static auto& exposed = obs::MetricsRegistry::instance().histogram(
+      "fsdp.step.exposed_wait_seconds");
+  static auto& peak = obs::MetricsRegistry::instance().gauge(
+      "fsdp.peak_inflight_gathers");
+  exposed.observe(stats_.exposed_wait_seconds);
+  peak.set_max(peak_inflight_gathers_);
 }
 
 void Fsdp::on_before_forward(int stage) {

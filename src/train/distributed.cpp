@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "data/dataloader.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "optim/optimizer.hpp"
 #include "util/log.hpp"
+#include "util/thread_context.hpp"
 #include "util/timer.hpp"
 
 namespace geofm::train {
@@ -37,27 +40,63 @@ DistributedPretrainResult pretrain_mae_distributed(
   DistributedPretrainResult result;
   result.step_losses.reserve(static_cast<size_t>(cfg.steps));
 
+  auto& registry = obs::MetricsRegistry::instance();
+  auto& step_hist = registry.histogram("train.step_seconds");
+  auto& loader_exposed_counter =
+      registry.counter("train.loader_exposed_seconds");
+
   i64 step = 0;
   for (i64 epoch = 0; step < cfg.steps; ++epoch) {
     loader.start_epoch(epoch);
-    while (auto batch = loader.next()) {
-      if (step >= cfg.steps) break;
+    for (;;) {
+      // Fetch blocking time is the loader's exposed cost to this rank —
+      // the input-pipeline analogue of CommStats::exposed_wait_seconds.
+      double fetch_seconds = 0;
+      std::optional<data::Batch> batch;
+      {
+        obs::TraceScope fetch_span("step.fetch", "loader", "step", step);
+        const double t0 = monotonic_seconds();
+        batch = loader.next();
+        fetch_seconds = monotonic_seconds() - t0;
+      }
+      if (!batch || step >= cfg.steps) break;
+      result.loader_exposed_seconds += fetch_seconds;
+      loader_exposed_counter.add(fetch_seconds);
+
+      obs::TraceScope step_span("step", "runtime", "step", step);
+      const double step_t0 = monotonic_seconds();
       const i64 per = batch->images.numel() / batch->images.dim(0);
       Tensor mine({local_batch, batch->images.dim(1), batch->images.dim(2),
                    batch->images.dim(3)});
-      mine.copy_(batch->images.flat_view(comm.rank() * local_batch * per,
-                                         local_batch * per));
+      {
+        obs::TraceScope span("step.slice", "runtime", "local_batch",
+                             local_batch);
+        mine.copy_(batch->images.flat_view(comm.rank() * local_batch * per,
+                                           local_batch * per));
+      }
 
       // The async step: begin_step() issues what the strategy needs up
       // front; stage hooks overlap gathers/reductions with compute;
       // end_backward() drains every in-flight collective.
       fsdp.begin_step();
       Rng mask_rng(cfg.seed ^ (0x9e3779b9ULL + static_cast<u64>(step)));
-      const float local_loss =
-          mae.forward(mine, mask_rng, comm.rank() * local_batch);
-      mae.backward();
-      fsdp.end_backward();
-      opt.step();
+      float local_loss = 0;
+      {
+        obs::TraceScope span("step.forward", "compute", "step", step);
+        local_loss = mae.forward(mine, mask_rng, comm.rank() * local_batch);
+      }
+      {
+        obs::TraceScope span("step.backward", "compute", "step", step);
+        mae.backward();
+      }
+      {
+        obs::TraceScope span("step.end_backward", "runtime", "step", step);
+        fsdp.end_backward();
+      }
+      {
+        obs::TraceScope span("step.optimizer", "optim", "step", step);
+        opt.step();
+      }
 
       const auto& stats = fsdp.last_step_stats();
       result.collectives_waited += stats.waits;
@@ -69,15 +108,21 @@ DistributedPretrainResult pretrain_mae_distributed(
           std::max(result.peak_inflight_gathers, fsdp.peak_inflight_gathers());
 
       Tensor loss_t = Tensor::from({local_loss});
-      comm.all_reduce(loss_t, comm::ReduceOp::kAvg);
+      {
+        obs::TraceScope span("step.loss_allreduce", "comm", "step", step);
+        comm.all_reduce(loss_t, comm::ReduceOp::kAvg);
+      }
       result.step_losses.push_back(loss_t[0]);
       result.images_seen += cfg.global_batch;
+      step_hist.observe(monotonic_seconds() - step_t0);
       if (cfg.verbose && comm.rank() == 0 && step % 10 == 0) {
         GEOFM_INFO("dist pretrain step " << step << " loss " << loss_t[0]
                                          << " exposed "
                                          << stats.exposed_wait_seconds
                                          << "s overlapped "
-                                         << stats.overlapped_seconds() << "s");
+                                         << stats.overlapped_seconds()
+                                         << "s loader " << fetch_seconds
+                                         << "s");
       }
       ++step;
     }

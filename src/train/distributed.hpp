@@ -37,6 +37,12 @@ struct DistributedPretrainResult {
   double exposed_wait_seconds = 0;    // time actually blocked waiting
   double overlapped_comm_seconds = 0; // comm hidden behind compute
   int peak_inflight_gathers = 0;      // max over steps
+
+  // Input-pipeline analogue of exposed_wait_seconds: time this rank spent
+  // blocked in loader.next(), summed over all steps. With workers the
+  // render pipeline hides behind compute and this stays near zero; with
+  // loader_workers == 0 every render is on the critical path.
+  double loader_exposed_seconds = 0;
 };
 
 /// Runs `cfg.steps` optimizer steps of MAE pretraining on `mae`, already

@@ -1,6 +1,7 @@
 #include "train/pretrain.hpp"
 
 #include "data/dataloader.hpp"
+#include "obs/trace.hpp"
 #include "optim/optimizer.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -43,6 +44,7 @@ PretrainResult pretrain_mae(models::MAE& mae, const data::SceneDataset& corpus,
     double epoch_loss = 0.0;
     i64 epoch_batches = 0;
     while (auto batch = loader.next()) {
+      obs::TraceScope step_span("step", "runtime", "step", global_step);
       opt.set_lr(optim::cosine_warmup_lr(peak_lr, global_step, warmup,
                                          total_steps));
       opt.zero_grad();

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "util/thread_context.hpp"
+
 namespace geofm {
 namespace {
 
@@ -51,9 +53,16 @@ void set_log_level(LogLevel level) {
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& msg) {
+  // Monotonic timestamp (same clock anchor the trace recorder uses, so log
+  // lines correlate with trace spans) and the emitting thread's rank when
+  // it runs inside a collective rank thread.
+  char rank_buf[16] = "";
+  const int rank = this_thread_rank();
+  if (rank >= 0) std::snprintf(rank_buf, sizeof(rank_buf), " r%d", rank);
   static std::mutex mu;
   std::lock_guard<std::mutex> lk(mu);
-  std::fprintf(stderr, "[geofm %s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "[geofm +%.6fs%s %s] %s\n", monotonic_seconds(),
+               rank_buf, level_name(level), msg.c_str());
 }
 
 }  // namespace detail

@@ -1,5 +1,9 @@
 // Minimal leveled logger. Thread-safe; writes to stderr. Level is taken
-// from GEOFM_LOG (trace|debug|info|warn|error), default info.
+// from GEOFM_LOG (trace|debug|info|warn|error), default info. Each line
+// carries a monotonic timestamp (same clock anchor as the trace recorder,
+// so logs correlate with GEOFM_TRACE timelines) and the emitting thread's
+// rank id when inside a collective rank thread:
+//   [geofm +1.234567s r2 INFO] message
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,35 @@
+#include "util/thread_context.hpp"
+
+#include <chrono>
+
+namespace geofm {
+namespace {
+
+thread_local int t_rank = -1;
+
+std::chrono::steady_clock::time_point process_origin() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return origin;
+}
+
+// Force the anchor to initialize at static-init time so early threads and
+// late threads measure from (almost) the same origin.
+const auto g_anchor = process_origin();
+
+}  // namespace
+
+void set_thread_rank(int rank) { t_rank = rank; }
+
+int this_thread_rank() { return t_rank; }
+
+u64 monotonic_ns() {
+  (void)g_anchor;
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() -
+                              process_origin())
+                              .count());
+}
+
+double monotonic_seconds() { return static_cast<double>(monotonic_ns()) * 1e-9; }
+
+}  // namespace geofm

@@ -1,0 +1,27 @@
+// Per-thread identity shared by the logger, the trace recorder, and the
+// collective runtime: which logical rank a thread is acting as, and a
+// human-readable label for its track in trace exports. `run_ranks` tags
+// each rank thread; the DataLoader tags its workers with the rank of the
+// thread that owns the loader, so a rank's loader activity groups under
+// that rank's timeline.
+//
+// Also home of the process-wide monotonic clock anchor, so log lines and
+// trace timestamps share one time base and correlate directly.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace geofm {
+
+/// Tags the calling thread as logical rank `rank` (-1 = untracked).
+void set_thread_rank(int rank);
+/// The calling thread's logical rank, or -1 if it was never tagged.
+int this_thread_rank();
+
+/// Nanoseconds on the steady clock since the process-wide anchor (first
+/// use). Shared by log timestamps and trace events.
+u64 monotonic_ns();
+/// Same anchor, in seconds.
+double monotonic_seconds();
+
+}  // namespace geofm

@@ -1,0 +1,364 @@
+// Observability subsystem tests: trace recorder (concurrent emission,
+// ring-buffer drop semantics, JSON export, disabled-mode behaviour),
+// metrics registry (counters, gauges, histogram percentiles), and the
+// end-to-end contract that summed "comm.exposed" span time per rank
+// matches CommStats::exposed_wait_seconds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_context.hpp"
+
+namespace geofm {
+namespace {
+
+using obs::TraceEvent;
+using obs::TraceRecorder;
+using obs::TraceScope;
+
+/// Enables tracing for one test body and restores the disabled,
+/// empty-buffer state on exit so tests compose in any order.
+struct TraceSession {
+  TraceSession() {
+    auto& r = TraceRecorder::instance();
+    r.disable();
+    r.clear();
+    r.enable();
+  }
+  ~TraceSession() {
+    auto& r = TraceRecorder::instance();
+    r.disable();
+    r.clear();
+  }
+};
+
+std::vector<TraceEvent> complete_events() {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : TraceRecorder::instance().snapshot()) {
+    if (e.phase == TraceEvent::Phase::kComplete) out.push_back(e);
+  }
+  return out;
+}
+
+// ----- trace recorder --------------------------------------------------------
+
+TEST(Trace, DisabledRecordsNothing) {
+  auto& r = TraceRecorder::instance();
+  r.disable();
+  r.clear();
+  const size_t before = r.snapshot().size();
+  {
+    TraceScope span("trace.test.disabled", "test");
+    obs::trace_instant("trace.test.instant", "test");
+    obs::trace_counter("trace.test.counter", 7);
+  }
+  EXPECT_EQ(r.snapshot().size(), before);
+  EXPECT_FALSE(obs::trace_enabled());
+}
+
+TEST(Trace, ScopeRecordsCompleteEventWithArgs) {
+  TraceSession session;
+  {
+    TraceScope span("trace.test.span", "test", "bytes", 4096, "unit", 3);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto events = complete_events();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& e = events[0];
+  EXPECT_STREQ(e.name, "trace.test.span");
+  EXPECT_STREQ(e.cat, "test");
+  EXPECT_GE(e.dur_ns, 1'000'000u);  // slept >= 2 ms, allow scheduler slack
+  EXPECT_STREQ(e.arg_name, "bytes");
+  EXPECT_EQ(e.arg, 4096);
+  EXPECT_STREQ(e.arg2_name, "unit");
+  EXPECT_EQ(e.arg2, 3);
+}
+
+TEST(Trace, ConcurrentEmissionIsWellNestedPerRank) {
+  TraceSession session;
+  constexpr int kThreads = 8;
+  constexpr int kOuter = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      set_thread_rank(t);
+      obs::set_thread_label("test.worker");
+      for (int i = 0; i < kOuter; ++i) {
+        TraceScope outer("outer", "test", "i", i);
+        TraceScope mid("mid", "test");
+        { TraceScope inner("inner", "test"); }
+        { TraceScope inner2("inner", "test"); }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Group by rank (each test thread has a unique rank) and verify the
+  // span intervals are properly nested: sorted by start (ties: longest
+  // first), every event must fit inside the enclosing open span.
+  std::map<int, std::vector<TraceEvent>> by_rank;
+  for (const TraceEvent& e : complete_events()) {
+    if (e.rank >= 0) by_rank[e.rank].push_back(e);
+  }
+  ASSERT_EQ(by_rank.size(), static_cast<size_t>(kThreads));
+  for (auto& [rank, events] : by_rank) {
+    EXPECT_EQ(events.size(), static_cast<size_t>(kOuter * 4));
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                return a.dur_ns > b.dur_ns;
+              });
+    std::vector<u64> open_ends;  // stack of enclosing span end times
+    for (const TraceEvent& e : events) {
+      const u64 end = e.ts_ns + e.dur_ns;
+      while (!open_ends.empty() && open_ends.back() <= e.ts_ns) {
+        open_ends.pop_back();
+      }
+      if (!open_ends.empty()) {
+        EXPECT_LE(end, open_ends.back())
+            << "rank " << rank << " span " << e.name
+            << " overlaps its enclosing span without nesting";
+      }
+      open_ends.push_back(end);
+    }
+  }
+  EXPECT_EQ(TraceRecorder::instance().dropped_events(), 0u);
+}
+
+TEST(Trace, FullBufferDropsInsteadOfWrapping) {
+  TraceSession session;
+  auto& r = TraceRecorder::instance();
+  const u64 old_cap = r.buffer_capacity();
+  r.set_buffer_capacity(16);
+  // Capacity applies to tracks registered after the call — use a fresh
+  // thread so its track is created small.
+  std::thread emitter([] {
+    set_thread_rank(77);
+    for (int i = 0; i < 100; ++i) obs::trace_instant("flood", "test");
+  });
+  emitter.join();
+  r.set_buffer_capacity(old_cap);
+
+  size_t recorded = 0;
+  for (const TraceEvent& e : r.snapshot()) {
+    if (e.rank == 77) ++recorded;
+  }
+  EXPECT_EQ(recorded, 16u);
+  EXPECT_EQ(r.dropped_events(), 84u);
+}
+
+// Minimal structural JSON check: balanced braces/brackets outside string
+// literals, non-empty, object at top level. Catches truncation, unescaped
+// quotes, and trailing garbage without a JSON parser dependency.
+void expect_valid_json_structure(const std::string& s) {
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.front(), '{');
+  int depth_brace = 0, depth_bracket = 0;
+  bool in_string = false, escaped = false;
+  for (char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++depth_brace; break;
+      case '}': --depth_brace; break;
+      case '[': ++depth_bracket; break;
+      case ']': --depth_bracket; break;
+      default: break;
+    }
+    EXPECT_GE(depth_brace, 0);
+    EXPECT_GE(depth_bracket, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth_brace, 0);
+  EXPECT_EQ(depth_bracket, 0);
+}
+
+TEST(Trace, JsonExportIsStructurallyValid) {
+  TraceSession session;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      set_thread_rank(t);
+      obs::set_thread_label("rank");
+      for (int i = 0; i < 20; ++i) {
+        TraceScope span("work", "test", "i", i);
+        obs::trace_counter("queue_depth", i);
+      }
+      obs::trace_instant("done", "test");
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::ostringstream os;
+  TraceRecorder::instance().write_json(os);
+  const std::string json = os.str();
+  expect_valid_json_structure(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // One process track per rank.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_NE(json.find("\"pid\":" + std::to_string(t)), std::string::npos);
+  }
+}
+
+TEST(Trace, ExposedSpansMatchCommStatsPerRank) {
+  TraceSession session;
+  constexpr int kRanks = 4;
+  constexpr int kIters = 6;
+  std::array<comm::CommStats, kRanks> stats{};
+  comm::run_ranks(kRanks, [&](comm::Communicator& c) {
+    for (int i = 0; i < kIters; ++i) {
+      Tensor t = Tensor::full({1 << 12}, static_cast<float>(c.rank()));
+      auto h = c.iall_reduce(t, comm::ReduceOp::kSum);
+      // Skewed compute so some ranks block in wait() and others overlap.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(200 * (c.rank() + 1)));
+      h.wait(&stats[static_cast<size_t>(c.rank())]);
+    }
+    c.barrier();
+  });
+
+  std::array<double, kRanks> span_seconds{};
+  for (const TraceEvent& e : complete_events()) {
+    if (e.rank >= 0 && e.rank < kRanks && std::string(e.cat) == "comm.exposed") {
+      span_seconds[static_cast<size_t>(e.rank)] +=
+          static_cast<double>(e.dur_ns) * 1e-9;
+    }
+  }
+  for (int r = 0; r < kRanks; ++r) {
+    const double reported = stats[static_cast<size_t>(r)].exposed_wait_seconds;
+    const double traced = span_seconds[static_cast<size_t>(r)];
+    // Acceptance contract: within 5% (or an absolute 2 ms floor for
+    // near-zero waits, where clock-call skew dominates).
+    const double tol = std::max(0.05 * reported, 2e-3);
+    EXPECT_NEAR(traced, reported, tol) << "rank " << r;
+  }
+}
+
+// ----- metrics ---------------------------------------------------------------
+
+TEST(Metrics, CounterSumsConcurrentAdds) {
+  auto& c = obs::MetricsRegistry::instance().counter("test.obs.counter");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(c.value(), static_cast<double>(kThreads) * kAdds);
+}
+
+TEST(Metrics, GaugeSetMaxKeepsMaximum) {
+  auto& g = obs::MetricsRegistry::instance().gauge("test.obs.gauge");
+  g.reset();
+  g.set_max(3.0);
+  g.set_max(7.0);
+  g.set_max(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Metrics, HistogramPercentilesWithinBucketError) {
+  auto& h = obs::MetricsRegistry::instance().histogram("test.obs.hist");
+  h.reset();
+  // Uniform 1ms..1000ms: p50 ≈ 0.5, p90 ≈ 0.9, p99 ≈ 0.99.
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i) * 1e-3);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  EXPECT_NEAR(h.mean(), 0.5005, 1e-9);
+  // Geometric buckets are 10% wide, so percentiles carry <= ~10% error.
+  EXPECT_NEAR(h.percentile(50), 0.5, 0.05);
+  EXPECT_NEAR(h.percentile(90), 0.9, 0.09);
+  EXPECT_NEAR(h.percentile(99), 0.99, 0.1);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1e-3);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1.0);
+}
+
+TEST(Metrics, HistogramConcurrentObservations) {
+  auto& h = obs::MetricsRegistry::instance().histogram("test.obs.hist2");
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kObs = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObs; ++i) {
+        h.observe(1e-3 * static_cast<double>(1 + ((t * kObs + i) % 100)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<u64>(kThreads) * kObs);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 0.1);
+  EXPECT_NEAR(h.mean(), 0.0505, 1e-3);
+}
+
+TEST(Metrics, SnapshotAndDumpCoverAllInstruments) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("test.obs.snap_counter").reset();
+  reg.counter("test.obs.snap_counter").add(42.0);
+  reg.gauge("test.obs.snap_gauge").set(3.5);
+  auto& h = reg.histogram("test.obs.snap_hist");
+  h.reset();
+  h.observe(1.0);
+  h.observe(2.0);
+
+  const auto samples = reg.snapshot();
+  ASSERT_TRUE(std::is_sorted(samples.begin(), samples.end(),
+                             [](const obs::MetricSample& a,
+                                const obs::MetricSample& b) {
+                               return a.name < b.name;
+                             }));
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& s : samples) {
+    if (s.name == "test.obs.snap_counter") {
+      saw_counter = true;
+      EXPECT_EQ(s.kind, obs::MetricSample::Kind::kCounter);
+      EXPECT_DOUBLE_EQ(s.value, 42.0);
+    } else if (s.name == "test.obs.snap_gauge") {
+      saw_gauge = true;
+      EXPECT_DOUBLE_EQ(s.value, 3.5);
+    } else if (s.name == "test.obs.snap_hist") {
+      saw_hist = true;
+      EXPECT_EQ(s.count, 2u);
+      EXPECT_DOUBLE_EQ(s.value, 3.0);  // histogram sum
+      EXPECT_DOUBLE_EQ(s.min, 1.0);
+      EXPECT_DOUBLE_EQ(s.max, 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+
+  const std::string text = reg.dump_text();
+  EXPECT_NE(text.find("test.obs.snap_counter"), std::string::npos);
+  EXPECT_NE(text.find("test.obs.snap_gauge"), std::string::npos);
+  EXPECT_NE(text.find("test.obs.snap_hist"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geofm
