@@ -96,11 +96,23 @@ inline std::vector<PretrainedProxy> pretrained_proxies(bool verbose = true) {
     const bool have_ckpt = std::filesystem::exists(ck);
     const bool have_losses =
         load_losses(cfg.name, p.epoch_losses, p.step_losses);
+    bool loaded = false;
     if (have_ckpt && have_losses) {
-      train::load_checkpoint(*p.mae, ck);
-      if (verbose) std::printf("[%s: loaded cached checkpoint]\n",
-                               cfg.name.c_str());
-    } else {
+      // A cached checkpoint from an older format (or a corrupted file)
+      // is rejected by the loader; fall through to retraining then.
+      try {
+        train::load_checkpoint(*p.mae, ck);
+        loaded = true;
+        if (verbose) std::printf("[%s: loaded cached checkpoint]\n",
+                                 cfg.name.c_str());
+      } catch (const Error& e) {
+        if (verbose) std::printf("[%s: cached checkpoint unusable (%s)]\n",
+                                 cfg.name.c_str(), e.what());
+        p.epoch_losses.clear();
+        p.step_losses.clear();
+      }
+    }
+    if (!loaded) {
       if (verbose) {
         std::printf("[%s: pretraining %lld imgs x %lld epochs ...]\n",
                     cfg.name.c_str(), (long long)recipe.corpus,

@@ -1,0 +1,136 @@
+// Trace-span budget gate (CI): runs a representative distributed
+// pretraining workload with tracing enabled, aggregates time per span
+// name across every rank, and fails (exit 1) if any budgeted span's share
+// of total step time exceeds its budget in scripts/span_budgets.txt.
+//
+// Budgets are *fractions of summed `step` span time*, not absolute
+// seconds, so the gate is stable across machine speeds; they are set with
+// generous headroom above healthy-run observations and exist to catch
+// structural regressions — a collective that stopped overlapping, an
+// unshard that re-materializes eagerly, a loader that renders the full
+// global batch again, a checkpoint snapshot that grew a synchronous
+// write — not to police noise.
+//
+// Usage:  bench_span_budget_gate [budgets-file]
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "geofm.hpp"
+
+using namespace geofm;
+
+namespace {
+
+// "span_name  max_fraction" per line; '#' starts a comment.
+std::map<std::string, double> load_budgets(const std::string& path) {
+  std::map<std::string, double> budgets;
+  std::ifstream in(path);
+  if (!in.good()) return budgets;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string name;
+    double fraction = 0;
+    if (ls >> name >> fraction) budgets[name] = fraction;
+  }
+  return budgets;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string budget_path =
+      argc > 1 ? argv[1] : "scripts/span_budgets.txt";
+  const auto budgets = load_budgets(budget_path);
+  if (budgets.empty()) {
+    std::fprintf(stderr, "span budget gate: no budgets loaded from %s\n",
+                 budget_path.c_str());
+    return 2;
+  }
+
+  auto& recorder = obs::TraceRecorder::instance();
+  recorder.enable();
+  recorder.clear();
+
+  // The workload: the distributed example's shape at CI scale — 4 ranks,
+  // FULL_SHARD with backward prefetch, worker-side batch slicing, async
+  // checkpointing. Every budgeted span is on this path.
+  auto corpus = data::million_aid_pretrain(256, 32);
+  const std::string ckpt_root = "/tmp/geofm_span_budget_gate_ckpt";
+  std::filesystem::remove_all(ckpt_root);
+
+  train::DistributedPretrainConfig cfg;
+  cfg.steps = 10;
+  cfg.global_batch = 64;
+  cfg.lr = 3e-3;
+  cfg.seed = 9;
+  cfg.loader_workers = 2;
+  cfg.verbose = false;
+  cfg.checkpoint_every_n_steps = 4;
+  cfg.checkpoint_dir = ckpt_root;
+  cfg.async_checkpoint = true;
+
+  comm::run_ranks(4, [&](comm::Communicator& c) {
+    Rng rng(1);
+    models::MAE mae(models::mae_for(models::proxy_huge()), rng);
+    parallel::FsdpOptions opts;
+    opts.strategy = parallel::ShardingStrategy::kFullShard;
+    opts.prefetch = parallel::BackwardPrefetch::kBackwardPre;
+    parallel::Fsdp fsdp(mae, c, opts);
+    train::pretrain_mae_distributed(mae, fsdp, c, corpus, cfg);
+  });
+
+  std::map<std::string, double> seconds_by_span;
+  for (const auto& e : recorder.snapshot()) {
+    if (e.phase != obs::TraceEvent::Phase::kComplete) continue;
+    seconds_by_span[e.name] += static_cast<double>(e.dur_ns) * 1e-9;
+  }
+  recorder.disable();
+  std::filesystem::remove_all(ckpt_root);
+
+  const auto step_it = seconds_by_span.find("step");
+  if (step_it == seconds_by_span.end() || step_it->second <= 0) {
+    std::fprintf(stderr, "span budget gate: no `step` spans recorded\n");
+    return 2;
+  }
+  const double step_total = step_it->second;
+  if (recorder.dropped_events() > 0) {
+    std::fprintf(stderr,
+                 "span budget gate: warning: %llu trace events dropped "
+                 "(shares are lower bounds)\n",
+                 static_cast<unsigned long long>(recorder.dropped_events()));
+  }
+
+  std::printf("span budget gate: %.2f s of step time across 4 ranks\n",
+              step_total);
+  int violations = 0;
+  for (const auto& [name, budget] : budgets) {
+    const auto it = seconds_by_span.find(name);
+    if (it == seconds_by_span.end()) {
+      // A budgeted span that never fired means the instrumentation (or
+      // the feature) silently disappeared — that IS the regression.
+      std::printf("  FAIL  %-22s absent from trace (budget %.3f)\n",
+                  name.c_str(), budget);
+      ++violations;
+      continue;
+    }
+    const double share = it->second / step_total;
+    const bool ok = share <= budget;
+    std::printf("  %s  %-22s %6.3f of step time (budget %.3f)\n",
+                ok ? "ok  " : "FAIL", name.c_str(), share, budget);
+    if (!ok) ++violations;
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "span budget gate: %d budget(s) exceeded\n",
+                 violations);
+    return 1;
+  }
+  std::printf("span budget gate: all budgets met\n");
+  return 0;
+}

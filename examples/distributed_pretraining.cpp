@@ -1,88 +1,143 @@
 // Distributed MAE pretraining with FSDP over thread ranks — the
 // functional analogue of the paper's Frontier runs. Four "GPUs" (threads)
-// train one model with FULL_SHARD parameter sharding; every rank sees a
-// different slice of each global batch, parameter gathers and gradient
-// reduce-scatters are nonblocking and overlap compute, and the driver
-// reports how much communication the async runtime hid behind compute.
+// train one model with FULL_SHARD parameter sharding; every rank's loader
+// renders only its slice of each global batch, parameter gathers and
+// gradient reduce-scatters are nonblocking and overlap compute, and the
+// driver reports how much communication the async runtime hid behind
+// compute.
+//
+// The run also exercises the fault-tolerance path end to end: sharded
+// checkpoints are snapshotted asynchronously every 10 steps (the training
+// loop only pays for the host-side staging copy; serialization and I/O
+// happen on a background writer), and a second phase resumes from the
+// latest checkpoint at HALF the world size — the elastic reshard path
+// reassembling 4 ranks' shards into 2 ranks' layout.
 //
 // Run:  ./example_distributed_pretraining
 //
 // Set GEOFM_TRACE=trace.json to capture a Chrome-trace timeline of the
-// run (one track per rank; open in chrome://tracing or ui.perfetto.dev).
+// run (one track per rank; `ckpt.snapshot` spans sit on the rank tracks,
+// `ckpt.write` on the background writer tracks).
 #include <cstdio>
+#include <filesystem>
 #include <mutex>
 
 #include "geofm.hpp"
 
 using namespace geofm;
 
+namespace {
+
+double metric_sum(const char* name) {
+  for (const auto& sample : obs::MetricsRegistry::instance().snapshot()) {
+    if (sample.name == name) return sample.value;
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main() {
-  constexpr int kRanks = 4;
+  const std::string ckpt_root = "/tmp/geofm_distributed_example_ckpt";
+  std::filesystem::remove_all(ckpt_root);
 
   train::DistributedPretrainConfig cfg;
-  cfg.steps = 30;
+  cfg.steps = 20;
   cfg.global_batch = 64;
   cfg.lr = 3e-3;
   cfg.weight_decay = 0.05;
   cfg.seed = 9;
   cfg.loader_workers = 2;  // prefetch batches off the training thread
   cfg.verbose = true;
+  cfg.checkpoint_every_n_steps = 10;
+  cfg.checkpoint_dir = ckpt_root;
+  cfg.async_checkpoint = true;
 
-  std::printf("distributed MAE pretraining: %d ranks, global batch %lld, "
-              "FULL_SHARD\n",
-              kRanks, static_cast<long long>(cfg.global_batch));
+  std::printf("distributed MAE pretraining: 4 ranks, global batch %lld, "
+              "FULL_SHARD, async checkpoint every %lld steps\n",
+              static_cast<long long>(cfg.global_batch),
+              static_cast<long long>(cfg.checkpoint_every_n_steps));
 
   auto corpus = data::million_aid_pretrain(512, 32);
   std::mutex io_mu;
 
-  comm::run_ranks(kRanks, [&](comm::Communicator& c) {
-    // Every rank constructs the same model; FSDP broadcasts rank 0's
-    // initialization and shards parameters.
-    Rng rng(1);
-    models::MAE mae(models::mae_for(models::proxy_huge()), rng);
-    parallel::FsdpOptions opts;
-    opts.strategy = parallel::ShardingStrategy::kFullShard;
-    opts.prefetch = parallel::BackwardPrefetch::kBackwardPre;  // paper pick
-    opts.limit_all_gathers = true;
-    parallel::Fsdp fsdp(mae, c, opts);
-    if (c.rank() == 0) {
-      std::printf("  shard elements/rank: %lld of %lld total\n",
-                  static_cast<long long>(fsdp.shard_elements_per_rank()),
-                  static_cast<long long>(mae.num_params()));
-    }
+  auto run_phase = [&](int n_ranks, const train::DistributedPretrainConfig&
+                                        phase_cfg) {
+    comm::run_ranks(n_ranks, [&](comm::Communicator& c) {
+      // Every rank constructs the same model; FSDP broadcasts rank 0's
+      // initialization and shards parameters.
+      Rng rng(1);
+      models::MAE mae(models::mae_for(models::proxy_huge()), rng);
+      parallel::FsdpOptions opts;
+      opts.strategy = parallel::ShardingStrategy::kFullShard;
+      opts.prefetch = parallel::BackwardPrefetch::kBackwardPre;  // paper pick
+      opts.limit_all_gathers = true;
+      parallel::Fsdp fsdp(mae, c, opts);
+      if (c.rank() == 0) {
+        std::printf("  [%d ranks] shard elements/rank: %lld of %lld total\n",
+                    n_ranks,
+                    static_cast<long long>(fsdp.shard_elements_per_rank()),
+                    static_cast<long long>(mae.num_params()));
+      }
 
-    const auto result = train::pretrain_mae_distributed(mae, fsdp, c, corpus,
-                                                        cfg);
+      const auto result =
+          train::pretrain_mae_distributed(mae, fsdp, c, corpus, phase_cfg);
 
-    if (c.rank() == 0) {
-      std::lock_guard<std::mutex> lk(io_mu);
-      std::printf("  final loss %.4f after %lld images in %.1fs\n",
-                  result.step_losses.back(),
-                  static_cast<long long>(result.images_seen),
-                  result.wall_seconds);
-      std::printf("  overlap: %d/%d collectives already complete when "
-                  "waited; %.1f ms comm hidden behind compute, %.1f ms "
-                  "exposed; peak in-flight gathers %d (cap %d)\n",
-                  result.collectives_overlapped, result.collectives_waited,
-                  1e3 * result.overlapped_comm_seconds,
-                  1e3 * result.exposed_wait_seconds,
-                  result.peak_inflight_gathers,
-                  parallel::kAllGatherInflightCap);
-      std::printf("  input pipeline: %.1f ms loader-exposed over %lld steps "
-                  "(%d workers/rank)\n",
-                  1e3 * result.loader_exposed_seconds,
-                  static_cast<long long>(cfg.steps), cfg.loader_workers);
-    }
+      if (c.rank() == 0) {
+        std::lock_guard<std::mutex> lk(io_mu);
+        std::printf("  [%d ranks] steps %lld..%lld, final loss %.4f after "
+                    "%lld images in %.1fs\n",
+                    n_ranks, static_cast<long long>(result.start_step),
+                    static_cast<long long>(phase_cfg.steps - 1),
+                    result.step_losses.back(),
+                    static_cast<long long>(result.images_seen),
+                    result.wall_seconds);
+        std::printf("  overlap: %d/%d collectives already complete when "
+                    "waited; %.1f ms comm hidden behind compute, %.1f ms "
+                    "exposed; peak in-flight gathers %d (cap %d)\n",
+                    result.collectives_overlapped, result.collectives_waited,
+                    1e3 * result.overlapped_comm_seconds,
+                    1e3 * result.exposed_wait_seconds,
+                    result.peak_inflight_gathers,
+                    parallel::kAllGatherInflightCap);
+        std::printf("  input pipeline: %.1f ms loader-exposed "
+                    "(%d workers/rank, worker-side batch slicing)\n",
+                    1e3 * result.loader_exposed_seconds,
+                    phase_cfg.loader_workers);
+      }
 
-    // Materialize and checkpoint the full model from rank 0.
-    fsdp.gather_full_parameters();
-    if (c.rank() == 0) {
-      train::save_checkpoint(mae, "/tmp/geofm_distributed_example.bin");
-      std::printf("  checkpoint written to /tmp/geofm_distributed_example.bin\n");
-    }
-    c.barrier();
-  });
+      // Materialize and checkpoint the full model from rank 0 (the
+      // single-file legacy format downstream tools read).
+      fsdp.gather_full_parameters();
+      if (c.rank() == 0) {
+        train::save_checkpoint(mae, "/tmp/geofm_distributed_example.bin");
+      }
+      c.barrier();
+    });
+  };
 
-  std::printf("done.\n");
+  // Phase 1: 4 ranks, checkpoints at steps 9 and 19.
+  run_phase(4, cfg);
+  const double snapshot_s = metric_sum("ckpt.snapshot_seconds");
+  const double write_s = metric_sum("ckpt.write_seconds");
+  std::printf("  async checkpointing: %.1f ms exposed staging vs %.1f ms "
+              "hidden write+serialize (%lld bytes across %d shard writes)\n",
+              1e3 * snapshot_s, 1e3 * write_s,
+              static_cast<long long>(metric_sum("ckpt.bytes_written")),
+              static_cast<int>(metric_sum("ckpt.shard_writes")));
+
+  // Phase 2: elastic restart — resume the world-4 checkpoint on 2 ranks.
+  const i64 latest = ckpt::latest_step(ckpt_root);
+  std::printf("resuming from %s/%s at world size 2 (written at 4)\n",
+              ckpt_root.c_str(),
+              ckpt::format::step_dir_name(latest).c_str());
+  train::DistributedPretrainConfig resume_cfg = cfg;
+  resume_cfg.steps = 30;
+  resume_cfg.resume_from = ckpt_root;
+  run_phase(2, resume_cfg);
+
+  std::printf("done. checkpoints under %s, final model at "
+              "/tmp/geofm_distributed_example.bin\n",
+              ckpt_root.c_str());
   return 0;
 }

@@ -23,12 +23,24 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
+echo "== trace-span budget gate =="
+# Structural perf tripwires: comm wait, unshard, loader fetch, and the
+# exposed checkpoint-snapshot cost as fractions of step time (budgets in
+# scripts/span_budgets.txt).
+./build/bench/bench_span_budget_gate scripts/span_budgets.txt
+
 if [[ "$SKIP_TSAN" == "0" ]]; then
   echo "== tier-1: ThreadSanitizer build + ctest =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DGEOFM_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure
+  echo "== TSan: fault-injected restart, extra schedules =="
+  # The abort -> unwind -> async-writer-drain -> resume path is the most
+  # concurrency-dense sequence in the repo; ctest above ran it once, this
+  # repeats it for schedule diversity under TSan.
+  ./build-tsan/tests/geofm_tests \
+      --gtest_filter='FaultTolerance.*' --gtest_repeat=3
 fi
 
 echo "== ci.sh: all suites passed =="

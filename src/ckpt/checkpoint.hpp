@@ -1,0 +1,173 @@
+// Fault-tolerant checkpoint/restart: sharded save, async snapshots, and
+// elastic restore.
+//
+// Saving. Every training rank owns a Checkpointer and calls save() at a
+// step boundary with its StateDesc (state.hpp) plus the run's counters
+// and RNG streams. save() *stages* the described slices into host-side
+// buffers (trace span `ckpt.snapshot` — the only exposed cost) and, in
+// async mode, hands them to a background writer thread that serializes,
+// checksums, and writes the shard (`ckpt.write`, hidden behind training
+// compute); sync mode writes inline. Shards land in a hidden
+// `.tmp_<stepdir>/` under the checkpoint root; an in-process coordinator
+// keyed by (canonical root, step) lets the last-arriving writer publish
+// the checkpoint — write manifest.txt, rename the temp dir to
+// `step_NNNNNNNN/`, update `LATEST` — so a crash at any point leaves
+// either the previous complete checkpoint or the new one, never a
+// half-written hybrid. A save() issued while the previous write is still
+// in flight blocks until it drains (`ckpt.stall`).
+//
+// Restoring. CheckpointReader accepts a shard file, a step directory, or
+// a checkpoint root (resolved to its latest complete step). restore()
+// assembles each requested slice from the stored ranges via plan_reads()
+// regardless of the world size or sharding strategy that wrote them —
+// the elastic-reshard path — verifying shapes (first mismatch reported
+// by name), coverage, and per-record checksums.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "ckpt/state.hpp"
+#include "util/common.hpp"
+
+namespace geofm::ckpt {
+
+/// One rank's contribution to a directory checkpoint.
+struct SaveRequest {
+  std::string dir;  // checkpoint root directory
+  i64 step = 0;
+  int rank = 0;
+  int world = 1;
+  StateDesc state;  // slices alias live tensors; copied during save()
+  std::map<std::string, i64> counters;     // step, epoch, seed, optim.*
+  std::map<std::string, u64> rng_streams;  // named Rng states
+};
+
+/// Per-rank checkpoint writer. Thread-compatible (one owner thread calls
+/// save()/wait_idle(); the internal writer thread is managed privately).
+class Checkpointer {
+ public:
+  /// `async` = stage at the call site, write on a background thread.
+  explicit Checkpointer(bool async = true);
+  /// Drains any in-flight write (absorbing its error, which was already
+  /// reported if anyone called wait_idle()).
+  ~Checkpointer();
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Stages `req` and (a)synchronously writes this rank's shard. Blocks
+  /// first if a previous async write is still in flight. Rethrows a
+  /// previous async write's failure.
+  void save(const SaveRequest& req);
+
+  /// Blocks until no write is in flight; rethrows an async failure.
+  void wait_idle();
+
+ private:
+  struct Staged {
+    std::string dir;
+    i64 step = 0;
+    format::ShardData shard;
+    // Owns the floats the shard's records point into.
+    std::vector<std::vector<float>> buffers;
+  };
+
+  Staged stage(const SaveRequest& req);
+  static void write_staged(const Staged& staged);
+  void writer_loop(int owner_rank);
+
+  const bool async_;
+  std::thread writer_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unique_ptr<Staged> pending_;  // handed to the writer thread
+  bool busy_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+/// Clears in-process save-rendezvous state for `root` and deletes any
+/// leftover temporary step directories under it. Drivers call this once
+/// per rank at startup, before the first save: a previous run that died
+/// mid-save leaves a partial rendezvous and a hidden temp dir behind,
+/// and without the reset a later run re-saving the same step could
+/// publish a checkpoint mixing shards from both runs. Idempotent and
+/// safe to call concurrently from every rank (no save may be in flight).
+void reset_save_state(const std::string& root);
+
+/// Writes a complete single-rank checkpoint to `path` as one shard file
+/// (atomically). The legacy train::save_checkpoint API and single-process
+/// tools use this; the result is readable by CheckpointReader like any
+/// directory checkpoint.
+void save_file(const std::string& path, const StateDesc& state,
+               const std::map<std::string, i64>& counters = {},
+               const std::map<std::string, u64>& rng_streams = {});
+
+/// Highest step with a complete checkpoint (manifest present) under
+/// `root`; -1 if none. The LATEST pointer is a convenience for humans —
+/// this scan is authoritative.
+i64 latest_step(const std::string& root);
+
+/// Resolves `path` — a shard file, a step directory, or a checkpoint
+/// root — to a loadable checkpoint (file or step directory). Throws
+/// geofm::Error if nothing complete is found.
+std::string resolve_checkpoint(const std::string& path);
+
+class CheckpointReader {
+ public:
+  /// Opens `path` (resolved via resolve_checkpoint) and reads every
+  /// shard's header and record index; payloads load lazily on restore().
+  explicit CheckpointReader(const std::string& path);
+
+  /// The resolved file or step directory backing this reader.
+  const std::string& location() const { return location_; }
+  /// World size the checkpoint was written at.
+  int saved_world() const { return world_; }
+
+  bool has_counter(const std::string& name) const;
+  i64 counter(const std::string& name, i64 fallback) const;
+  bool has_rng_stream(const std::string& name) const;
+  /// Throws geofm::Error if the stream was not saved.
+  u64 rng_state(const std::string& name) const;
+
+  /// Assembles every slice of `desc` from the stored ranges, verifying
+  /// shapes (the first mismatching tensor is reported by name), range
+  /// coverage, and record checksums. Elastic: the description's layout
+  /// need not match the layout the checkpoint was written with.
+  void restore(const StateDesc& desc);
+
+ private:
+  struct StoredPart {
+    std::size_t file = 0;  // index into files_
+    format::ShardIndexEntry entry;
+    std::shared_ptr<std::vector<float>> data;  // lazy, checksum-verified
+  };
+  struct StoredTensor {
+    std::vector<i64> shape;
+    std::vector<StoredPart> parts;
+  };
+
+  const float* part_data(StoredPart& part);
+
+  std::string location_;
+  std::vector<std::string> files_;
+  int world_ = 1;
+  std::map<std::string, i64> counters_;
+  std::map<std::string, u64> rng_;
+  std::map<std::string, StoredTensor> tensors_;
+};
+
+/// Restores optimizer scalar counters ("optim.<name>") saved by
+/// optimizer_scalars() into the live optimizer. Missing counters are an
+/// error only if the optimizer expects them.
+void restore_optimizer_scalars(const CheckpointReader& reader,
+                               optim::Optimizer& optimizer);
+
+}  // namespace geofm::ckpt

@@ -1,0 +1,262 @@
+#include "ckpt/format.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace geofm::ckpt::format {
+namespace {
+
+namespace fs = std::filesystem;
+
+void append_u64(std::string& out, u64 v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void append_i64(std::string& out, i64 v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void append_str(std::string& out, const std::string& s) {
+  append_u64(out, s.size());
+  out.append(s);
+}
+
+/// Byte size `append_str` produces.
+std::size_t str_size(const std::string& s) { return 8 + s.size(); }
+
+u64 read_u64(std::ifstream& in, const std::string& path) {
+  u64 v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in.good()) throw Error("shard file truncated: " + path);
+  return v;
+}
+
+i64 read_i64(std::ifstream& in, const std::string& path) {
+  return static_cast<i64>(read_u64(in, path));
+}
+
+std::string read_str(std::ifstream& in, const std::string& path) {
+  const u64 len = read_u64(in, path);
+  if (len > 1u << 20) throw Error("implausible string length in " + path);
+  std::string s(static_cast<std::size_t>(len), '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in.good()) throw Error("shard file truncated: " + path);
+  return s;
+}
+
+/// Atomic publish: write `bytes` to a temp sibling of `path`, rename over.
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);  // racy-safe: recheck
+    if (ec && !fs::exists(target.parent_path())) {
+      throw Error("cannot create directory " +
+                  target.parent_path().string() + ": " + ec.message());
+    }
+  }
+  const fs::path tmp =
+      target.parent_path() / ("." + target.filename().string() + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) throw Error("cannot open " + tmp.string());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) throw Error("write failed: " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    throw Error("cannot publish " + target.string() + ": " + ec.message());
+  }
+}
+
+}  // namespace
+
+u64 fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  u64 h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void write_shard_file(const std::string& path, const ShardData& shard) {
+  // Pass 1: header size, so record data offsets are absolute.
+  std::size_t header = 8 * 4;  // magic, version, rank, world
+  header += 8;
+  for (const auto& [name, value] : shard.counters) {
+    (void)value;
+    header += str_size(name) + 8;
+  }
+  header += 8;
+  for (const auto& [name, state] : shard.rng_streams) {
+    (void)state;
+    header += str_size(name) + 8;
+  }
+  header += 8;
+  for (const ShardRecord& r : shard.records) {
+    header += str_size(r.name) + 8 + 8 * r.shape.size() + 8 + 8 + 8 + 8;
+  }
+
+  std::string out;
+  append_u64(out, kShardMagic);
+  append_u64(out, kVersion);
+  append_u64(out, static_cast<u64>(shard.rank));
+  append_u64(out, static_cast<u64>(shard.world));
+  append_u64(out, shard.counters.size());
+  for (const auto& [name, value] : shard.counters) {
+    append_str(out, name);
+    append_i64(out, value);
+  }
+  append_u64(out, shard.rng_streams.size());
+  for (const auto& [name, state] : shard.rng_streams) {
+    append_str(out, name);
+    append_u64(out, state);
+  }
+  append_u64(out, shard.records.size());
+  u64 data_offset = header;
+  for (const ShardRecord& r : shard.records) {
+    GEOFM_CHECK(r.len >= 0 && r.begin >= 0 && r.data != nullptr,
+                "bad shard record " << r.name);
+    append_str(out, r.name);
+    append_u64(out, r.shape.size());
+    for (i64 d : r.shape) append_i64(out, d);
+    append_i64(out, r.begin);
+    append_i64(out, r.len);
+    append_u64(out, data_offset);
+    const std::size_t bytes = static_cast<std::size_t>(r.len) * sizeof(float);
+    append_u64(out, fnv1a(r.data, bytes));
+    data_offset += bytes;
+  }
+  GEOFM_CHECK(out.size() == header, "shard header size accounting is off");
+  for (const ShardRecord& r : shard.records) {
+    out.append(reinterpret_cast<const char*>(r.data),
+               static_cast<std::size_t>(r.len) * sizeof(float));
+  }
+  write_file_atomic(path, out);
+}
+
+ShardHeader read_shard_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw Error("cannot open checkpoint shard: " + path);
+  if (read_u64(in, path) != kShardMagic) {
+    throw Error("not a geofm checkpoint shard: " + path);
+  }
+  const u64 version = read_u64(in, path);
+  if (version != kVersion) {
+    throw Error("unsupported checkpoint version " + std::to_string(version) +
+                " in " + path);
+  }
+  ShardHeader h;
+  h.rank = static_cast<int>(read_u64(in, path));
+  h.world = static_cast<int>(read_u64(in, path));
+  const u64 n_counters = read_u64(in, path);
+  for (u64 i = 0; i < n_counters; ++i) {
+    std::string name = read_str(in, path);
+    h.counters[std::move(name)] = read_i64(in, path);
+  }
+  const u64 n_rng = read_u64(in, path);
+  for (u64 i = 0; i < n_rng; ++i) {
+    std::string name = read_str(in, path);
+    h.rng_streams[std::move(name)] = read_u64(in, path);
+  }
+  const u64 n_records = read_u64(in, path);
+  if (n_records > 1u << 24) throw Error("implausible record count in " + path);
+  h.records.reserve(static_cast<std::size_t>(n_records));
+  for (u64 i = 0; i < n_records; ++i) {
+    ShardIndexEntry e;
+    e.name = read_str(in, path);
+    const u64 n_dims = read_u64(in, path);
+    if (n_dims > 16) throw Error("implausible tensor rank in " + path);
+    e.shape.reserve(static_cast<std::size_t>(n_dims));
+    for (u64 d = 0; d < n_dims; ++d) e.shape.push_back(read_i64(in, path));
+    e.begin = read_i64(in, path);
+    e.len = read_i64(in, path);
+    e.data_offset = read_u64(in, path);
+    e.checksum = read_u64(in, path);
+    if (e.begin < 0 || e.len < 0) {
+      throw Error("malformed record range for " + e.name + " in " + path);
+    }
+    h.records.push_back(std::move(e));
+  }
+  return h;
+}
+
+std::vector<float> read_shard_record(const std::string& path,
+                                     const ShardIndexEntry& entry) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw Error("cannot open checkpoint shard: " + path);
+  in.seekg(static_cast<std::streamoff>(entry.data_offset));
+  std::vector<float> data(static_cast<std::size_t>(entry.len));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in.good()) {
+    throw Error("shard record " + entry.name + " truncated in " + path);
+  }
+  if (fnv1a(data.data(), data.size() * sizeof(float)) != entry.checksum) {
+    throw Error("checksum mismatch for " + entry.name + " in " + path +
+                " (corrupted shard)");
+  }
+  return data;
+}
+
+std::string shard_file_name(int rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard_%05d.bin", rank);
+  return buf;
+}
+
+std::string step_dir_name(i64 step) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "step_%08lld",
+                static_cast<long long>(step));
+  return buf;
+}
+
+void write_manifest(const std::string& dir, const Manifest& manifest) {
+  std::ostringstream os;
+  os << "geofm-checkpoint v" << kVersion << "\n";
+  os << "step " << manifest.step << "\n";
+  os << "world " << manifest.world << "\n";
+  for (const std::string& s : manifest.shards) os << "shard " << s << "\n";
+  write_file_atomic((fs::path(dir) / "manifest.txt").string(), os.str());
+}
+
+Manifest read_manifest(const std::string& dir) {
+  const std::string path = (fs::path(dir) / "manifest.txt").string();
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw Error("not a complete checkpoint (no manifest): " + dir);
+  }
+  std::string header;
+  std::getline(in, header);
+  if (header != "geofm-checkpoint v" + std::to_string(kVersion)) {
+    throw Error("unrecognized manifest header in " + path);
+  }
+  Manifest m;
+  std::string key;
+  while (in >> key) {
+    if (key == "step") {
+      in >> m.step;
+    } else if (key == "world") {
+      in >> m.world;
+    } else if (key == "shard") {
+      std::string name;
+      in >> name;
+      m.shards.push_back(std::move(name));
+    } else {
+      throw Error("unrecognized manifest entry '" + key + "' in " + path);
+    }
+  }
+  if (m.world <= 0 || static_cast<int>(m.shards.size()) != m.world) {
+    throw Error("manifest shard count does not match world in " + path);
+  }
+  return m;
+}
+
+}  // namespace geofm::ckpt::format

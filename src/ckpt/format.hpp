@@ -1,0 +1,120 @@
+// On-disk checkpoint format (version 2): sharded, checksummed, atomic.
+//
+// A checkpoint is either
+//   * one *shard file* (the single-rank / legacy API), or
+//   * a *checkpoint directory* `step_NNNNNNNN/` holding one shard file per
+//     saving rank plus a `manifest.txt`, under a user-chosen root that
+//     also carries a `LATEST` convenience pointer.
+//
+// Shard files store *logical tensors*: every record names a model (or
+// optimizer-slot) tensor by its full name and shape, and covers one
+// contiguous [begin, begin+len) range of the tensor's flattened elements.
+// A rank writes exactly the ranges it owns, so FSDP checkpoints are
+// written shard-local without ever materializing the full model, and a
+// loader reassembles whatever ranges *it* needs from whatever ranks
+// wrote — the basis of elastic resharding (see reshard.hpp). Each shard
+// also embeds the run's integer counters (step, epoch, ...) and named RNG
+// stream states, so any single shard is enough to recover them.
+//
+// Shard file layout (all integers native-endian, like PyTorch's pickles —
+// checkpoints are not portable across endianness):
+//
+//   u64 magic ("GFMCKPT2")      u64 version
+//   u64 rank                    u64 world
+//   u64 n_counters   { u64 name_len, bytes, i64 value }*
+//   u64 n_rng        { u64 name_len, bytes, u64 state }*
+//   u64 n_records    { u64 name_len, bytes, u64 n_dims, i64 dims[],
+//                      i64 begin, i64 len, u64 data_offset, u64 fnv1a }*
+//   raw float data, at the absolute offsets recorded in the index
+//
+// Every record's payload carries an FNV-1a-64 checksum verified on read.
+// Writers always write to a temporary name in the destination directory
+// and rename into place, so a crash never leaves a half-written file
+// where a reader looks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace geofm::ckpt::format {
+
+inline constexpr u64 kShardMagic = 0x47464d434b505432ULL;  // "GFMCKPT2"
+inline constexpr u64 kVersion = 2;
+
+/// FNV-1a 64-bit over `n` bytes.
+u64 fnv1a(const void* data, std::size_t n);
+
+/// One logical-tensor range staged for writing. `data` must stay valid
+/// until write_shard_file returns.
+struct ShardRecord {
+  std::string name;
+  std::vector<i64> shape;  // full logical shape of the named tensor
+  i64 begin = 0;           // first flattened element this record covers
+  i64 len = 0;             // covered elements
+  const float* data = nullptr;
+};
+
+/// Everything one rank contributes to a checkpoint.
+struct ShardData {
+  int rank = 0;
+  int world = 1;
+  std::map<std::string, i64> counters;
+  std::map<std::string, u64> rng_streams;
+  std::vector<ShardRecord> records;
+};
+
+/// A record as described by a shard file's index (payload not loaded).
+struct ShardIndexEntry {
+  std::string name;
+  std::vector<i64> shape;
+  i64 begin = 0;
+  i64 len = 0;
+  u64 data_offset = 0;
+  u64 checksum = 0;
+};
+
+struct ShardHeader {
+  int rank = 0;
+  int world = 1;
+  std::map<std::string, i64> counters;
+  std::map<std::string, u64> rng_streams;
+  std::vector<ShardIndexEntry> records;
+};
+
+/// Serializes `shard` to `path` atomically (write temp sibling, fsync-free
+/// rename into place). Throws geofm::Error on I/O failure.
+void write_shard_file(const std::string& path, const ShardData& shard);
+
+/// Parses a shard file's header + record index. Throws geofm::Error on a
+/// bad magic, truncation, or malformed metadata.
+ShardHeader read_shard_header(const std::string& path);
+
+/// Loads one record's float payload and verifies its checksum. Throws
+/// geofm::Error on truncation or checksum mismatch (corruption).
+std::vector<float> read_shard_record(const std::string& path,
+                                     const ShardIndexEntry& entry);
+
+// ----- checkpoint-directory protocol ---------------------------------------
+
+/// "shard_00003.bin" for rank 3.
+std::string shard_file_name(int rank);
+/// "step_00000042" for step 42.
+std::string step_dir_name(i64 step);
+
+struct Manifest {
+  i64 step = 0;
+  int world = 1;
+  std::vector<std::string> shards;  // file names relative to the dir
+};
+
+/// Writes `<dir>/manifest.txt` (atomically). The manifest is the
+/// completion marker: a step directory without one is not a checkpoint.
+void write_manifest(const std::string& dir, const Manifest& manifest);
+
+/// Reads `<dir>/manifest.txt`. Throws geofm::Error if missing/malformed.
+Manifest read_manifest(const std::string& dir);
+
+}  // namespace geofm::ckpt::format

@@ -1,0 +1,62 @@
+#include "ckpt/reshard.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace geofm::ckpt {
+
+std::vector<RangeCopy> plan_reads(const std::vector<Range>& stored, i64 begin,
+                                  i64 len) {
+  GEOFM_CHECK(begin >= 0 && len >= 0, "bad requested range");
+  std::vector<RangeCopy> plan;
+  if (len == 0) return plan;
+
+  // Sort candidates by begin (stable index ties) once; walk a cursor.
+  std::vector<std::size_t> order(stored.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (stored[a].begin != stored[b].begin) {
+      return stored[a].begin < stored[b].begin;
+    }
+    return a < b;
+  });
+
+  const i64 want_end = begin + len;
+  i64 cursor = begin;
+  std::size_t scan = 0;  // first candidate not yet ruled out by the cursor
+  while (cursor < want_end) {
+    // Among ranges starting at or before the cursor, pick the one that
+    // extends furthest past it.
+    i64 best_end = cursor;
+    std::size_t best = stored.size();
+    for (std::size_t i = scan; i < order.size(); ++i) {
+      const Range& r = stored[order[i]];
+      if (r.begin > cursor) break;
+      const i64 end = r.begin + r.len;
+      if (end > best_end || (end == best_end && best != stored.size() &&
+                             order[i] < best)) {
+        if (end > cursor) {
+          best_end = end;
+          best = order[i];
+        }
+      }
+    }
+    if (best == stored.size()) {
+      std::ostringstream os;
+      os << "checkpoint does not cover range [" << begin << ", " << want_end
+         << "): gap at element " << cursor;
+      throw Error(os.str());
+    }
+    const i64 take = std::min(best_end, want_end) - cursor;
+    plan.push_back({best, cursor - stored[best].begin, cursor - begin, take});
+    cursor += take;
+    // Candidates wholly behind the cursor can never win again.
+    while (scan < order.size() &&
+           stored[order[scan]].begin + stored[order[scan]].len <= cursor) {
+      ++scan;
+    }
+  }
+  return plan;
+}
+
+}  // namespace geofm::ckpt

@@ -1,0 +1,48 @@
+// Elastic-reshard planning: pure range algebra over logical tensors.
+//
+// A checkpoint stores each logical tensor as the union of contiguous
+// flattened ranges, one set per writing rank (format.hpp). A restoring
+// rank needs some range of its own — the whole tensor in replicated
+// modes, its local FSDP shard slice otherwise — and the two layouts need
+// not agree: the checkpoint may have been written at a different world
+// size or sharding strategy. plan_reads() bridges them: given the stored
+// ranges, it computes the minimal deterministic copy list that assembles
+// the requested range, and rejects (throws) a request the checkpoint
+// cannot cover. Everything downstream (which files to touch, how many
+// bytes move) follows from this plan.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace geofm::ckpt {
+
+/// A contiguous range of a logical tensor's flattened elements.
+struct Range {
+  i64 begin = 0;
+  i64 len = 0;
+};
+
+/// One copy in a reshard plan: take `len` elements starting `src_offset`
+/// into stored range `source`, and place them `dst_offset` elements into
+/// the requested range.
+struct RangeCopy {
+  std::size_t source = 0;
+  i64 src_offset = 0;
+  i64 dst_offset = 0;
+  i64 len = 0;
+
+  bool operator==(const RangeCopy&) const = default;
+};
+
+/// Plans the assembly of [begin, begin+len) from `stored` ranges. The
+/// plan is deterministic (independent of `stored` order): at every point
+/// the covering range that extends furthest is chosen, ties broken by
+/// lowest source index, so copies are as few as possible. Overlapping
+/// stored ranges are fine (they hold identical data by construction).
+/// Throws geofm::Error if any element of the request is not covered.
+std::vector<RangeCopy> plan_reads(const std::vector<Range>& stored, i64 begin,
+                                  i64 len);
+
+}  // namespace geofm::ckpt

@@ -262,6 +262,9 @@ CollectiveHandle Communicator::post(detail::PendingOp::Kind kind, ReduceOp red,
   u64 ticket;
   {
     std::lock_guard<std::mutex> lk(g.async_mu);
+    if (g.aborted) {
+      throw Error("communicator aborted: " + g.abort_reason);
+    }
     ticket = g.next_ticket[static_cast<size_t>(rank_)]++;
     auto it = g.inflight.find(ticket);
     if (it == g.inflight.end()) {
@@ -366,6 +369,51 @@ void Communicator::reduce_scatter(const Tensor& in, Tensor& shard,
 
 void Communicator::broadcast(Tensor& t, int root) {
   ibroadcast(t, root).wait();
+}
+
+namespace {
+
+// Recursively poisons a group and every subgroup split from it. The
+// aborted flag is published under async_mu (post checks it there before
+// inserting a new op), so no op can join the inflight map after the sweep
+// below misses it.
+void abort_group(detail::CommGroup& g, const std::string& reason) {
+  std::vector<std::shared_ptr<detail::PendingOp>> ops;
+  {
+    std::lock_guard<std::mutex> lk(g.async_mu);
+    if (!g.aborted) {
+      g.aborted = true;
+      g.abort_reason = reason;
+    }
+    ops.reserve(g.inflight.size());
+    for (auto& [ticket, op] : g.inflight) ops.push_back(op);
+  }
+  for (auto& op : ops) {
+    std::lock_guard<std::mutex> lk(op->mu);
+    if (!op->error) {
+      op->error =
+          std::make_exception_ptr(Error("communicator aborted: " + reason));
+    }
+    if (!op->complete) {
+      op->complete = true;
+      op->complete_tp = std::chrono::steady_clock::now();
+    }
+    op->cv.notify_all();
+  }
+  std::vector<std::shared_ptr<detail::CommGroup>> children;
+  {
+    std::lock_guard<std::mutex> lk(g.split_mu);
+    children.reserve(g.subgroups.size());
+    for (auto& [key, sub] : g.subgroups) children.push_back(sub);
+  }
+  for (auto& sub : children) abort_group(*sub, reason);
+}
+
+}  // namespace
+
+void Communicator::abort(const std::string& reason) {
+  obs::trace_instant("comm.abort", "comm");
+  abort_group(*group_, reason);
 }
 
 Communicator Communicator::split(int color, int key) {

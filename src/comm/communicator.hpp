@@ -117,6 +117,12 @@ struct CommGroup {
   std::vector<u64> next_ticket;
   std::map<u64, std::shared_ptr<PendingOp>> inflight;
 
+  // Abort state (Communicator::abort): once set, every in-flight op has
+  // been completed with an error and every future post throws. Guarded by
+  // async_mu.
+  bool aborted = false;
+  std::string abort_reason;
+
   // split() publication slots + registry: (split sequence number, color) ->
   // subgroup + the member world-ranks in key order.
   std::vector<int> colors;
@@ -203,6 +209,17 @@ class Communicator {
   /// ranks are ordered by `key` (ties broken by old rank). Every rank of
   /// this communicator must call split with some color.
   Communicator split(int color, int key);
+
+  /// Fatal-error propagation (the fault-injection / crash path): poisons
+  /// this communicator and, recursively, every sub-communicator created
+  /// from it via split(). Every in-flight collective completes with an
+  /// error that peers' wait() calls rethrow (instead of deadlocking on a
+  /// rank that died), and every subsequent post throws immediately.
+  /// Aborting is idempotent and may be called from any rank or thread.
+  /// Plain barrier() rendezvous are not covered — abort unblocks
+  /// collective data exchange, the only thing a mid-step failure leaves
+  /// peers blocked on.
+  void abort(const std::string& reason);
 
  private:
   CollectiveHandle post(detail::PendingOp::Kind kind, ReduceOp red, int root,

@@ -18,6 +18,14 @@ DataLoader::DataLoader(const SceneDataset& dataset, Split split,
   GEOFM_CHECK(options_.batch_size > 0);
   GEOFM_CHECK(options_.n_workers >= 0);
   GEOFM_CHECK(options_.prefetch_batches >= 1);
+  GEOFM_CHECK(options_.slice_offset >= 0 &&
+                  (options_.slice_count < 0 ||
+                   options_.slice_offset + options_.slice_count <=
+                       options_.batch_size),
+              "batch slice [" << options_.slice_offset << ", +"
+                              << options_.slice_count
+                              << ") exceeds batch size "
+                              << options_.batch_size);
   GEOFM_CHECK(dataset_.size(split_) >= options_.batch_size ||
                   !options_.drop_last,
               "dataset smaller than one batch");
@@ -32,7 +40,9 @@ i64 DataLoader::batches_per_epoch() const {
                                   options_.batch_size;
 }
 
-void DataLoader::start_epoch(i64 epoch) {
+void DataLoader::start_epoch(i64 epoch, i64 first_batch) {
+  GEOFM_CHECK(first_batch >= 0 && first_batch <= batches_per_epoch(),
+              "first_batch " << first_batch << " out of range");
   stop_workers();
 
   const i64 n = dataset_.size(split_);
@@ -54,8 +64,10 @@ void DataLoader::start_epoch(i64 epoch) {
     epoch_ = epoch;
     n_batches_ = batches_per_epoch();
     ready_.clear();
-    next_to_claim_ = 0;
-    next_to_consume_ = 0;
+    // Resume fast-forward: skipped batches are never claimed, so no
+    // render work is wasted on them.
+    next_to_claim_ = first_batch;
+    next_to_consume_ = first_batch;
     stopping_ = false;
   }
 
@@ -68,8 +80,14 @@ Batch DataLoader::render_batch(i64 batch_index) const {
   const i64 begin = batch_index * options_.batch_size;
   const i64 end = std::min<i64>(begin + options_.batch_size,
                                 dataset_.size(split_));
-  std::vector<i64> indices(permutation_.begin() + begin,
-                           permutation_.begin() + end);
+  i64 lo = begin;
+  i64 hi = end;
+  if (options_.slice_count >= 0) {
+    lo = std::min<i64>(begin + options_.slice_offset, end);
+    hi = std::min<i64>(lo + options_.slice_count, end);
+  }
+  std::vector<i64> indices(permutation_.begin() + lo,
+                           permutation_.begin() + hi);
   auto [images, labels] = dataset_.make_batch(split_, indices);
   if (options_.enable_augment) {
     const i64 per = images.numel() / images.dim(0);
@@ -101,8 +119,11 @@ Batch DataLoader::render_batch_traced(i64 batch_index) const {
       obs::MetricsRegistry::instance().histogram("loader.render_seconds");
   static auto& rendered =
       obs::MetricsRegistry::instance().counter("loader.batches_rendered");
+  static auto& samples =
+      obs::MetricsRegistry::instance().counter("loader.samples_rendered");
   render_hist.observe(monotonic_seconds() - t0);
   rendered.add(1);
+  samples.add(static_cast<double>(batch.sample_indices.size()));
   return batch;
 }
 

@@ -37,6 +37,16 @@ class DataLoader {
     /// (seed, epoch, dataset index) regardless of worker scheduling.
     bool enable_augment = false;
     AugmentOptions augment;
+    /// Worker-side batch slicing (distributed SPMD): when slice_count >=
+    /// 0, only rows [slice_offset, slice_offset + slice_count) of every
+    /// global batch are rendered and returned, clipped to the batch.
+    /// Sample identity, shuffling, and augmentation draws are unchanged
+    /// (each sample renders independently, keyed by dataset index), so a
+    /// slice is bitwise identical to the same rows of the full batch —
+    /// but each rank's loader does only its share of the render work
+    /// instead of the whole world's.
+    i64 slice_offset = 0;
+    i64 slice_count = -1;  // -1 = the whole batch
   };
 
   DataLoader(const SceneDataset& dataset, Split split, Options options);
@@ -49,7 +59,10 @@ class DataLoader {
 
   /// Begins (or restarts) an epoch: builds the index permutation from
   /// (seed, epoch) and spins up workers. Must be called before next().
-  void start_epoch(i64 epoch);
+  /// `first_batch` fast-forwards mid-epoch (checkpoint resume): batches
+  /// before it are neither rendered nor returned, and the first next()
+  /// yields batch `first_batch` exactly as an un-resumed epoch would.
+  void start_epoch(i64 epoch, i64 first_batch = 0);
 
   /// Next batch of the running epoch, in order; nullopt once exhausted.
   std::optional<Batch> next();

@@ -17,10 +17,14 @@
 //   parallel/  DDP and FSDP (all sharding strategies, prefetch modes)
 //   data/      procedural scene datasets (Table II), DataLoader
 //   train/     pretraining, linear probing, checkpoints
+//   ckpt/      sharded checkpoint/restart (async snapshots, resharding)
 //   sim/       Frontier machine model + training-step simulator
 //   obs/       per-rank tracing (Chrome-trace export) + metrics registry
 #pragma once
 
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/reshard.hpp"
+#include "ckpt/state.hpp"
 #include "comm/communicator.hpp"
 #include "data/dataloader.hpp"
 #include "data/datasets.hpp"

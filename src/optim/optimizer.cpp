@@ -53,6 +53,14 @@ void Sgd::step() {
   }
 }
 
+OptimizerStateView Sgd::state_view() {
+  OptimizerStateView view;
+  for (size_t i = 0; i < velocity_.size(); ++i) {
+    view.slots.push_back({params_[i], "velocity", velocity_[i]});
+  }
+  return view;
+}
+
 // ----- AdamW -------------------------------------------------------------------
 
 AdamW::AdamW(std::vector<nn::Parameter*> params, double lr, double beta1,
@@ -96,6 +104,16 @@ void AdamW::step() {
   }
 }
 
+OptimizerStateView AdamW::state_view() {
+  OptimizerStateView view;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    view.slots.push_back({params_[i], "exp_avg", m_[i]});
+    view.slots.push_back({params_[i], "exp_avg_sq", v_[i]});
+  }
+  view.scalars.push_back({"step", &t_});
+  return view;
+}
+
 // ----- LARS -------------------------------------------------------------------
 
 Lars::Lars(std::vector<nn::Parameter*> params, double lr, double momentum,
@@ -136,6 +154,14 @@ void Lars::step() {
       w[j] -= v[j];
     }
   }
+}
+
+OptimizerStateView Lars::state_view() {
+  OptimizerStateView view;
+  for (size_t i = 0; i < velocity_.size(); ++i) {
+    view.slots.push_back({params_[i], "velocity", velocity_[i]});
+  }
+  return view;
 }
 
 double cosine_warmup_lr(double base_lr, i64 step, i64 warmup_steps,

@@ -14,6 +14,25 @@
 
 namespace geofm::optim {
 
+/// A checkpointable view of an optimizer's internal state. Slot tensors
+/// alias the live optimizer buffers (reads and writes go through), so the
+/// checkpoint subsystem can save and restore moments in place without
+/// copies; scalar entries point at live counters (e.g. AdamW's step
+/// count). Slot names are stable across runs and optimizer instances.
+struct OptimizerStateView {
+  struct Slot {
+    nn::Parameter* param = nullptr;  // the managed parameter this belongs to
+    const char* slot = nullptr;      // e.g. "exp_avg" (string literal)
+    Tensor tensor;                   // same numel as param->value
+  };
+  struct Scalar {
+    const char* name = nullptr;  // e.g. "step" (string literal)
+    i64* value = nullptr;        // live counter; restore writes through
+  };
+  std::vector<Slot> slots;
+  std::vector<Scalar> scalars;
+};
+
 class Optimizer {
  public:
   explicit Optimizer(std::vector<nn::Parameter*> params, double lr);
@@ -21,6 +40,10 @@ class Optimizer {
 
   /// Applies one update from the accumulated gradients.
   virtual void step() = 0;
+
+  /// The optimizer's checkpointable state (empty for stateless
+  /// optimizers). See OptimizerStateView.
+  virtual OptimizerStateView state_view() { return {}; }
 
   /// Zeroes gradients of all managed parameters.
   void zero_grad();
@@ -42,6 +65,7 @@ class Sgd final : public Optimizer {
  public:
   Sgd(std::vector<nn::Parameter*> params, double lr, double momentum = 0.0);
   void step() override;
+  OptimizerStateView state_view() override;
   i64 state_bytes_per_element() const override {
     return momentum_ != 0.0 ? 4 : 0;
   }
@@ -58,6 +82,7 @@ class AdamW final : public Optimizer {
   AdamW(std::vector<nn::Parameter*> params, double lr, double beta1 = 0.9,
         double beta2 = 0.95, double eps = 1e-8, double weight_decay = 0.05);
   void step() override;
+  OptimizerStateView state_view() override;
   i64 state_bytes_per_element() const override { return 8; }
 
   i64 step_count() const { return t_; }
@@ -76,6 +101,7 @@ class Lars final : public Optimizer {
   Lars(std::vector<nn::Parameter*> params, double lr, double momentum = 0.9,
        double weight_decay = 0.0, double trust_coefficient = 0.001);
   void step() override;
+  OptimizerStateView state_view() override;
   i64 state_bytes_per_element() const override { return 4; }
 
  private:

@@ -38,6 +38,11 @@ class Ddp {
   /// accumulation across backwards).
   void synchronize_gradients();
 
+  /// The wrapped model. Ddp never re-points parameters (buckets only pack
+  /// and unpack gradients), so checkpointing reads and writes the model's
+  /// own parameter storage directly.
+  nn::StagedModel& model() { return model_; }
+
   int n_buckets() const { return static_cast<int>(buckets_.size()); }
   /// Elements per bucket, in reduction order.
   std::vector<i64> bucket_elements() const;

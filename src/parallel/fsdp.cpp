@@ -350,6 +350,41 @@ void Fsdp::gather_full_parameters() {
   }
 }
 
+std::vector<FsdpUnitLayout> Fsdp::checkpoint_layout() {
+  std::vector<FsdpUnitLayout> out;
+  out.reserve(units_.size() + 1);
+  auto emit = [this](Unit& unit) {
+    FsdpUnitLayout layout;
+    layout.shard = unit.shard;
+    layout.opt_param = &unit.opt_param;
+    // This rank's owned global range within the unit's flat span, clipped
+    // to the real elements (the tail shard may be pure padding).
+    const i64 begin =
+        static_cast<i64>(shard_comm_->rank()) * unit.chunk;
+    const i64 end = std::min(begin + unit.chunk, unit.total);
+    i64 offset = 0;  // walk of the unit's logical parameter layout
+    for (nn::Parameter* p : unit.params) {
+      const i64 pb = std::max(offset, begin);
+      const i64 pe = std::min(offset + p->numel(), end);
+      if (pb < pe) {
+        layout.ranges.push_back({p, pb - offset, pb - begin, pe - pb});
+      }
+      offset += p->numel();
+    }
+    return layout;
+  };
+  for (auto& unit : units_) out.push_back(emit(unit));
+  out.push_back(emit(root_));
+  return out;
+}
+
+void Fsdp::drop_full_parameters() {
+  for (size_t i = 0; i < units_.size(); ++i) {
+    reshard(units_[i], static_cast<int>(i));
+  }
+  reshard(root_, -1);
+}
+
 std::vector<nn::Parameter*> Fsdp::optimizer_parameters() {
   std::vector<nn::Parameter*> out;
   out.reserve(units_.size() + 1);

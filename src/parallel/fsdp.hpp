@@ -69,6 +69,27 @@ struct FsdpOptions {
 /// In-flight stage all-gathers the rate limiter allows when enabled.
 inline constexpr int kAllGatherInflightCap = 2;
 
+/// One contiguous run of a logical model parameter inside a rank's owned
+/// flat shard (checkpoint support). Padding elements carry no ranges.
+struct FsdpParamRange {
+  const nn::Parameter* param = nullptr;  // wrapped model parameter
+  i64 param_begin = 0;  // first covered element within the parameter
+  i64 shard_begin = 0;  // offset of that element within the rank's shard
+  i64 len = 0;          // covered elements
+};
+
+/// Per-unit checkpoint view: this rank's authoritative shard tensor, the
+/// flat parameter the optimizer steps (whose state tensors share the
+/// shard's layout element-for-element), and the logical-parameter ranges
+/// the shard covers. Valid as long as the wrapper lives; the shard is the
+/// single source of truth in every strategy, so checkpoints built from
+/// this view never materialize the full model on any rank.
+struct FsdpUnitLayout {
+  Tensor shard;
+  nn::Parameter* opt_param = nullptr;
+  std::vector<FsdpParamRange> ranges;
+};
+
 /// One step-schedule entry, for tests and for the performance simulator.
 struct FsdpEvent {
   enum class Type {
@@ -115,6 +136,18 @@ class Fsdp {
   /// the next begin_step() or hook-driven reshard. Gathers are issued
   /// asynchronously (subject to the rate limiter) and all waited here.
   void gather_full_parameters();
+
+  /// Sharded checkpoint view: one entry per unit (stages in order, then
+  /// the root unit). See FsdpUnitLayout.
+  std::vector<FsdpUnitLayout> checkpoint_layout();
+
+  /// Inverse of gather_full_parameters(): frees any materialized full
+  /// parameters so the local shards are again the only authority. The
+  /// checkpoint-restore path calls this before writing restored values
+  /// into the shards, so a stale gathered copy can never be read. No-op
+  /// for unsharded strategies (where the shard aliases the full buffer
+  /// and writes pass through).
+  void drop_full_parameters();
 
   // ----- introspection ---------------------------------------------------
   const FsdpOptions& options() const { return options_; }

@@ -1,77 +1,28 @@
 #include "train/checkpoint.hpp"
 
-#include <cstdint>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <vector>
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/state.hpp"
 
 namespace geofm::train {
-namespace {
 
-constexpr std::uint64_t kMagic = 0x67656f666d636b31ULL;  // "geofmck1"
-
-void write_u64(std::ofstream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-std::uint64_t read_u64(std::ifstream& in) {
-  std::uint64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  GEOFM_CHECK(in.good(), "checkpoint truncated");
-  return v;
-}
-
-}  // namespace
+// Thin shims over the sharded checkpoint subsystem (src/ckpt/): a module
+// checkpoint is a single-rank, parameters-only checkpoint written as one
+// shard file. Moving to the v2 format fixed the historic laxness of this
+// API — loads now verify full parameter shapes (not just element counts)
+// and record checksums, and report the first mismatching parameter by
+// name.
 
 void save_checkpoint(nn::Module& module, const std::string& path) {
-  std::filesystem::path p(path);
-  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
-  std::ofstream out(p, std::ios::binary);
-  GEOFM_CHECK(out.good(), "cannot open checkpoint " << path);
-
-  const auto params = module.parameters();
-  write_u64(out, kMagic);
-  write_u64(out, static_cast<std::uint64_t>(params.size()));
-  for (nn::Parameter* param : params) {
-    write_u64(out, static_cast<std::uint64_t>(param->name.size()));
-    out.write(param->name.data(),
-              static_cast<std::streamsize>(param->name.size()));
-    write_u64(out, static_cast<std::uint64_t>(param->numel()));
-    out.write(reinterpret_cast<const char*>(param->value.data()),
-              static_cast<std::streamsize>(param->numel() * sizeof(float)));
-  }
-  GEOFM_CHECK(out.good(), "checkpoint write failed: " << path);
+  ckpt::save_file(path, ckpt::replicated_state(module, /*optimizer=*/nullptr,
+                                               /*rank=*/0, /*world=*/1,
+                                               /*for_save=*/true));
 }
 
 void load_checkpoint(nn::Module& module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  GEOFM_CHECK(in.good(), "cannot open checkpoint " << path);
-  GEOFM_CHECK(read_u64(in) == kMagic, "not a geofm checkpoint: " << path);
-
-  const std::uint64_t count = read_u64(in);
-  std::map<std::string, std::vector<float>> entries;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t name_len = read_u64(in);
-    GEOFM_CHECK(name_len < 4096, "implausible name length");
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    const std::uint64_t numel = read_u64(in);
-    std::vector<float> values(numel);
-    in.read(reinterpret_cast<char*>(values.data()),
-            static_cast<std::streamsize>(numel * sizeof(float)));
-    GEOFM_CHECK(in.good(), "checkpoint truncated at " << name);
-    entries.emplace(std::move(name), std::move(values));
-  }
-
-  for (nn::Parameter* param : module.parameters()) {
-    auto it = entries.find(param->name);
-    GEOFM_CHECK(it != entries.end(),
-                "checkpoint missing parameter " << param->name);
-    GEOFM_CHECK(static_cast<i64>(it->second.size()) == param->numel(),
-                "checkpoint size mismatch for " << param->name);
-    std::copy(it->second.begin(), it->second.end(), param->value.data());
-  }
+  ckpt::CheckpointReader reader(path);
+  reader.restore(ckpt::replicated_state(module, /*optimizer=*/nullptr,
+                                        /*rank=*/0, /*world=*/1,
+                                        /*for_save=*/false));
 }
 
 }  // namespace geofm::train

@@ -1,4 +1,7 @@
 // Binary checkpointing of module parameters (name-keyed, versioned).
+// Convenience wrappers over the sharded checkpoint subsystem (see
+// src/ckpt/checkpoint.hpp for full training-state checkpoints with
+// optimizer state, counters, and elastic resharding).
 #pragma once
 
 #include <string>
@@ -7,12 +10,14 @@
 
 namespace geofm::train {
 
-/// Writes every parameter (name, shape, data) of `module` to `path`.
+/// Writes every parameter (name, shape, data) of `module` to `path` as a
+/// single checksummed shard file (atomic: temp + rename).
 void save_checkpoint(nn::Module& module, const std::string& path);
 
-/// Loads a checkpoint into `module`. Every parameter in the module must be
-/// present in the file with a matching element count; extra entries in the
-/// file are ignored. Throws geofm::Error on mismatch or malformed input.
+/// Loads a checkpoint into `module`. Every parameter in the module must
+/// be present with a matching full shape — the first mismatch is
+/// reported by parameter name; extra entries in the file are ignored.
+/// Throws geofm::Error on mismatch, corruption, or malformed input.
 void load_checkpoint(nn::Module& module, const std::string& path);
 
 }  // namespace geofm::train

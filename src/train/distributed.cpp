@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/checkpoint.hpp"
 #include "data/dataloader.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -19,35 +20,81 @@ DistributedPretrainResult pretrain_mae_distributed(
   GEOFM_CHECK(cfg.global_batch % comm.size() == 0,
               "global batch " << cfg.global_batch << " not divisible by "
                               << comm.size() << " ranks");
+  GEOFM_CHECK(cfg.checkpoint_every_n_steps == 0 ||
+                  !cfg.checkpoint_dir.empty(),
+              "checkpoint_every_n_steps needs a checkpoint_dir");
   const i64 local_batch = cfg.global_batch / comm.size();
   Timer timer;
 
-  // Every rank renders the same global batch stream (same seed) and takes
-  // its contiguous slice — the simplest SPMD pattern, and deterministic
-  // regardless of rank count.
+  // Every rank shares one global batch stream (same seed, same shuffle)
+  // and its loader renders only this rank's contiguous slice of it —
+  // SPMD-deterministic regardless of rank count, with per-rank render
+  // work cut by the world size (per-sample rendering and per-sample-keyed
+  // augmentation make the slice bitwise equal to the same rows of the
+  // full batch).
   data::DataLoader::Options lopts;
   lopts.batch_size = cfg.global_batch;
   lopts.n_workers = cfg.loader_workers;
   lopts.shuffle = true;
   lopts.seed = cfg.seed;
+  lopts.slice_offset = comm.rank() * local_batch;
+  lopts.slice_count = local_batch;
   data::DataLoader loader(corpus, data::Split::kTrain, lopts);
-  GEOFM_CHECK(loader.batches_per_epoch() > 0,
-              "corpus smaller than the global batch");
+  const i64 batches_per_epoch = loader.batches_per_epoch();
+  GEOFM_CHECK(batches_per_epoch > 0, "corpus smaller than the global batch");
 
   optim::AdamW opt(fsdp.optimizer_parameters(), cfg.lr, 0.9, 0.95, 1e-8,
                    cfg.weight_decay);
 
+  // The masking stream is persistent run state (not derived per step), so
+  // a restored run continues the exact sequence an uninterrupted run
+  // would draw.
+  Rng mask_stream = Rng(cfg.seed).split(hash_name("mask_stream"));
+
+  i64 start_step = 0;
+  if (!cfg.resume_from.empty()) {
+    obs::TraceScope span("ckpt.resume", "ckpt");
+    ckpt::CheckpointReader reader(cfg.resume_from);
+    // Shards become the only authority before restored values land in
+    // them; any previously gathered full parameters would be stale.
+    fsdp.drop_full_parameters();
+    reader.restore(ckpt::fsdp_state(fsdp, &opt));
+    ckpt::restore_optimizer_scalars(reader, opt);
+    mask_stream.set_state(reader.rng_state("mask_stream"));
+    // Checkpoints are taken after a step completes; resume at the next.
+    start_step = reader.counter("step", -1) + 1;
+    GEOFM_CHECK(start_step >= 1, "resumed checkpoint has no step counter");
+    if (cfg.verbose && comm.rank() == 0) {
+      GEOFM_INFO("resumed from " << reader.location() << " (saved at world "
+                                 << reader.saved_world() << ", step "
+                                 << start_step - 1 << ")");
+    }
+  }
+
+  std::optional<ckpt::Checkpointer> checkpointer;
+  if (cfg.checkpoint_every_n_steps > 0) {
+    checkpointer.emplace(cfg.async_checkpoint);
+    // A previous run that died mid-save must not leak partial shards
+    // into this run's checkpoints.
+    ckpt::reset_save_state(cfg.checkpoint_dir);
+  }
+
   DistributedPretrainResult result;
-  result.step_losses.reserve(static_cast<size_t>(cfg.steps));
+  result.start_step = start_step;
+  result.step_losses.reserve(
+      static_cast<size_t>(std::max<i64>(cfg.steps - start_step, 0)));
 
   auto& registry = obs::MetricsRegistry::instance();
   auto& step_hist = registry.histogram("train.step_seconds");
   auto& loader_exposed_counter =
       registry.counter("train.loader_exposed_seconds");
 
-  i64 step = 0;
-  for (i64 epoch = 0; step < cfg.steps; ++epoch) {
-    loader.start_epoch(epoch);
+  i64 step = start_step;
+  for (i64 epoch = start_step / batches_per_epoch; step < cfg.steps;
+       ++epoch) {
+    // On the resumed epoch, fast-forward past the batches the previous
+    // run already consumed (step k is batch k % bpe of epoch k / bpe).
+    loader.start_epoch(epoch, step - epoch * batches_per_epoch);
     for (;;) {
       // Fetch blocking time is the loader's exposed cost to this rank —
       // the input-pipeline analogue of CommStats::exposed_wait_seconds.
@@ -65,25 +112,24 @@ DistributedPretrainResult pretrain_mae_distributed(
 
       obs::TraceScope step_span("step", "runtime", "step", step);
       const double step_t0 = monotonic_seconds();
-      const i64 per = batch->images.numel() / batch->images.dim(0);
-      Tensor mine({local_batch, batch->images.dim(1), batch->images.dim(2),
-                   batch->images.dim(3)});
-      {
-        obs::TraceScope span("step.slice", "runtime", "local_batch",
-                             local_batch);
-        mine.copy_(batch->images.flat_view(comm.rank() * local_batch * per,
-                                           local_batch * per));
-      }
+      // The loader already rendered only this rank's slice of the global
+      // batch (worker-side slicing), so the batch is used as-is.
+      GEOFM_CHECK(batch->images.dim(0) == local_batch,
+                  "loader slice is " << batch->images.dim(0)
+                                     << " rows, expected " << local_batch);
 
       // The async step: begin_step() issues what the strategy needs up
       // front; stage hooks overlap gathers/reductions with compute;
       // end_backward() drains every in-flight collective.
       fsdp.begin_step();
-      Rng mask_rng(cfg.seed ^ (0x9e3779b9ULL + static_cast<u64>(step)));
+      // One draw per step from the persistent stream seeds the step's
+      // mask RNG; every rank draws identically, keeping masks SPMD.
+      Rng mask_rng(mask_stream.next_u64());
       float local_loss = 0;
       {
         obs::TraceScope span("step.forward", "compute", "step", step);
-        local_loss = mae.forward(mine, mask_rng, comm.rank() * local_batch);
+        local_loss =
+            mae.forward(batch->images, mask_rng, comm.rank() * local_batch);
       }
       {
         obs::TraceScope span("step.backward", "compute", "step", step);
@@ -93,9 +139,31 @@ DistributedPretrainResult pretrain_mae_distributed(
         obs::TraceScope span("step.end_backward", "runtime", "step", step);
         fsdp.end_backward();
       }
+      if (cfg.fault_hook) {
+        cfg.fault_hook(comm, step);
+      }
       {
         obs::TraceScope span("step.optimizer", "optim", "step", step);
         opt.step();
+      }
+      if (checkpointer &&
+          (step + 1) % cfg.checkpoint_every_n_steps == 0) {
+        ckpt::SaveRequest req;
+        req.dir = cfg.checkpoint_dir;
+        req.step = step;
+        req.rank = comm.rank();
+        req.world = comm.size();
+        req.state = ckpt::fsdp_state(fsdp, &opt);
+        req.counters = {{"step", step},
+                        {"epoch", epoch},
+                        {"seed", static_cast<i64>(cfg.seed)}};
+        for (const auto& [name, value] : ckpt::optimizer_scalars(opt)) {
+          req.counters[name] = value;
+        }
+        // State *after* this step's draw, so a resumed run draws what
+        // step + 1 would have.
+        req.rng_streams = {{"mask_stream", mask_stream.state()}};
+        checkpointer->save(req);
       }
 
       const auto& stats = fsdp.last_step_stats();
@@ -127,6 +195,9 @@ DistributedPretrainResult pretrain_mae_distributed(
       ++step;
     }
   }
+  // The run's last checkpoint must be durable (and any write failure
+  // reported) before the driver returns.
+  if (checkpointer) checkpointer->wait_idle();
   result.wall_seconds = timer.seconds();
   return result;
 }

@@ -6,6 +6,8 @@
 // paper's prefetch/limit_all_gathers ablations are about.
 #pragma once
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -23,12 +25,35 @@ struct DistributedPretrainConfig {
   u64 seed = 9;
   int loader_workers = 0;  // per rank; 0 = synchronous rendering
   bool verbose = false;
+
+  // ----- checkpoint/restart (src/ckpt/) ----------------------------------
+  /// Save a sharded checkpoint after every N completed optimizer steps
+  /// (0 = never). Requires checkpoint_dir.
+  i64 checkpoint_every_n_steps = 0;
+  std::string checkpoint_dir;
+  /// Stage at the step boundary, write on a background thread (the
+  /// exposed cost is the staging copy only). False = write inline.
+  bool async_checkpoint = true;
+  /// Resume source: a checkpoint root (latest complete step), a step
+  /// directory, or a shard file. Empty = fresh run. The checkpoint may
+  /// have been written at any world size or sharding strategy; counters,
+  /// optimizer state, and RNG streams are restored so the continued loss
+  /// trajectory matches an uninterrupted run's.
+  std::string resume_from;
+  /// Fault-injection hook, called mid-step (after the backward's
+  /// collectives drain, before the optimizer step) on every rank. A test
+  /// simulates a crash by calling comm.abort() and throwing from one
+  /// rank: peers' in-flight collectives complete with errors instead of
+  /// deadlocking, and the whole run unwinds like a dead rank would.
+  std::function<void(comm::Communicator&, i64 step)> fault_hook;
 };
 
 struct DistributedPretrainResult {
-  std::vector<float> step_losses;  // globally averaged, one per step
+  std::vector<float> step_losses;  // globally averaged, one per step run
   double wall_seconds = 0;
   i64 images_seen = 0;  // global
+  /// First step this run executed (> 0 when resumed from a checkpoint).
+  i64 start_step = 0;
 
   // Overlap accounting for this rank, summed over all steps.
   int collectives_waited = 0;

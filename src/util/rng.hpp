@@ -69,6 +69,11 @@ class Rng {
     return mean + stddev * normal();
   }
 
+  /// Raw generator state, for checkpoint/restart: a stream restored with
+  /// set_state(state()) continues the exact same sequence.
+  u64 state() const { return state_; }
+  void set_state(u64 state) { state_ = state; }
+
  private:
   u64 state_;
 };

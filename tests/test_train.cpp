@@ -130,6 +130,35 @@ TEST(Checkpoint, MismatchedModelRejected) {
   std::filesystem::remove(path);
 }
 
+TEST(Checkpoint, ShapeMismatchReportedByParameterName) {
+  const std::string path = "/tmp/geofm_test_ckpt_shape.bin";
+  struct OneParam : nn::Module {
+    nn::Parameter p;
+    OneParam(std::vector<i64> shape, const char* name) {
+      Rng rng(3);
+      p.name = name;
+      p.value = Tensor::randn(std::move(shape), rng);
+    }
+    std::vector<nn::Parameter*> parameters() override { return {&p}; }
+  };
+  OneParam saved({2, 3}, "enc.blocks.0.attn.w");
+  train::save_checkpoint(saved, path);
+
+  // Same element count, transposed shape: the numel-only check of the
+  // original loader accepted this silently; it must now be rejected with
+  // the offending parameter named.
+  OneParam transposed({3, 2}, "enc.blocks.0.attn.w");
+  try {
+    train::load_checkpoint(transposed, path);
+    FAIL() << "shape mismatch not detected";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("enc.blocks.0.attn.w"), std::string::npos) << what;
+    EXPECT_NE(what.find("shape mismatch"), std::string::npos) << what;
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(Checkpoint, MissingFileRejected) {
   Rng rng(8);
   models::MAE mae(tiny_cfg(), rng);
