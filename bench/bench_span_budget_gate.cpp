@@ -86,6 +86,30 @@ int main(int argc, char** argv) {
     train::pretrain_mae_distributed(mae, fsdp, c, corpus, cfg);
   });
 
+  // Phase 2: the same shape under a mid-run rank kill, driven by the
+  // elastic supervisor, so the recovery path (recover.detect /
+  // recover.reform / recover.reshard) is on the gate — an absent
+  // recover.* span means in-run recovery silently stopped working.
+  const std::string elastic_root = ckpt_root + "_elastic";
+  std::filesystem::remove_all(elastic_root);
+  {
+    train::ElasticConfig ecfg;
+    ecfg.model = models::mae_for(models::proxy_huge());
+    ecfg.model_seed = 1;
+    ecfg.world = 4;
+    ecfg.fsdp.strategy = parallel::ShardingStrategy::kFullShard;
+    ecfg.fsdp.prefetch = parallel::BackwardPrefetch::kBackwardPre;
+    ecfg.train = cfg;
+    ecfg.train.steps = 8;
+    ecfg.train.global_batch = 48;  // divides the shrunken world of 3
+    ecfg.train.checkpoint_every_n_steps = 3;
+    ecfg.train.checkpoint_dir = elastic_root;
+    ecfg.train.async_checkpoint = false;
+    ecfg.faults.events.push_back(comm::FaultEvent::kill_at_step(2, 5));
+    train::run_elastic(ecfg, corpus);
+  }
+  std::filesystem::remove_all(elastic_root);
+
   std::map<std::string, double> seconds_by_span;
   for (const auto& e : recorder.snapshot()) {
     if (e.phase != obs::TraceEvent::Phase::kComplete) continue;

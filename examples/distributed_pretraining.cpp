@@ -13,6 +13,12 @@
 // latest checkpoint at HALF the world size — the elastic reshard path
 // reassembling 4 ranks' shards into 2 ranks' layout.
 //
+// A third phase survives a fault *in-run*: a deterministic FaultPlan
+// kills one rank mid-step under the elastic supervisor, which
+// quarantines it, re-forms the communicator over the 3 survivors,
+// reshards from the latest checkpoint, and continues to completion in
+// the same process — no external restart.
+//
 // Run:  ./example_distributed_pretraining
 //
 // Set GEOFM_TRACE=trace.json to capture a Chrome-trace timeline of the
@@ -135,6 +141,50 @@ int main() {
   resume_cfg.steps = 30;
   resume_cfg.resume_from = ckpt_root;
   run_phase(2, resume_cfg);
+
+  // Phase 3: in-run failure recovery. A fresh 4-rank run under the
+  // elastic supervisor, with a fault plan that kills rank 1 at step 12;
+  // the comm watchdog (1s deadline) would likewise catch a silent stall.
+  // Survivors unwind with comm::Aborted, the supervisor quarantines the
+  // dead rank, re-forms at world 3, reshards from the step-9 checkpoint,
+  // and finishes — all inside this process.
+  const std::string elastic_root = ckpt_root + "_elastic";
+  std::filesystem::remove_all(elastic_root);
+  std::printf("elastic phase: 4 ranks, rank 1 killed at step 12 by fault "
+              "plan; shrink-and-continue\n");
+  train::ElasticConfig ecfg;
+  ecfg.model = models::mae_for(models::proxy_huge());
+  ecfg.model_seed = 1;
+  ecfg.world = 4;
+  ecfg.fsdp.strategy = parallel::ShardingStrategy::kFullShard;
+  ecfg.fsdp.prefetch = parallel::BackwardPrefetch::kBackwardPre;
+  ecfg.train = cfg;
+  ecfg.train.steps = 20;
+  ecfg.train.global_batch = 48;  // divides 4 and 3 — shrink-friendly
+  ecfg.train.checkpoint_every_n_steps = 10;
+  ecfg.train.checkpoint_dir = elastic_root;
+  ecfg.faults.events.push_back(comm::FaultEvent::kill_at_step(1, 12));
+  ecfg.watchdog_deadline_seconds = 1.0;
+  const auto eres = train::run_elastic(ecfg, corpus);
+  for (size_t i = 0; i < eres.attempts.size(); ++i) {
+    const auto& a = eres.attempts[i];
+    if (a.completed) {
+      std::printf("  attempt %zu: world %d completed steps %lld..%lld "
+                  "(final loss %.4f)\n",
+                  i + 1, a.world, static_cast<long long>(a.start_step),
+                  static_cast<long long>(ecfg.train.steps - 1),
+                  a.losses.back());
+    } else {
+      std::printf("  attempt %zu: world %d failed — %s; quarantined rank "
+                  "%d\n",
+                  i + 1, a.world, a.failure.c_str(),
+                  a.quarantined.empty() ? -1 : a.quarantined.front());
+    }
+  }
+  std::printf("  recovered %d time(s), %.1f ms failure-to-running "
+              "(recovery.count / recovery.seconds; spans recover.detect / "
+              "recover.reform / recover.reshard in the trace)\n",
+              eres.recoveries, 1e3 * eres.recovery_seconds);
 
   std::printf("done. checkpoints under %s, final model at "
               "/tmp/geofm_distributed_example.bin\n",

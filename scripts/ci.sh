@@ -24,10 +24,18 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 echo "== trace-span budget gate =="
-# Structural perf tripwires: comm wait, unshard, loader fetch, and the
-# exposed checkpoint-snapshot cost as fractions of step time (budgets in
-# scripts/span_budgets.txt).
+# Structural perf tripwires: comm wait, unshard, loader fetch, the exposed
+# checkpoint-snapshot cost, and the elastic-recovery path (recover.*) as
+# fractions of step time (budgets in scripts/span_budgets.txt).
 ./build/bench/bench_span_budget_gate scripts/span_budgets.txt
+
+echo "== fault matrix: every FaultPlan kind x sharding strategy =="
+# Each deterministic fault kind (kill, stall, slow-rank, corruption) under
+# both DDP (NO_SHARD) and FULL_SHARD, plus the shrink-and-continue
+# recovery scenarios, as their own pass so a fault-layer regression is
+# named here rather than buried in the full suite.
+./build/tests/geofm_tests \
+    --gtest_filter='*ElasticFaultMatrix*:ElasticRecovery.*:Fault.*'
 
 if [[ "$SKIP_TSAN" == "0" ]]; then
   echo "== tier-1: ThreadSanitizer build + ctest =="
@@ -41,6 +49,13 @@ if [[ "$SKIP_TSAN" == "0" ]]; then
   # repeats it for schedule diversity under TSan.
   ./build-tsan/tests/geofm_tests \
       --gtest_filter='FaultTolerance.*' --gtest_repeat=3
+  echo "== TSan: in-run elastic recovery, extra schedules =="
+  # Kill-triggered and watchdog-triggered recovery race the supervisor,
+  # the dying rank, survivors, the watchdog thread, and checkpoint I/O;
+  # repeat for schedule diversity.
+  ./build-tsan/tests/geofm_tests \
+      --gtest_filter='ElasticRecovery.KillMidStepShrinksAndContinues:ElasticRecovery.StallQuarantinedByWatchdog' \
+      --gtest_repeat=2
 fi
 
 echo "== ci.sh: all suites passed =="

@@ -114,6 +114,7 @@ Checkpointer::Staged Checkpointer::stage(const SaveRequest& req) {
   Staged staged;
   staged.dir = req.dir;
   staged.step = req.step;
+  staged.retention = req.retention;
   staged.shard.rank = req.rank;
   staged.shard.world = req.world;
   staged.shard.counters = req.counters;
@@ -148,6 +149,7 @@ void Checkpointer::write_staged(const Staged& staged) {
   format::write_shard_file(path, staged.shard);
   if (coordinator_arrive(staged.dir, staged.step, staged.shard.world)) {
     publish_checkpoint(staged.dir, staged.step, staged.shard.world);
+    apply_retention(staged.dir, staged.retention);
   }
   i64 bytes = 0;
   for (const auto& buf : staged.buffers) {
@@ -241,12 +243,70 @@ void reset_save_state(const std::string& root) {
   if (!fs::is_directory(root, ec)) return;
   for (const auto& entry : fs::directory_iterator(root, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind(".step_", 0) == 0 &&
+    const bool save_tmp = name.rfind(".step_", 0) == 0;
+    const bool gc_tmp = name.rfind(".gc_step_", 0) == 0;
+    if ((save_tmp || gc_tmp) &&
         name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
       std::error_code rm_ec;  // concurrent rank may have removed it first
       fs::remove_all(entry.path(), rm_ec);
     }
   }
+}
+
+// ----- retention -------------------------------------------------------------
+
+std::vector<i64> apply_retention(const std::string& root,
+                                 const RetentionPolicy& policy) {
+  std::vector<i64> removed;
+  if (!policy.enabled()) return removed;
+  obs::TraceScope span("ckpt.gc", "ckpt");
+
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return removed;
+  std::vector<i64> steps;  // complete checkpoints only
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("step_", 0) != 0) continue;
+    const std::string digits = name.substr(5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    if (!fs::exists(entry.path() / "manifest.txt")) continue;
+    steps.push_back(static_cast<i64>(std::stoll(digits)));
+  }
+  std::sort(steps.begin(), steps.end());
+
+  const std::size_t n = steps.size();
+  const std::size_t keep_from =
+      n > static_cast<std::size_t>(policy.keep_last)
+          ? n - static_cast<std::size_t>(policy.keep_last)
+          : 0;
+  for (std::size_t i = 0; i < keep_from; ++i) {
+    const i64 step = steps[i];
+    if (policy.keep_multiple_of > 0 && step % policy.keep_multiple_of == 0) {
+      continue;  // anchor checkpoint
+    }
+    // Atomic unpublish: rename out of the step_* namespace first, so a
+    // reader that races the (non-atomic) recursive delete never opens a
+    // half-deleted checkpoint.
+    const fs::path published = fs::path(root) / format::step_dir_name(step);
+    const fs::path doomed =
+        fs::path(root) / (".gc_" + format::step_dir_name(step) + ".tmp");
+    std::error_code gc_ec;
+    fs::remove_all(doomed, gc_ec);  // leftover from an interrupted GC
+    fs::rename(published, doomed, gc_ec);
+    if (gc_ec) continue;  // lost a race with another GC pass; keep going
+    fs::remove_all(doomed, gc_ec);
+    removed.push_back(step);
+  }
+  if (!removed.empty()) {
+    static auto& gc_removed =
+        obs::MetricsRegistry::instance().counter("ckpt.retention_removed");
+    gc_removed.add(static_cast<double>(removed.size()));
+  }
+  return removed;
 }
 
 // ----- single-file save ------------------------------------------------------

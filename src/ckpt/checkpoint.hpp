@@ -38,6 +38,21 @@
 
 namespace geofm::ckpt {
 
+/// Bounded on-disk retention. After each publication the publishing rank
+/// keeps the `keep_last` highest complete steps plus every step divisible
+/// by `keep_multiple_of` (0 = no such anchors), and garbage-collects the
+/// rest — atomically: a doomed `step_N/` is first renamed to a hidden
+/// `.gc_step_N.tmp/` (unpublishing it in one filesystem op) and then
+/// deleted, so readers racing the GC see either a complete checkpoint or
+/// none, never a partial one. Disabled by default (`keep_last == 0`
+/// keeps everything).
+struct RetentionPolicy {
+  i64 keep_last = 0;
+  i64 keep_multiple_of = 0;
+
+  bool enabled() const { return keep_last > 0; }
+};
+
 /// One rank's contribution to a directory checkpoint.
 struct SaveRequest {
   std::string dir;  // checkpoint root directory
@@ -47,6 +62,7 @@ struct SaveRequest {
   StateDesc state;  // slices alias live tensors; copied during save()
   std::map<std::string, i64> counters;     // step, epoch, seed, optim.*
   std::map<std::string, u64> rng_streams;  // named Rng states
+  RetentionPolicy retention;  // applied after this save publishes
 };
 
 /// Per-rank checkpoint writer. Thread-compatible (one owner thread calls
@@ -75,6 +91,7 @@ class Checkpointer {
     std::string dir;
     i64 step = 0;
     format::ShardData shard;
+    RetentionPolicy retention;
     // Owns the floats the shard's records point into.
     std::vector<std::vector<float>> buffers;
   };
@@ -101,6 +118,13 @@ class Checkpointer {
 /// publish a checkpoint mixing shards from both runs. Idempotent and
 /// safe to call concurrently from every rank (no save may be in flight).
 void reset_save_state(const std::string& root);
+
+/// Applies `policy` to the complete checkpoints under `root` (the
+/// publishing Checkpointer rank calls this after each publication;
+/// exposed for tests and offline tools). Returns the steps removed, in
+/// ascending order. No-op when the policy is disabled.
+std::vector<i64> apply_retention(const std::string& root,
+                                 const RetentionPolicy& policy);
 
 /// Writes a complete single-rank checkpoint to `path` as one shard file
 /// (atomically). The legacy train::save_checkpoint API and single-process

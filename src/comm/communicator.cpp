@@ -1,8 +1,11 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <thread>
 
+#include "comm/fault.hpp"
+#include "comm/watchdog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_context.hpp"
@@ -44,23 +47,71 @@ const char* execute_name(detail::PendingOp::Kind k) {
   return "comm.execute";
 }
 
+const char* op_label(detail::PendingOp::Kind k) {
+  using Kind = detail::PendingOp::Kind;
+  switch (k) {
+    case Kind::kAllReduce: return "all_reduce";
+    case Kind::kAllGather: return "all_gather";
+    case Kind::kReduceScatter: return "reduce_scatter";
+    case Kind::kBroadcast: return "broadcast";
+  }
+  return "collective";
+}
+
 }  // namespace
 
 namespace detail {
 
-LeaderBarrier::LeaderBarrier(int n) : n_(n) { GEOFM_CHECK(n > 0); }
+LeaderBarrier::LeaderBarrier(int n)
+    : n_(n), in_(static_cast<size_t>(n), 0) {
+  GEOFM_CHECK(n > 0);
+}
 
-void LeaderBarrier::arrive(const std::function<void()>& leader) {
+void LeaderBarrier::arrive(int rank, const std::function<void()>& leader) {
   std::unique_lock<std::mutex> lk(mu_);
+  if (aborted_) throw Aborted("communicator aborted: " + abort_reason_);
+  if (arrived_ == 0) round_start_ = std::chrono::steady_clock::now();
+  in_[static_cast<size_t>(rank)] = 1;
   if (++arrived_ == n_) {
     if (leader) leader();
     arrived_ = 0;
+    std::fill(in_.begin(), in_.end(), 0);
     ++generation_;
     cv_.notify_all();
   } else {
     const u64 gen = generation_;
-    cv_.wait(lk, [&] { return generation_ != gen; });
+    cv_.wait(lk, [&] { return generation_ != gen || aborted_; });
+    if (generation_ == gen && aborted_) {
+      throw Aborted("communicator aborted: " + abort_reason_);
+    }
   }
+}
+
+void LeaderBarrier::abort(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!aborted_) {
+      aborted_ = true;
+      abort_reason_ = reason;
+    }
+  }
+  cv_.notify_all();
+}
+
+LeaderBarrier::Status LeaderBarrier::status() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Status s;
+  s.arrived = arrived_;
+  if (arrived_ > 0) {
+    s.oldest_wait_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      round_start_)
+            .count();
+    for (int r = 0; r < n_; ++r) {
+      if (!in_[static_cast<size_t>(r)]) s.missing.push_back(r);
+    }
+  }
+  return s;
 }
 
 PendingOp::PendingOp(Kind k, ReduceOp r, int n_ranks)
@@ -69,16 +120,76 @@ PendingOp::PendingOp(Kind k, ReduceOp r, int n_ranks)
       n(n_ranks),
       src(static_cast<size_t>(n_ranks), nullptr),
       dst(static_cast<size_t>(n_ranks), nullptr),
-      counts(static_cast<size_t>(n_ranks), 0) {}
+      counts(static_cast<size_t>(n_ranks), 0),
+      joined(static_cast<size_t>(n_ranks), 0) {}
 
 CommGroup::CommGroup(int n)
     : size(n),
       barrier(n),
+      global_ranks(static_cast<size_t>(n)),
       next_ticket(static_cast<size_t>(n), 0),
+      heartbeat(std::make_unique<RankClock[]>(static_cast<size_t>(n))),
       colors(static_cast<size_t>(n), 0),
-      keys(static_cast<size_t>(n), 0) {}
+      keys(static_cast<size_t>(n), 0) {
+  std::iota(global_ranks.begin(), global_ranks.end(), 0);
+}
+
+CommGroup::~CommGroup() { stop_watchdog(*this); }
+
+// Recursively poisons a group and every subgroup split from it. The
+// aborted flag is published under async_mu (post checks it there before
+// inserting a new op), so no op can join the inflight map after the sweep
+// below misses it; the barrier is poisoned last so a rank released from a
+// collective cannot re-block on a rendezvous that will never fill.
+void abort_group(CommGroup& g, const std::string& reason) {
+  std::vector<std::shared_ptr<PendingOp>> ops;
+  {
+    std::lock_guard<std::mutex> lk(g.async_mu);
+    if (!g.aborted) {
+      g.aborted = true;
+      g.abort_reason = reason;
+    }
+    ops.reserve(g.inflight.size());
+    for (auto& [ticket, op] : g.inflight) ops.push_back(op);
+  }
+  for (auto& op : ops) {
+    std::lock_guard<std::mutex> lk(op->mu);
+    if (!op->error) {
+      op->error =
+          std::make_exception_ptr(Aborted("communicator aborted: " + reason));
+    }
+    if (!op->complete) {
+      op->complete = true;
+      op->complete_tp = std::chrono::steady_clock::now();
+    }
+    op->cv.notify_all();
+  }
+  g.barrier.abort(reason);
+  std::vector<std::shared_ptr<CommGroup>> children;
+  {
+    std::lock_guard<std::mutex> lk(g.split_mu);
+    children.reserve(g.subgroups.size());
+    for (auto& [key, sub] : g.subgroups) children.push_back(sub);
+  }
+  for (auto& sub : children) abort_group(*sub, reason);
+}
 
 namespace {
+
+void install_injector(CommGroup& g,
+                      const std::shared_ptr<FaultInjector>& injector) {
+  {
+    std::lock_guard<std::mutex> lk(g.async_mu);
+    g.injector = injector;
+  }
+  std::vector<std::shared_ptr<CommGroup>> children;
+  {
+    std::lock_guard<std::mutex> lk(g.split_mu);
+    children.reserve(g.subgroups.size());
+    for (auto& [key, sub] : g.subgroups) children.push_back(sub);
+  }
+  for (auto& sub : children) install_injector(*sub, injector);
+}
 
 // Executes a fully-joined op on the calling (last-arriving) thread. All
 // reductions run in rank order into op-owned scratch, so results are
@@ -240,13 +351,52 @@ void CollectiveHandle::wait(CommStats* stats) {
   if (err) std::rethrow_exception(err);
 }
 
+bool CollectiveHandle::wait_for(double seconds, CommStats* stats) {
+  if (!op_) return true;
+  const auto t0 = std::chrono::steady_clock::now();
+  bool was_complete;
+  {
+    std::unique_lock<std::mutex> lk(op_->mu);
+    was_complete = op_->complete;
+    if (!op_->cv.wait_for(lk, std::chrono::duration<double>(seconds),
+                          [&] { return op_->complete; })) {
+      return false;  // still in flight; the handle stays pending
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->waits;
+    if (was_complete) ++stats->completed_before_wait;
+    stats->exposed_wait_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double busy =
+        std::chrono::duration<double>(op_->complete_tp - issued_).count();
+    stats->busy_seconds += busy > 0 ? busy : 0;
+  }
+  std::exception_ptr err = op_->error;
+  op_.reset();
+  if (err) std::rethrow_exception(err);
+  return true;
+}
+
 Communicator::Communicator(std::shared_ptr<detail::CommGroup> group, int rank)
     : group_(std::move(group)), rank_(rank) {
   GEOFM_CHECK(group_ != nullptr);
   GEOFM_CHECK(rank_ >= 0 && rank_ < group_->size, "rank out of range");
 }
 
-void Communicator::barrier() { group_->barrier.arrive(); }
+int Communicator::global_rank() const {
+  return group_->global_ranks[static_cast<size_t>(rank_)];
+}
+
+void Communicator::barrier() {
+  group_->heartbeat[static_cast<size_t>(rank_)].last_ns.store(
+      static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count()),
+      std::memory_order_relaxed);
+  group_->barrier.arrive(rank_);
+}
 
 CollectiveHandle Communicator::post(detail::PendingOp::Kind kind, ReduceOp red,
                                     int root, const float* src, float* dst,
@@ -257,15 +407,49 @@ CollectiveHandle Communicator::post(detail::PendingOp::Kind kind, ReduceOp red,
                        count * static_cast<i64>(sizeof(float)), "ranks",
                        g.size);
   const auto issued = std::chrono::steady_clock::now();
+  g.heartbeat[static_cast<size_t>(rank_)].last_ns.store(
+      static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           issued.time_since_epoch())
+                           .count()),
+      std::memory_order_relaxed);
 
   std::shared_ptr<PendingOp> op;
+  std::shared_ptr<FaultInjector> injector;
   u64 ticket;
   {
     std::lock_guard<std::mutex> lk(g.async_mu);
     if (g.aborted) {
-      throw Error("communicator aborted: " + g.abort_reason);
+      throw Aborted("communicator aborted: " + g.abort_reason);
     }
     ticket = g.next_ticket[static_cast<size_t>(rank_)]++;
+    injector = g.injector;
+    if (!injector) {
+      auto it = g.inflight.find(ticket);
+      if (it == g.inflight.end()) {
+        op = std::make_shared<PendingOp>(kind, red, g.size);
+        g.inflight.emplace(ticket, op);
+      } else {
+        op = it->second;
+      }
+    }
+  }
+
+  if (injector) {
+    // Fault boundary: may delay this rank (stall/slow), corrupt its
+    // contribution in place (simulated wire corruption — the buffer is
+    // plain heap storage, const only through the collective's signature),
+    // or kill the rank: abort peers, then unwind.
+    const int grank = g.global_ranks[static_cast<size_t>(rank_)];
+    const auto fault = injector->before_post(grank, op_label(kind),
+                                             const_cast<float*>(src), count);
+    if (fault.kill) {
+      abort(fault.kill_reason);
+      throw RankKilled(fault.kill_reason, grank);
+    }
+    std::lock_guard<std::mutex> lk(g.async_mu);
+    if (g.aborted) {  // a peer may have died during our injected delay
+      throw Aborted("communicator aborted: " + g.abort_reason);
+    }
     auto it = g.inflight.find(ticket);
     if (it == g.inflight.end()) {
       op = std::make_shared<PendingOp>(kind, red, g.size);
@@ -299,6 +483,8 @@ CollectiveHandle Communicator::post(detail::PendingOp::Kind kind, ReduceOp red,
     op->src[static_cast<size_t>(rank_)] = src;
     op->dst[static_cast<size_t>(rank_)] = dst;
     op->counts[static_cast<size_t>(rank_)] = count;
+    if (op->arrived == 0) op->first_join_tp = issued;
+    op->joined[static_cast<size_t>(rank_)] = 1;
     execute = (++op->arrived == op->n);
   }
 
@@ -371,49 +557,29 @@ void Communicator::broadcast(Tensor& t, int root) {
   ibroadcast(t, root).wait();
 }
 
-namespace {
-
-// Recursively poisons a group and every subgroup split from it. The
-// aborted flag is published under async_mu (post checks it there before
-// inserting a new op), so no op can join the inflight map after the sweep
-// below misses it.
-void abort_group(detail::CommGroup& g, const std::string& reason) {
-  std::vector<std::shared_ptr<detail::PendingOp>> ops;
-  {
-    std::lock_guard<std::mutex> lk(g.async_mu);
-    if (!g.aborted) {
-      g.aborted = true;
-      g.abort_reason = reason;
-    }
-    ops.reserve(g.inflight.size());
-    for (auto& [ticket, op] : g.inflight) ops.push_back(op);
-  }
-  for (auto& op : ops) {
-    std::lock_guard<std::mutex> lk(op->mu);
-    if (!op->error) {
-      op->error =
-          std::make_exception_ptr(Error("communicator aborted: " + reason));
-    }
-    if (!op->complete) {
-      op->complete = true;
-      op->complete_tp = std::chrono::steady_clock::now();
-    }
-    op->cv.notify_all();
-  }
-  std::vector<std::shared_ptr<detail::CommGroup>> children;
-  {
-    std::lock_guard<std::mutex> lk(g.split_mu);
-    children.reserve(g.subgroups.size());
-    for (auto& [key, sub] : g.subgroups) children.push_back(sub);
-  }
-  for (auto& sub : children) abort_group(*sub, reason);
-}
-
-}  // namespace
-
 void Communicator::abort(const std::string& reason) {
   obs::trace_instant("comm.abort", "comm");
-  abort_group(*group_, reason);
+  detail::abort_group(*group_, reason);
+}
+
+bool Communicator::aborted() const {
+  std::lock_guard<std::mutex> lk(group_->async_mu);
+  return group_->aborted;
+}
+
+std::string Communicator::abort_reason() const {
+  std::lock_guard<std::mutex> lk(group_->async_mu);
+  return group_->abort_reason;
+}
+
+std::vector<int> Communicator::abort_suspects() const {
+  std::lock_guard<std::mutex> lk(group_->async_mu);
+  return group_->suspects;
+}
+
+void Communicator::install_fault_injector(
+    std::shared_ptr<FaultInjector> injector) {
+  detail::install_injector(*group_, injector);
 }
 
 Communicator Communicator::split(int color, int key) {
@@ -422,7 +588,15 @@ Communicator Communicator::split(int color, int key) {
   g.keys[static_cast<size_t>(rank_)] = key;
 
   u64 seq = 0;
-  g.barrier.arrive([&] {
+  g.barrier.arrive(rank_, [&] {
+    // Subgroups inherit the parent's injector and map their ranks back to
+    // root identities, so fault plans and watchdog diagnoses stay in
+    // world-rank terms at every level of the hierarchy.
+    std::shared_ptr<FaultInjector> injector;
+    {
+      std::lock_guard<std::mutex> alk(g.async_mu);
+      injector = g.injector;
+    }
     std::lock_guard<std::mutex> lk(g.split_mu);
     const u64 this_seq = g.split_seq++;
     // Group ranks by color, order by (key, old rank).
@@ -434,8 +608,14 @@ Communicator Communicator::split(int color, int key) {
       std::stable_sort(ranks.begin(), ranks.end(), [&](int a, int b) {
         return g.keys[static_cast<size_t>(a)] < g.keys[static_cast<size_t>(b)];
       });
-      g.subgroups[{this_seq, c}] =
+      auto sub =
           std::make_shared<detail::CommGroup>(static_cast<int>(ranks.size()));
+      for (size_t i = 0; i < ranks.size(); ++i) {
+        sub->global_ranks[i] =
+            g.global_ranks[static_cast<size_t>(ranks[i])];
+      }
+      sub->injector = injector;  // not yet published; no lock needed
+      g.subgroups[{this_seq, c}] = sub;
       g.members[{this_seq, c}] = ranks;
     }
   });
@@ -458,13 +638,17 @@ Communicator Communicator::split(int color, int key) {
     }
   }
   GEOFM_CHECK(sub_rank >= 0, "split bookkeeping failure");
-  g.barrier.arrive();  // keep registries alive until everyone has resolved
+  g.barrier.arrive(rank_);  // keep registries alive until everyone resolves
   return Communicator(sub, sub_rank);
 }
 
-void run_ranks(int n_ranks, const std::function<void(Communicator&)>& fn) {
+std::shared_ptr<detail::CommGroup> make_group(int n_ranks) {
   GEOFM_CHECK(n_ranks > 0);
-  auto group = std::make_shared<detail::CommGroup>(n_ranks);
+  return std::make_shared<detail::CommGroup>(n_ranks);
+}
+
+void run_ranks(int n_ranks, const std::function<void(Communicator&)>& fn) {
+  auto group = make_group(n_ranks);
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(n_ranks));

@@ -22,8 +22,18 @@
 // hierarchical process groups HYBRID_SHARD requires (intra-node sharding
 // group x inter-node replication group); each group has its own matching
 // sequence, so parent and child collectives interleave freely.
+//
+// Failure handling: `abort()` poisons a group (and its subgroups) so every
+// blocked rendezvous — collective waits AND plain barriers — throws
+// `Aborted` instead of deadlocking. A `FaultInjector`
+// (`comm/fault.hpp`) can be installed under the communicator to replay a
+// deterministic schedule of rank kills, stalls, latency, and payload
+// corruption at the collective boundary, and a watchdog
+// (`comm/watchdog.hpp`) monitors rendezvous progress and aborts the group
+// with a diagnosis when a rank stalls past its deadline.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -37,7 +47,20 @@
 
 namespace geofm::comm {
 
+class FaultInjector;    // comm/fault.hpp
+struct WatchdogOptions;  // comm/watchdog.hpp
+
 enum class ReduceOp { kSum, kAvg, kMax };
+
+/// Thrown by every rendezvous (post, wait, barrier, split) on a group that
+/// has been aborted — by `Communicator::abort`, by the watchdog, or by a
+/// fault-plan kill on a peer. Derives from Error so existing catch sites
+/// keep working; catch Aborted specifically to tell "a peer died" from a
+/// local programming error (the elastic supervisor does exactly that).
+class Aborted : public Error {
+ public:
+  using Error::Error;
+};
 
 /// Per-rank accounting of nonblocking-collective cost, accumulated by
 /// `CollectiveHandle::wait(&stats)`. `busy_seconds` is the wall time each
@@ -59,18 +82,39 @@ struct CommStats {
 
 namespace detail {
 
+struct CommGroup;
+
 /// Sense-reversing N-party barrier. The last rank to arrive runs the
-/// (optional) leader section before anyone is released.
+/// (optional) leader section before anyone is released. Abort-aware:
+/// `abort()` releases every waiter (and fails every future arrival) with
+/// `Aborted`, and `status()` exposes who is missing from an in-progress
+/// round so the watchdog can diagnose a stalled rank.
 class LeaderBarrier {
  public:
   explicit LeaderBarrier(int n);
-  void arrive(const std::function<void()>& leader = {});
+
+  /// `rank` identifies the arriving rank for stall diagnosis.
+  void arrive(int rank, const std::function<void()>& leader = {});
+
+  /// Poisons the barrier: current and future arrivals throw Aborted.
+  void abort(const std::string& reason);
+
+  struct Status {
+    int arrived = 0;               // ranks waiting in the current round
+    double oldest_wait_seconds = 0;  // age of the round's first arrival
+    std::vector<int> missing;      // ranks not yet arrived (when arrived > 0)
+  };
+  Status status() const;
 
  private:
   const int n_;
   int arrived_ = 0;
   u64 generation_ = 0;
-  std::mutex mu_;
+  bool aborted_ = false;
+  std::string abort_reason_;
+  std::vector<char> in_;  // per-rank arrived flag for the current round
+  std::chrono::steady_clock::time_point round_start_{};
+  mutable std::mutex mu_;
   std::condition_variable cv_;
 };
 
@@ -93,6 +137,8 @@ struct PendingOp {
   std::vector<const float*> src;
   std::vector<float*> dst;
   std::vector<i64> counts;
+  std::vector<char> joined;  // which ranks have posted (stall diagnosis)
+  std::chrono::steady_clock::time_point first_join_tp{};
 
   std::mutex mu;
   std::condition_variable cv;
@@ -102,12 +148,27 @@ struct PendingOp {
   std::chrono::steady_clock::time_point complete_tp;
 };
 
+/// Cache-line-padded per-rank progress clock (watchdog heartbeat). Padded
+/// so the relaxed store each rank makes on every post never shares a line
+/// with a peer's — an unpadded array costs measurable hot-path time.
+struct alignas(64) RankClock {
+  std::atomic<u64> last_ns{0};  // steady_clock ns of the rank's last post
+};
+
+struct WatchdogState;  // comm/watchdog.hpp (monitor thread + stop flag)
+
 /// Shared state of one communicator (all ranks of the group point here).
 struct CommGroup {
   explicit CommGroup(int n);
+  ~CommGroup();  // stops the watchdog monitor, if one was started
 
   const int size;
   LeaderBarrier barrier;
+
+  // Identity of each group rank in the *root* communicator (the group
+  // run_ranks / make_group created). Subgroups map through their parent,
+  // so watchdog diagnoses and fault plans always name world ranks.
+  std::vector<int> global_ranks;
 
   // Nonblocking engine: per-group progress state. `next_ticket[r]` is rank
   // r's issue counter; ticket k on this group names the k-th collective,
@@ -118,10 +179,24 @@ struct CommGroup {
   std::map<u64, std::shared_ptr<PendingOp>> inflight;
 
   // Abort state (Communicator::abort): once set, every in-flight op has
-  // been completed with an error and every future post throws. Guarded by
-  // async_mu.
+  // been completed with an error and every future post throws. `suspects`
+  // carries the watchdog's diagnosis (global ranks that stalled) for the
+  // elastic supervisor. Guarded by async_mu.
   bool aborted = false;
   std::string abort_reason;
+  std::vector<int> suspects;
+
+  // Fault injection (comm/fault.hpp): when set, every post on this group
+  // consults the injector first. Propagated to subgroups at split() and by
+  // install_fault_injector. Guarded by async_mu.
+  std::shared_ptr<FaultInjector> injector;
+
+  // Watchdog heartbeats: per-rank steady-clock timestamp of the last post,
+  // stored relaxed from the hot path, read by the monitor for diagnosis.
+  std::unique_ptr<RankClock[]> heartbeat;
+
+  // Watchdog monitor (comm/watchdog.hpp), started at most once per group.
+  std::unique_ptr<WatchdogState> watchdog;
 
   // split() publication slots + registry: (split sequence number, color) ->
   // subgroup + the member world-ranks in key order.
@@ -132,6 +207,14 @@ struct CommGroup {
   std::map<std::pair<u64, int>, std::shared_ptr<CommGroup>> subgroups;
   std::map<std::pair<u64, int>, std::vector<int>> members;
 };
+
+/// Recursively poisons `g` and every subgroup split from it: in-flight ops
+/// complete with Aborted, barriers release, future posts throw. Idempotent.
+/// Exposed for the watchdog; user code goes through Communicator::abort.
+void abort_group(CommGroup& g, const std::string& reason);
+
+/// Joins and destroys the group's watchdog monitor (no-op if none).
+void stop_watchdog(CommGroup& g);
 
 }  // namespace detail
 
@@ -156,6 +239,13 @@ class CollectiveHandle {
   /// wait() the handle is empty.
   void wait(CommStats* stats = nullptr);
 
+  /// Bounded wait: true (and the handle empties, rethrowing any op error)
+  /// if the collective completed within `seconds`; false if it is still in
+  /// flight — the handle stays pending and may be waited again. A per-op
+  /// deadline for callers that want to poll or time out without a
+  /// group-wide watchdog.
+  bool wait_for(double seconds, CommStats* stats = nullptr);
+
  private:
   friend class Communicator;
   CollectiveHandle(std::shared_ptr<detail::PendingOp> op,
@@ -175,7 +265,13 @@ class Communicator {
   int rank() const { return rank_; }
   int size() const { return group_->size; }
 
-  /// Blocks until every rank of this communicator has arrived.
+  /// This rank's identity in the root communicator (== rank() on a root
+  /// group; subgroup ranks map through their parents). Watchdog diagnoses
+  /// and FaultPlan events are expressed in global ranks.
+  int global_rank() const;
+
+  /// Blocks until every rank of this communicator has arrived. Throws
+  /// Aborted (without deadlocking) if the group is aborted while waiting.
   void barrier();
 
   // ----- nonblocking collectives -----------------------------------------
@@ -207,19 +303,43 @@ class Communicator {
 
   /// Collective split: ranks with equal `color` form a new communicator;
   /// ranks are ordered by `key` (ties broken by old rank). Every rank of
-  /// this communicator must call split with some color.
+  /// this communicator must call split with some color. Subgroups inherit
+  /// the parent's fault injector and global-rank identities.
   Communicator split(int color, int key);
 
   /// Fatal-error propagation (the fault-injection / crash path): poisons
   /// this communicator and, recursively, every sub-communicator created
-  /// from it via split(). Every in-flight collective completes with an
-  /// error that peers' wait() calls rethrow (instead of deadlocking on a
-  /// rank that died), and every subsequent post throws immediately.
-  /// Aborting is idempotent and may be called from any rank or thread.
-  /// Plain barrier() rendezvous are not covered — abort unblocks
-  /// collective data exchange, the only thing a mid-step failure leaves
-  /// peers blocked on.
+  /// from it via split(). Every blocked rendezvous — in-flight collective
+  /// waits and plain barrier() calls alike — completes with an `Aborted`
+  /// error instead of deadlocking on a rank that died, and every
+  /// subsequent post or barrier throws immediately. Aborting is idempotent
+  /// and may be called from any rank or thread.
   void abort(const std::string& reason);
+
+  /// True once this group has been aborted (by abort(), the watchdog, or a
+  /// fault-plan kill).
+  bool aborted() const;
+
+  /// The first abort's reason ("" if not aborted).
+  std::string abort_reason() const;
+
+  /// Global ranks the watchdog diagnosed as stalled when it aborted this
+  /// group (empty for plain aborts). The elastic supervisor quarantines
+  /// these.
+  std::vector<int> abort_suspects() const;
+
+  /// Installs a fault injector under this communicator: every subsequent
+  /// post on this group and (recursively) its sub-communicators consults
+  /// the plan. Replaces any previous injector; nullptr uninstalls.
+  void install_fault_injector(std::shared_ptr<FaultInjector> injector);
+
+  /// Starts the group's watchdog monitor (comm/watchdog.hpp) if not
+  /// already running: a background thread that aborts the whole group with
+  /// a per-rank diagnosis when any rendezvous stalls past the deadline.
+  /// The first call wins; later calls are no-ops. The monitor covers this
+  /// group and every sub-communicator split from it, and is joined when
+  /// the group is destroyed.
+  void start_watchdog(const WatchdogOptions& opts);
 
  private:
   CollectiveHandle post(detail::PendingOp::Kind kind, ReduceOp red, int root,
@@ -228,6 +348,13 @@ class Communicator {
   std::shared_ptr<detail::CommGroup> group_;
   int rank_;
 };
+
+/// Creates a root communicator group for `n_ranks`. Hand
+/// `Communicator(group, r)` to each participating thread. `run_ranks` does
+/// this plus thread management; the elastic supervisor
+/// (`train/elastic.hpp`) uses make_group directly so it can re-form groups
+/// over surviving threads.
+std::shared_ptr<detail::CommGroup> make_group(int n_ranks);
 
 /// Launches `n_ranks` threads, each running fn(comm) with a communicator
 /// over all ranks, and joins them. The first exception (if any) is

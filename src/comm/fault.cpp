@@ -1,0 +1,217 @@
+#include "comm/fault.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace geofm::comm {
+
+FaultEvent FaultEvent::kill_at_step(int rank, i64 step) {
+  FaultEvent e;
+  e.kind = Kind::kKill;
+  e.rank = rank;
+  e.step = step;
+  return e;
+}
+
+FaultEvent FaultEvent::kill_at_post(int rank, i64 after_posts) {
+  FaultEvent e;
+  e.kind = Kind::kKill;
+  e.rank = rank;
+  e.after_posts = after_posts;
+  return e;
+}
+
+FaultEvent FaultEvent::stall_at_step(int rank, i64 step, double seconds) {
+  FaultEvent e;
+  e.kind = Kind::kStall;
+  e.rank = rank;
+  e.step = step;
+  e.seconds = seconds;
+  return e;
+}
+
+FaultEvent FaultEvent::stall_at_post(int rank, i64 after_posts,
+                                     double seconds) {
+  FaultEvent e;
+  e.kind = Kind::kStall;
+  e.rank = rank;
+  e.after_posts = after_posts;
+  e.seconds = seconds;
+  return e;
+}
+
+FaultEvent FaultEvent::slow_rank(int rank, i64 after_posts, double seconds,
+                                 i64 posts_affected) {
+  FaultEvent e;
+  e.kind = Kind::kSlowRank;
+  e.rank = rank;
+  e.after_posts = after_posts;
+  e.seconds = seconds;
+  e.posts_affected = posts_affected;
+  return e;
+}
+
+FaultEvent FaultEvent::corrupt_at_post(int rank, i64 after_posts) {
+  FaultEvent e;
+  e.kind = Kind::kCorrupt;
+  e.rank = rank;
+  e.after_posts = after_posts;
+  return e;
+}
+
+FaultEvent FaultEvent::callback_every_step(
+    std::function<void(Communicator&, i64)> fn) {
+  FaultEvent e;
+  e.kind = Kind::kCallback;
+  e.rank = -1;
+  e.callback = std::move(fn);
+  return e;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), fired_(plan_.events.size(), false) {
+  for (const auto& e : plan_.events) {
+    GEOFM_CHECK(e.kind == FaultEvent::Kind::kCallback || e.rank >= 0,
+                "fault event must target a specific rank");
+    GEOFM_CHECK(e.kind != FaultEvent::Kind::kCallback || e.callback,
+                "kCallback fault event without a callback");
+  }
+}
+
+namespace {
+
+// Flips one mantissa bit of one payload element, both chosen by a hash of
+// (plan seed, rank, post index) — the same plan corrupts the same bit of
+// the same element on every run.
+void corrupt_payload(u64 seed, int rank, u64 post_index, float* payload,
+                     i64 count) {
+  if (payload == nullptr || count <= 0) return;
+  const u64 h =
+      mix64(seed ^ mix64(post_index + 0x9e3779b97f4a7c15ull) ^
+            static_cast<u64>(static_cast<i64>(rank) + 1));
+  const i64 at = static_cast<i64>(h % static_cast<u64>(count));
+  u32 bits = 0;
+  std::memcpy(&bits, &payload[at], sizeof(bits));
+  bits ^= 1u << ((h >> 32) % 23);  // mantissa bit: perturbs, never NaNs
+  std::memcpy(&payload[at], &bits, sizeof(bits));
+  obs::trace_instant("fault.corrupt", "fault");
+}
+
+}  // namespace
+
+void FaultInjector::at_step_point(Communicator& comm, i64 step) {
+  const int rank = comm.global_rank();
+  double sleep_seconds = 0;
+  std::vector<std::function<void(Communicator&, i64)>> callbacks;
+  std::string kill_reason;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < plan_.events.size(); ++i) {
+      const FaultEvent& e = plan_.events[i];
+      if (e.rank != -1 && e.rank != rank) continue;
+      switch (e.kind) {
+        case FaultEvent::Kind::kCallback:
+          if (e.step == -1 || e.step == step) {
+            if (e.step != -1) fired_[i] = true;
+            callbacks.push_back(e.callback);
+          }
+          break;
+        case FaultEvent::Kind::kStall:
+          if (e.step == step && !fired_[i]) {
+            fired_[i] = true;
+            sleep_seconds += e.seconds;
+          }
+          break;
+        case FaultEvent::Kind::kKill:
+          if (e.step == step && !fired_[i]) {
+            fired_[i] = true;
+            kill_reason = "rank " + std::to_string(rank) +
+                          " killed by fault plan at step " +
+                          std::to_string(step);
+          }
+          break;
+        case FaultEvent::Kind::kSlowRank:
+        case FaultEvent::Kind::kCorrupt:
+          break;  // post-boundary events only
+      }
+    }
+  }
+  // Side effects run with the injector unlocked: callbacks may post
+  // collectives, stalls must not serialize peers' trigger checks, and the
+  // kill path aborts the communicator (which wakes blocked peers).
+  for (auto& cb : callbacks) cb(comm, step);
+  if (sleep_seconds > 0) {
+    obs::trace_instant("fault.stall", "fault");
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+  }
+  if (!kill_reason.empty()) {
+    obs::trace_instant("fault.kill", "fault");
+    comm.abort(kill_reason);
+    throw RankKilled(kill_reason, rank);
+  }
+}
+
+FaultInjector::PostFault FaultInjector::before_post(int global_rank,
+                                                    const char* op_label,
+                                                    float* payload,
+                                                    i64 count) {
+  PostFault out;
+  double sleep_seconds = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const u64 idx = posts_[global_rank]++;
+    for (size_t i = 0; i < plan_.events.size(); ++i) {
+      const FaultEvent& e = plan_.events[i];
+      if (e.rank != global_rank || e.after_posts < 0) continue;
+      const u64 trigger = static_cast<u64>(e.after_posts);
+      switch (e.kind) {
+        case FaultEvent::Kind::kStall:
+          if (idx == trigger && !fired_[i]) {
+            fired_[i] = true;
+            sleep_seconds += e.seconds;
+          }
+          break;
+        case FaultEvent::Kind::kSlowRank:
+          if (idx >= trigger &&
+              (e.posts_affected <= 0 ||
+               idx < trigger + static_cast<u64>(e.posts_affected))) {
+            fired_[i] = true;
+            sleep_seconds += e.seconds;
+          }
+          break;
+        case FaultEvent::Kind::kCorrupt:
+          if (idx == trigger && !fired_[i]) {
+            fired_[i] = true;
+            corrupt_payload(plan_.seed, global_rank, idx, payload, count);
+          }
+          break;
+        case FaultEvent::Kind::kKill:
+          if (idx == trigger && !fired_[i]) {
+            fired_[i] = true;
+            out.kill = true;
+            out.kill_reason = "rank " + std::to_string(global_rank) +
+                              " killed by fault plan at " + op_label +
+                              " post " + std::to_string(idx);
+          }
+          break;
+        case FaultEvent::Kind::kCallback:
+          break;  // step-point events only
+      }
+    }
+  }
+  if (sleep_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+  }
+  return out;
+}
+
+std::vector<bool> FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fired_;
+}
+
+}  // namespace geofm::comm

@@ -1,0 +1,142 @@
+// Deterministic fault injection under the communicator.
+//
+// A `FaultPlan` is a seeded, declarative schedule of faults — rank kills,
+// stalls, slow-rank latency, payload corruption — that a `FaultInjector`
+// replays at two well-defined trigger points:
+//
+//   * the *collective boundary*: `Communicator::post` consults the
+//     installed injector before each rendezvous, counting the rank's posts
+//     across the root group and all of its sub-communicators (one global
+//     deterministic sequence per rank), so `after_posts`-triggered events
+//     fire at exactly the same collective on every run;
+//   * the *driver step point*: `pretrain_mae_distributed` calls
+//     `at_step_point(comm, step)` once per step between backward and the
+//     optimizer step, where `step`-triggered events fire.
+//
+// Because thread-rank collectives execute in rank order and the injector's
+// triggers depend only on (rank, post index | step), the same plan replays
+// *bitwise* across runs: a corruption flips the same bit of the same
+// element, a kill unwinds at the same collective, and survivors observe
+// identical aborted state. That determinism is what lets the elastic
+// recovery tests assert exact loss trajectories around a fault.
+//
+// This layer replaces the ad-hoc `fault_hook` callback
+// (`DistributedPretrainConfig::fault_hook` is now a shim over a one-event
+// callback plan).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace geofm::comm {
+
+/// Thrown on the rank a FaultPlan kills: the injector aborts the group
+/// (so peers unblock with `Aborted`) and then throws RankKilled to unwind
+/// the rank's stack — the in-process analogue of a node dying. The elastic
+/// supervisor treats RankKilled ranks as dead and Aborted ranks as
+/// survivors.
+class RankKilled : public Error {
+ public:
+  RankKilled(const std::string& what, int global_rank)
+      : Error(what), global_rank_(global_rank) {}
+  int global_rank() const { return global_rank_; }
+
+ private:
+  int global_rank_;
+};
+
+/// One scheduled fault. Triggers are exact: `step` matches the driver's
+/// per-step fault point, `after_posts` matches the target rank's N-th
+/// collective post (0-based, counted from injector construction). Ranks
+/// are *global* (root-communicator) ranks; under `run_elastic` they are
+/// the persistent rank identities of the initial world.
+struct FaultEvent {
+  enum class Kind {
+    kKill,      // abort the group and unwind the rank with RankKilled
+    kStall,     // one-shot sleep of `seconds` (a hang the watchdog catches)
+    kSlowRank,  // add `seconds` latency to each of `posts_affected` posts
+    kCorrupt,   // flip one deterministic payload bit at the post boundary
+    kCallback,  // invoke `callback(comm, step)` at the step point
+  };
+
+  Kind kind = Kind::kKill;
+  int rank = 0;         // target global rank; -1 = every rank (kCallback)
+  i64 step = -1;        // trigger at the driver step point of this step...
+  i64 after_posts = -1;  // ...or at the rank's N-th collective post
+  double seconds = 0;   // kStall: sleep length; kSlowRank: per-post delay
+  i64 posts_affected = 0;  // kSlowRank: posts slowed from trigger (0 = all)
+  std::function<void(Communicator&, i64)> callback;  // kCallback only
+                                                     // (every step if
+                                                     // step == -1)
+
+  static FaultEvent kill_at_step(int rank, i64 step);
+  static FaultEvent kill_at_post(int rank, i64 after_posts);
+  static FaultEvent stall_at_step(int rank, i64 step, double seconds);
+  static FaultEvent stall_at_post(int rank, i64 after_posts, double seconds);
+  static FaultEvent slow_rank(int rank, i64 after_posts, double seconds,
+                              i64 posts_affected = 0);
+  static FaultEvent corrupt_at_post(int rank, i64 after_posts);
+  static FaultEvent callback_every_step(
+      std::function<void(Communicator&, i64)> fn);
+};
+
+/// A seeded schedule of faults. The seed feeds corruption-site selection;
+/// the event list is replayed exactly.
+struct FaultPlan {
+  u64 seed = 0;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+};
+
+/// Thread-safe replayer of one FaultPlan. Install on a communicator with
+/// `Communicator::install_fault_injector` (covers the group and all of its
+/// sub-communicators) and/or hand to the training driver via
+/// `DistributedPretrainConfig::fault_injector`. One injector instance holds
+/// the per-rank post counters and fired state for one run (or one elastic
+/// attempt); reuse across runs would shift `after_posts` triggers.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Driver integration: every rank calls this once per training step at
+  /// the mid-step fault point. Executes `step`-triggered events targeting
+  /// `comm.global_rank()`: kStall sleeps, kCallback invokes the hook, and
+  /// kKill aborts `comm` and throws RankKilled.
+  void at_step_point(Communicator& comm, i64 step);
+
+  /// Comm integration (called by Communicator::post with the group lock
+  /// released): advances `global_rank`'s post counter, applies any
+  /// triggered stall/slow delays (sleeping inline) and payload corruption
+  /// (in place on the rank's contribution), and reports whether the rank
+  /// must die at this post. On a kill the communicator aborts the group
+  /// and throws RankKilled with the returned reason.
+  struct PostFault {
+    bool kill = false;
+    std::string kill_reason;
+  };
+  PostFault before_post(int global_rank, const char* op_label, float* payload,
+                        i64 count);
+
+  /// fired()[i] is true once plan().events[i] has triggered (one-shot
+  /// events only; an every-step kCallback never reports fired). The
+  /// elastic supervisor uses this to carry the un-fired remainder of a
+  /// plan into the next attempt.
+  std::vector<bool> fired() const;
+
+ private:
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::vector<bool> fired_;
+  std::map<int, u64> posts_;  // per-global-rank post counter
+};
+
+}  // namespace geofm::comm

@@ -26,6 +26,8 @@
 #include "ckpt/reshard.hpp"
 #include "ckpt/state.hpp"
 #include "comm/communicator.hpp"
+#include "comm/fault.hpp"
+#include "comm/watchdog.hpp"
 #include "data/dataloader.hpp"
 #include "data/datasets.hpp"
 #include "models/config.hpp"
@@ -39,6 +41,7 @@
 #include "sim/simulator.hpp"
 #include "train/checkpoint.hpp"
 #include "train/distributed.hpp"
+#include "train/elastic.hpp"
 #include "train/linear_probe.hpp"
 #include "train/pretrain.hpp"
 #include "util/log.hpp"

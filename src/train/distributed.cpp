@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ckpt/checkpoint.hpp"
+#include "comm/watchdog.hpp"
 #include "data/dataloader.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -25,6 +26,27 @@ DistributedPretrainResult pretrain_mae_distributed(
               "checkpoint_every_n_steps needs a checkpoint_dir");
   const i64 local_batch = cfg.global_batch / comm.size();
   Timer timer;
+
+  // Failure model: the injector sits under the communicator (so
+  // post-triggered faults cover FSDP's sub-communicators too) and is
+  // consulted at the mid-step fault point; the watchdog turns a stalled
+  // rank into a diagnosed group abort instead of a deadlock. The
+  // deprecated fault_hook rides the same path as a one-event callback
+  // plan (not installed at the comm level — hooks are step-point only).
+  if (cfg.fault_injector) {
+    comm.install_fault_injector(cfg.fault_injector);
+  }
+  if (cfg.watchdog_deadline_seconds > 0) {
+    comm::WatchdogOptions wopts;
+    wopts.deadline_seconds = cfg.watchdog_deadline_seconds;
+    comm.start_watchdog(wopts);
+  }
+  std::shared_ptr<comm::FaultInjector> legacy_hook;
+  if (cfg.fault_hook) {
+    comm::FaultPlan shim;
+    shim.events.push_back(comm::FaultEvent::callback_every_step(cfg.fault_hook));
+    legacy_hook = std::make_shared<comm::FaultInjector>(std::move(shim));
+  }
 
   // Every rank shares one global batch stream (same seed, same shuffle)
   // and its loader renders only this rank's contiguous slice of it —
@@ -53,7 +75,12 @@ DistributedPretrainResult pretrain_mae_distributed(
 
   i64 start_step = 0;
   if (!cfg.resume_from.empty()) {
-    obs::TraceScope span("ckpt.resume", "ckpt");
+    // An elastic shrink-and-continue restart is the same reshard-restore
+    // path, surfaced under the recover.* span family for time-to-recover
+    // accounting.
+    obs::TraceScope span(cfg.recovery_resume ? "recover.reshard"
+                                             : "ckpt.resume",
+                         cfg.recovery_resume ? "recover" : "ckpt");
     ckpt::CheckpointReader reader(cfg.resume_from);
     // Shards become the only authority before restored values land in
     // them; any previously gathered full parameters would be stale.
@@ -139,8 +166,11 @@ DistributedPretrainResult pretrain_mae_distributed(
         obs::TraceScope span("step.end_backward", "runtime", "step", step);
         fsdp.end_backward();
       }
-      if (cfg.fault_hook) {
-        cfg.fault_hook(comm, step);
+      if (cfg.fault_injector) {
+        cfg.fault_injector->at_step_point(comm, step);
+      }
+      if (legacy_hook) {
+        legacy_hook->at_step_point(comm, step);
       }
       {
         obs::TraceScope span("step.optimizer", "optim", "step", step);
@@ -163,6 +193,8 @@ DistributedPretrainResult pretrain_mae_distributed(
         // State *after* this step's draw, so a resumed run draws what
         // step + 1 would have.
         req.rng_streams = {{"mask_stream", mask_stream.state()}};
+        req.retention.keep_last = cfg.checkpoint_keep_last;
+        req.retention.keep_multiple_of = cfg.checkpoint_keep_multiple_of;
         checkpointer->save(req);
       }
 

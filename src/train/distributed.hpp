@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/fault.hpp"
 #include "data/datasets.hpp"
 #include "models/mae.hpp"
 #include "parallel/fsdp.hpp"
@@ -40,12 +41,36 @@ struct DistributedPretrainConfig {
   /// optimizer state, and RNG streams are restored so the continued loss
   /// trajectory matches an uninterrupted run's.
   std::string resume_from;
-  /// Fault-injection hook, called mid-step (after the backward's
-  /// collectives drain, before the optimizer step) on every rank. A test
-  /// simulates a crash by calling comm.abort() and throwing from one
-  /// rank: peers' in-flight collectives complete with errors instead of
-  /// deadlocking, and the whole run unwinds like a dead rank would.
+  /// True when this run is the elastic supervisor's shrink-and-continue
+  /// restart of a faulted run: the resume emits a `recover.reshard` trace
+  /// span (category "recover") instead of the plain `ckpt.resume` one, so
+  /// time-to-recover is visible in trace exports and span budgets.
+  bool recovery_resume = false;
+
+  // ----- failure model (src/comm/fault.hpp, comm/watchdog.hpp) ------------
+  /// Deterministic fault schedule for this run. Installed under the
+  /// communicator (covering FSDP's sub-communicators) so post-triggered
+  /// events fire at the collective boundary, and consulted once per step
+  /// at the mid-step fault point (after the backward's collectives drain,
+  /// before the optimizer step) for step-triggered events.
+  std::shared_ptr<comm::FaultInjector> fault_injector;
+  /// > 0 starts the comm watchdog with this rendezvous deadline: a rank
+  /// that stalls past it gets the whole group aborted with a diagnosis
+  /// instead of deadlocking the run. Keep generous on oversubscribed
+  /// machines (the deadline bounds healthy rendezvous skew).
+  double watchdog_deadline_seconds = 0;
+  /// DEPRECATED — thin shim over the fault layer, kept for API
+  /// compatibility: the hook is wrapped in a one-event every-step
+  /// kCallback FaultPlan and fired at the same mid-step fault point.
+  /// New code should build a comm::FaultPlan and set fault_injector.
   std::function<void(comm::Communicator&, i64 step)> fault_hook;
+
+  // ----- checkpoint retention (ckpt::RetentionPolicy) ---------------------
+  /// > 0 bounds on-disk checkpoints: keep the last N complete steps...
+  i64 checkpoint_keep_last = 0;
+  /// ...plus every step divisible by this (0 = no anchors), GC'ing the
+  /// rest atomically after each publication.
+  i64 checkpoint_keep_multiple_of = 0;
 };
 
 struct DistributedPretrainResult {

@@ -1,0 +1,360 @@
+#include "train/elastic.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "ckpt/checkpoint.hpp"
+#include "comm/watchdog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/thread_context.hpp"
+
+namespace geofm::train {
+namespace {
+
+struct Outcome {
+  enum class Kind { kCompleted, kKilled, kAborted, kFailed };
+  Kind kind = Kind::kFailed;
+  std::exception_ptr error;
+  std::string what;
+  DistributedPretrainResult result;
+};
+
+struct Assignment {
+  comm::Communicator comm;
+  DistributedPretrainConfig train;
+};
+
+// Supervisor <-> worker handoff: one slot per identity. Workers block
+// until their slot holds an assignment (or they are retired), run the
+// attempt, and report an outcome.
+struct Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::optional<Assignment>> work;
+  std::vector<std::optional<Outcome>> outcome;
+  std::vector<char> retired;
+  double first_failure_ts = 0;  // monotonic_seconds of the first report
+};
+
+}  // namespace
+
+ElasticResult run_elastic(const ElasticConfig& cfg,
+                          const data::SceneDataset& corpus) {
+  GEOFM_CHECK(cfg.world >= 1, "elastic world must be positive");
+  GEOFM_CHECK(cfg.min_world >= 1 && cfg.min_world <= cfg.world,
+              "elastic min_world out of range");
+  GEOFM_CHECK(cfg.train.global_batch % cfg.world == 0,
+              "global batch " << cfg.train.global_batch
+                              << " not divisible by the initial world "
+                              << cfg.world);
+  GEOFM_CHECK(cfg.train.fault_injector == nullptr &&
+                  cfg.train.resume_from.empty() && !cfg.train.recovery_resume,
+              "run_elastic owns the train config's fault/resume fields; "
+              "use ElasticConfig.faults / checkpoint_dir");
+  for (const auto& e : cfg.faults.events) {
+    GEOFM_CHECK(e.rank < cfg.world,
+                "fault plan targets rank " << e.rank
+                                           << " beyond the initial world");
+  }
+
+  obs::set_thread_label("elastic.supervisor");
+
+  Shared sh;
+  sh.work.resize(static_cast<size_t>(cfg.world));
+  sh.outcome.resize(static_cast<size_t>(cfg.world));
+  sh.retired.assign(static_cast<size_t>(cfg.world), 0);
+
+  auto worker = [&](int identity) {
+    for (;;) {
+      std::optional<Assignment> a;
+      {
+        std::unique_lock<std::mutex> lk(sh.mu);
+        sh.cv.wait(lk, [&] {
+          return sh.retired[static_cast<size_t>(identity)] ||
+                 sh.work[static_cast<size_t>(identity)].has_value();
+        });
+        if (sh.retired[static_cast<size_t>(identity)]) return;
+        a = std::move(sh.work[static_cast<size_t>(identity)]);
+        sh.work[static_cast<size_t>(identity)].reset();
+      }
+      // The thread re-labels per attempt: its rank changes as the world
+      // shrinks, while its identity (and fault targeting) stays fixed.
+      set_thread_rank(a->comm.rank());
+      obs::set_thread_label("rank");
+      Outcome out;
+      try {
+        Rng rng(cfg.model_seed);
+        models::MAE mae(cfg.model, rng);
+        parallel::Fsdp fsdp(mae, a->comm, cfg.fsdp);
+        out.result =
+            pretrain_mae_distributed(mae, fsdp, a->comm, corpus, a->train);
+        out.kind = Outcome::Kind::kCompleted;
+      } catch (const comm::RankKilled& e) {
+        out.kind = Outcome::Kind::kKilled;
+        out.error = std::current_exception();
+        out.what = e.what();
+      } catch (const comm::Aborted& e) {
+        out.kind = Outcome::Kind::kAborted;
+        out.error = std::current_exception();
+        out.what = e.what();
+      } catch (const std::exception& e) {
+        out.kind = Outcome::Kind::kFailed;
+        out.error = std::current_exception();
+        out.what = e.what();
+      } catch (...) {
+        out.kind = Outcome::Kind::kFailed;
+        out.error = std::current_exception();
+      }
+      a.reset();  // drop the attempt's communicator before reporting
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        if (out.kind != Outcome::Kind::kCompleted &&
+            sh.first_failure_ts == 0) {
+          sh.first_failure_ts = monotonic_seconds();
+        }
+        sh.outcome[static_cast<size_t>(identity)] = std::move(out);
+      }
+      sh.cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(cfg.world));
+  for (int id = 0; id < cfg.world; ++id) threads.emplace_back(worker, id);
+  auto join_all = [&] {
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      std::fill(sh.retired.begin(), sh.retired.end(), 1);
+    }
+    sh.cv.notify_all();
+    for (auto& t : threads) t.join();
+  };
+
+  auto& registry = obs::MetricsRegistry::instance();
+  auto& rec_count = registry.counter("recovery.count");
+  auto& rec_seconds = registry.counter("recovery.seconds");
+  auto& rec_world = registry.gauge("recovery.world");
+
+  ElasticResult res;
+  std::vector<int> live(static_cast<size_t>(cfg.world));
+  for (int id = 0; id < cfg.world; ++id) live[static_cast<size_t>(id)] = id;
+  std::vector<comm::FaultEvent> remaining = cfg.faults.events;
+  double pending_failure_ts = 0;  // consumed when the next attempt starts
+
+  try {
+    for (;;) {
+      const int w = static_cast<int>(live.size());
+      ElasticAttempt att;
+      att.world = w;
+
+      // ----- re-form: fresh group over survivors, watchdog re-armed ------
+      std::shared_ptr<geofm::comm::detail::CommGroup> group;
+      comm::FaultPlan attempt_plan;
+      attempt_plan.seed = cfg.faults.seed;
+      std::vector<comm::FaultEvent> attempt_events_by_identity;
+      {
+        std::optional<obs::TraceScope> reform;
+        if (!res.attempts.empty()) {
+          reform.emplace("recover.reform", "recover", "world", w);
+        }
+        group = comm::make_group(w);
+        // Events still pending whose identity survived, remapped to this
+        // attempt's ranks (identity live[r] is rank r).
+        for (const comm::FaultEvent& e : remaining) {
+          const auto it = std::find(live.begin(), live.end(), e.rank);
+          if (it == live.end() && e.rank != -1) continue;
+          comm::FaultEvent mapped = e;
+          if (e.rank != -1) {
+            mapped.rank = static_cast<int>(it - live.begin());
+          }
+          attempt_plan.events.push_back(std::move(mapped));
+          attempt_events_by_identity.push_back(e);
+        }
+      }
+      comm::Communicator probe(group, 0);  // supervisor handle: watchdog,
+                                           // abort diagnosis (never posts)
+      if (cfg.watchdog_deadline_seconds > 0) {
+        comm::WatchdogOptions wopts;
+        wopts.deadline_seconds = cfg.watchdog_deadline_seconds;
+        probe.start_watchdog(wopts);
+      }
+      std::shared_ptr<comm::FaultInjector> injector;
+      if (!attempt_plan.events.empty()) {
+        injector = std::make_shared<comm::FaultInjector>(attempt_plan);
+      }
+
+      DistributedPretrainConfig tc = cfg.train;
+      tc.fault_injector = injector;
+      tc.watchdog_deadline_seconds = cfg.watchdog_deadline_seconds;
+      tc.recovery_resume = !res.attempts.empty();
+      if (!cfg.train.checkpoint_dir.empty() &&
+          ckpt::latest_step(cfg.train.checkpoint_dir) >= 0) {
+        // Pin the resume source now: later saves may add newer steps (or
+        // retention may GC this one), and the attempt record must name
+        // what was actually restored.
+        att.resumed_from = ckpt::resolve_checkpoint(cfg.train.checkpoint_dir);
+        tc.resume_from = att.resumed_from;
+      }
+
+      // ----- launch the attempt ------------------------------------------
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        sh.first_failure_ts = 0;
+        for (int r = 0; r < w; ++r) {
+          sh.outcome[static_cast<size_t>(live[static_cast<size_t>(r)])]
+              .reset();
+          sh.work[static_cast<size_t>(live[static_cast<size_t>(r)])] =
+              Assignment{comm::Communicator(group, r), tc};
+        }
+      }
+      sh.cv.notify_all();
+      if (pending_failure_ts > 0) {
+        const double s = monotonic_seconds() - pending_failure_ts;
+        res.recovery_seconds += s;
+        rec_seconds.add(s);
+        pending_failure_ts = 0;
+      }
+
+      // ----- wait for every rank's outcome; time failure detection -------
+      {
+        std::unique_lock<std::mutex> lk(sh.mu);
+        std::optional<obs::TraceScope> detect;
+        auto all_reported = [&] {
+          return std::all_of(live.begin(), live.end(), [&](int id) {
+            return sh.outcome[static_cast<size_t>(id)].has_value();
+          });
+        };
+        while (!all_reported()) {
+          sh.cv.wait(lk);
+          if (!detect && sh.first_failure_ts > 0) {
+            detect.emplace("recover.detect", "recover", "world", w);
+          }
+        }
+        pending_failure_ts = sh.first_failure_ts;
+      }
+
+      if (injector) {
+        const std::vector<bool> fired = injector->fired();
+        std::vector<comm::FaultEvent> next;
+        for (size_t i = 0; i < attempt_events_by_identity.size(); ++i) {
+          if (i < fired.size() && fired[i]) {
+            ++att.faults_fired;
+          } else {
+            next.push_back(attempt_events_by_identity[i]);
+          }
+        }
+        remaining = std::move(next);
+      }
+
+      // ----- collect ------------------------------------------------------
+      std::vector<int> dead;
+      std::exception_ptr hard_failure;
+      std::exception_ptr any_error;
+      bool all_completed = true;
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        for (int id : live) {
+          const Outcome& o = *sh.outcome[static_cast<size_t>(id)];
+          if (o.kind != Outcome::Kind::kCompleted) {
+            all_completed = false;
+            if (att.failure.empty()) att.failure = o.what;
+            if (!any_error) any_error = o.error;
+          }
+          if (o.kind == Outcome::Kind::kKilled) dead.push_back(id);
+          if (o.kind == Outcome::Kind::kFailed && !hard_failure) {
+            hard_failure = o.error;
+          }
+        }
+        if (all_completed) {
+          const Outcome& o0 = *sh.outcome[static_cast<size_t>(live[0])];
+          att.completed = true;
+          att.start_step = o0.result.start_step;
+          att.losses = o0.result.step_losses;
+          res.final_result = o0.result;
+        }
+      }
+      if (all_completed) {
+        res.final_identities = live;
+        res.attempts.push_back(std::move(att));
+        break;
+      }
+      if (hard_failure) {
+        res.attempts.push_back(std::move(att));
+        std::rethrow_exception(hard_failure);  // not a comm fault: fatal
+      }
+      for (int r : probe.abort_suspects()) {
+        // Watchdog suspects are attempt ranks mapped to global identities
+        // already (subgroup diagnoses map through global_ranks), and the
+        // attempt group's global ranks are its own 0..w-1 — translate
+        // through live[].
+        if (r >= 0 && r < w) dead.push_back(live[static_cast<size_t>(r)]);
+      }
+      std::sort(dead.begin(), dead.end());
+      dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+      if (dead.empty()) {
+        // Aborted survivors but nobody diagnosably dead: nothing to
+        // quarantine, so retrying would fail identically. Propagate.
+        res.attempts.push_back(std::move(att));
+        if (any_error) std::rethrow_exception(any_error);
+        throw Error("elastic: attempt failed with no diagnosable fault");
+      }
+
+      // ----- quarantine + shrink -----------------------------------------
+      att.quarantined = dead;
+      std::vector<int> survivors;
+      for (int id : live) {
+        if (!std::binary_search(dead.begin(), dead.end(), id)) {
+          survivors.push_back(id);
+        }
+      }
+      while (!survivors.empty() &&
+             cfg.train.global_batch %
+                     static_cast<i64>(survivors.size()) != 0) {
+        att.quarantined.push_back(survivors.back());
+        survivors.pop_back();
+      }
+      if (cfg.train.verbose) {
+        std::string q;
+        for (int id : att.quarantined) {
+          q += (q.empty() ? "" : ",") + std::to_string(id);
+        }
+        GEOFM_INFO("elastic: quarantining rank(s) "
+                   << q << " after '" << att.failure << "'; re-forming at "
+                   << "world " << survivors.size());
+      }
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        for (int id : att.quarantined) {
+          sh.retired[static_cast<size_t>(id)] = 1;
+        }
+      }
+      sh.cv.notify_all();
+      res.attempts.push_back(std::move(att));
+      live = std::move(survivors);
+      if (static_cast<int>(live.size()) < cfg.min_world) {
+        throw Error("elastic: world shrank below min_world (" +
+                    std::to_string(live.size()) + " < " +
+                    std::to_string(cfg.min_world) + ")");
+      }
+      if (res.recoveries >= cfg.max_recoveries) {
+        throw Error("elastic: exceeded max_recoveries (" +
+                    std::to_string(cfg.max_recoveries) + ")");
+      }
+      ++res.recoveries;
+      rec_count.add(1);
+      rec_world.set(static_cast<double>(live.size()));
+    }
+  } catch (...) {
+    join_all();
+    throw;
+  }
+  join_all();
+  return res;
+}
+
+}  // namespace geofm::train

@@ -1,0 +1,112 @@
+// Elastic in-run failure recovery: a shrink-and-continue supervisor over
+// `pretrain_mae_distributed`.
+//
+// `run_elastic` owns one persistent worker thread per initial rank
+// ("identity"). Each attempt it forms a communicator over the live
+// identities, hands every worker a rank, and runs the distributed
+// pretraining driver to completion — or to a fault. When a rank dies
+// (a FaultPlan kill, or a stall the comm watchdog aborts), the
+// supervisor:
+//
+//   1. *detects*: survivors unwind with `comm::Aborted` (the dead rank
+//      with `comm::RankKilled`); the span `recover.detect` covers first
+//      failure -> all ranks reported;
+//   2. *quarantines*: RankKilled ranks plus the watchdog's stall suspects
+//      are retired — their threads exit, their identities never rejoin;
+//   3. *re-forms*: a fresh communicator over the survivors
+//      (`recover.reform`), shrinking further if the global batch does not
+//      divide the survivor count;
+//   4. *reshards + continues*: the next attempt resumes from the latest
+//      complete checkpoint — the ordinary elastic-restore path
+//      (`plan_reads` reassembles any saved world/strategy into the new
+//      one, surfaced as `recover.reshard`), with loader slicing rescaled
+//      to the new world size — and training continues in-process, no
+//      external restart.
+//
+// Because a resumed run is bitwise deterministic for a given world size,
+// the post-recovery loss trajectory is *exactly* the trajectory of a
+// fresh run launched at the shrunken world from the same checkpoint (the
+// recovery tests assert float equality).
+//
+// Metrics: `recovery.count`, `recovery.seconds` (first failure ->
+// next attempt running), `recovery.world`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "data/datasets.hpp"
+#include "models/config.hpp"
+#include "models/mae.hpp"
+#include "parallel/fsdp.hpp"
+#include "train/distributed.hpp"
+
+namespace geofm::train {
+
+struct ElasticConfig {
+  /// Per-attempt training template. The supervisor owns `resume_from`,
+  /// `recovery_resume`, `fault_injector`, and
+  /// `watchdog_deadline_seconds`; set faults/watchdog on the fields
+  /// below instead. `checkpoint_dir` doubles as the recovery source: a
+  /// run that faults before its first save has nothing to resume from
+  /// and restarts the attempt from step 0.
+  DistributedPretrainConfig train;
+
+  /// Model + sharding, rebuilt per attempt (every surviving rank
+  /// reconstructs the model from `model_seed`, then restores from the
+  /// checkpoint — same as a fresh launch at the new world size).
+  models::MaeConfig model;
+  parallel::FsdpOptions fsdp;
+  u64 model_seed = 1;
+
+  /// Initial world size (identities 0..world-1). Must divide
+  /// train.global_batch.
+  int world = 4;
+  /// Give up (rethrow the last failure) if survivors would drop below
+  /// this after quarantine + divisibility trimming.
+  int min_world = 1;
+  /// Give up after this many recoveries (a fault storm, not a fault).
+  int max_recoveries = 8;
+
+  /// Fault schedule, in *identity* (initial-world rank) terms. Unfired
+  /// events carry over across attempts, remapped to each attempt's
+  /// ranks; events targeting quarantined identities are dropped.
+  comm::FaultPlan faults;
+
+  /// > 0 arms the comm watchdog on every attempt's group: stalled ranks
+  /// are diagnosed, aborted, and quarantined like crashed ones.
+  double watchdog_deadline_seconds = 0;
+};
+
+/// One attempt = one communicator generation.
+struct ElasticAttempt {
+  int world = 0;
+  bool completed = false;
+  i64 start_step = 0;              // first step this attempt executed
+  std::vector<float> losses;       // per-step losses this attempt produced
+  std::string resumed_from;        // checkpoint dir ("" = from scratch)
+  std::vector<int> quarantined;    // identities retired after this attempt
+  std::string failure;             // first failure's message ("" if none)
+  i64 faults_fired = 0;            // plan events consumed by this attempt
+};
+
+struct ElasticResult {
+  std::vector<ElasticAttempt> attempts;  // >= 1; last one completed
+  int recoveries = 0;
+  double recovery_seconds = 0;  // summed first-failure -> next-attempt time
+  /// The completing attempt's driver result (its step_losses are the
+  /// post-recovery trajectory).
+  DistributedPretrainResult final_result;
+  /// Identities that survived to the completing attempt, in rank order.
+  std::vector<int> final_identities;
+};
+
+/// Runs MAE pretraining to completion across faults, shrinking the world
+/// as ranks die. Throws the underlying error when recovery is impossible
+/// (no diagnosable dead rank, survivors below min_world, recoveries
+/// exhausted, or a non-comm failure).
+ElasticResult run_elastic(const ElasticConfig& cfg,
+                          const data::SceneDataset& corpus);
+
+}  // namespace geofm::train

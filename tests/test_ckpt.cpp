@@ -636,6 +636,115 @@ TEST(Checkpointer, AsyncWriteFailureSurfacesOnWaitIdle) {
   fs::remove_all(root);
 }
 
+// ----- bounded retention -----------------------------------------------------
+
+ckpt::SaveRequest retention_request(const std::string& root, i64 step,
+                                    const ckpt::RetentionPolicy& policy) {
+  ckpt::SaveRequest req;
+  req.dir = root;
+  req.step = step;
+  req.rank = 0;
+  req.world = 1;
+  req.counters = {{"step", step}};
+  req.retention = policy;
+  ckpt::TensorSlice slice;
+  slice.name = "w";
+  slice.shape = {2};
+  slice.begin = 0;
+  slice.data = Tensor::full({2}, static_cast<float>(step));
+  req.state.slices.push_back(slice);
+  return req;
+}
+
+// Published step numbers on disk (sorted), plus a scan for leaked GC temps.
+std::vector<i64> published_steps(const std::string& root) {
+  std::vector<i64> steps;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".gc_"), std::string::npos)
+        << "leaked GC temp: " << name;
+    if (name.rfind("step_", 0) != 0) continue;
+    steps.push_back(std::stoll(name.substr(5)));
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+TEST(Retention, KeepsLastAndEveryNth) {
+  const std::string root = fresh_root("geofm_test_retention_basic");
+  ckpt::RetentionPolicy policy;
+  policy.keep_last = 2;
+  policy.keep_multiple_of = 4;
+  ckpt::Checkpointer saver(/*async=*/false);
+  for (i64 step = 0; step < 10; ++step) {
+    saver.save(retention_request(root, step, policy));
+  }
+  // Survivors: the 2 newest (8, 9) plus every 4th anchor (0, 4, 8).
+  EXPECT_EQ(published_steps(root), (std::vector<i64>{0, 4, 8, 9}));
+  EXPECT_EQ(ckpt::latest_step(root), 9);
+  // The survivors are real checkpoints, not husks.
+  ckpt::CheckpointReader reader(root + "/" + ckpt::format::step_dir_name(4));
+  EXPECT_EQ(reader.counter("step", -1), 4);
+  fs::remove_all(root);
+}
+
+TEST(Retention, DisabledPolicyKeepsEverything) {
+  const std::string root = fresh_root("geofm_test_retention_off");
+  ckpt::Checkpointer saver(/*async=*/false);
+  for (i64 step = 0; step < 5; ++step) {
+    saver.save(retention_request(root, step, {}));
+  }
+  EXPECT_EQ(published_steps(root), (std::vector<i64>{0, 1, 2, 3, 4}));
+  fs::remove_all(root);
+}
+
+TEST(Retention, ApplyRetentionReportsRemovedSteps) {
+  const std::string root = fresh_root("geofm_test_retention_apply");
+  ckpt::Checkpointer saver(/*async=*/false);
+  for (i64 step = 0; step < 8; ++step) {
+    saver.save(retention_request(root, step, {}));
+  }
+  // An unpublished step directory (no manifest) is not a checkpoint:
+  // retention must neither count it against keep_last nor touch it.
+  fs::create_directories(root + "/" + ckpt::format::step_dir_name(11));
+  ckpt::RetentionPolicy policy;
+  policy.keep_last = 1;
+  policy.keep_multiple_of = 3;
+  const auto removed = ckpt::apply_retention(root, policy);
+  EXPECT_EQ(removed, (std::vector<i64>{1, 2, 4, 5}));  // keep 0,3,6 + last 7
+  EXPECT_EQ(published_steps(root), (std::vector<i64>{0, 3, 6, 7, 11}));
+  EXPECT_EQ(ckpt::latest_step(root), 7);
+  fs::remove_all(root);
+}
+
+TEST(Retention, AppliedByDistributedDriver) {
+  const std::string root = fresh_root("geofm_test_retention_driver");
+  auto corpus = data::million_aid_pretrain(32, 16);
+  train::DistributedPretrainConfig cfg;
+  cfg.steps = 6;
+  cfg.global_batch = 4;
+  cfg.seed = 11;
+  cfg.loader_workers = 0;
+  cfg.verbose = false;
+  cfg.checkpoint_every_n_steps = 1;
+  cfg.checkpoint_dir = root;
+  cfg.async_checkpoint = false;
+  cfg.checkpoint_keep_last = 2;
+  run_ranks(1, [&](Communicator& c) {
+    Rng rng(42);
+    models::MAE mae(ckpt_mae_cfg(), rng);
+    FsdpOptions opts;
+    Fsdp fsdp(mae, c, opts);
+    train::pretrain_mae_distributed(mae, fsdp, c, corpus, cfg);
+  });
+  EXPECT_EQ(published_steps(root), (std::vector<i64>{4, 5}));
+  // ...and what retention left behind is still a valid resume source.
+  EXPECT_EQ(ckpt::latest_step(root), 5);
+  ckpt::CheckpointReader reader(root);
+  EXPECT_EQ(reader.counter("step", -1), 5);
+  fs::remove_all(root);
+}
+
 // ----- fault tolerance: kill mid-run, resume, match --------------------------
 
 TEST(FaultTolerance, MidRunKillResumesOnUninterruptedTrajectory) {

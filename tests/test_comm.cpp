@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/fault.hpp"
+#include "comm/watchdog.hpp"
 
 namespace geofm {
 namespace {
@@ -407,6 +411,311 @@ TEST(Comm, RunRanksPropagatesExceptions) {
                                        std::to_string(c.rank()));
                          }),
                Error);
+}
+
+// ----- abort coverage (barrier gap) + typed errors ---------------------------
+
+TEST(Comm, BarrierObservesAbortInsteadOfDeadlocking) {
+  // Rank 1 blocks in a plain barrier; rank 0 never arrives and aborts.
+  // Pre-fix this deadlocked forever (the documented barrier() gap).
+  std::atomic<int> aborted_count{0};
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 1) {
+      try {
+        c.barrier();
+        FAIL() << "barrier completed without both ranks";
+      } catch (const comm::Aborted& e) {
+        ++aborted_count;
+        EXPECT_NE(std::string(e.what()).find("node died"), std::string::npos);
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      c.abort("node died");
+      // Post-abort arrivals must throw immediately, not hang.
+      EXPECT_THROW(c.barrier(), comm::Aborted);
+    }
+  });
+  EXPECT_EQ(aborted_count.load(), 1);
+}
+
+TEST(Comm, AbortedPostsThrowTypedError) {
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 0) c.abort("test abort");
+    Tensor t = Tensor::ones({4});
+    // Both ranks: the group is (or becomes) aborted; every rendezvous
+    // surfaces comm::Aborted (which is-a Error, so old catch sites work).
+    try {
+      for (int i = 0; i < 100; ++i) c.all_reduce(t);
+      FAIL() << "collectives on an aborted group must fail";
+    } catch (const comm::Aborted&) {
+    }
+  });
+}
+
+TEST(Comm, WaitForTimesOutThenCompletes) {
+  run_ranks(2, [&](Communicator& c) {
+    Tensor t = Tensor::full({8}, static_cast<float>(c.rank() + 1));
+    if (c.rank() == 0) {
+      auto h = c.iall_reduce(t);
+      // Rank 1 holds back ~200ms, so a 10ms bounded wait must time out
+      // and leave the handle pending.
+      EXPECT_FALSE(h.wait_for(0.01));
+      EXPECT_TRUE(h.pending());
+      EXPECT_TRUE(h.wait_for(10.0));
+      EXPECT_FALSE(h.pending());
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      c.iall_reduce(t).wait();
+    }
+    EXPECT_FLOAT_EQ(t[0], 3.0f);
+  });
+}
+
+// ----- watchdog --------------------------------------------------------------
+
+TEST(Watchdog, DiagnosesStalledRankInCollective) {
+  // Rank 2 goes silent past the deadline while 0 and 1 sit in an
+  // all_reduce. The watchdog must abort the group naming rank 2, and
+  // nobody may deadlock.
+  std::atomic<int> aborted_ranks{0};
+  std::vector<int> suspects;
+  std::string reason;
+  std::mutex mu;
+  run_ranks(3, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      comm::WatchdogOptions opts;
+      opts.deadline_seconds = 0.3;
+      c.start_watchdog(opts);
+    }
+    c.barrier();  // watchdog armed before anyone posts
+    Tensor t = Tensor::ones({16});
+    try {
+      if (c.rank() == 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+      }
+      c.all_reduce(t);
+      FAIL() << "rank " << c.rank() << " completed despite the stall";
+    } catch (const comm::Aborted&) {
+      ++aborted_ranks;
+      std::lock_guard<std::mutex> lk(mu);
+      if (suspects.empty()) {
+        suspects = c.abort_suspects();
+        reason = c.abort_reason();
+      }
+    }
+  });
+  EXPECT_EQ(aborted_ranks.load(), 3);
+  ASSERT_EQ(suspects, (std::vector<int>{2}));
+  EXPECT_NE(reason.find("rank 2 stalled in all_reduce"), std::string::npos);
+  EXPECT_NE(reason.find("ticket"), std::string::npos);
+}
+
+TEST(Watchdog, DiagnosesStalledRankInBarrier) {
+  std::atomic<int> aborted_ranks{0};
+  std::string reason;
+  std::mutex mu;
+  run_ranks(3, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      comm::WatchdogOptions opts;
+      opts.deadline_seconds = 0.3;
+      c.start_watchdog(opts);
+    }
+    try {
+      if (c.rank() == 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+      }
+      c.barrier();
+      FAIL() << "barrier completed despite the stall";
+    } catch (const comm::Aborted&) {
+      ++aborted_ranks;
+      std::lock_guard<std::mutex> lk(mu);
+      if (reason.empty()) reason = c.abort_reason();
+    }
+  });
+  EXPECT_EQ(aborted_ranks.load(), 3);
+  EXPECT_NE(reason.find("stalled in barrier"), std::string::npos);
+  EXPECT_NE(reason.find("rank 2"), std::string::npos);
+}
+
+TEST(Watchdog, StaysQuietOnHealthyTraffic) {
+  // Staggered-but-healthy ranks (skew well under the deadline) must run a
+  // long collective sequence without a false-positive abort.
+  run_ranks(3, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      comm::WatchdogOptions opts;
+      opts.deadline_seconds = 0.5;
+      c.start_watchdog(opts);
+    }
+    c.barrier();
+    Tensor t = Tensor::ones({8});
+    for (int i = 0; i < 40; ++i) {
+      if (i % 7 == c.rank()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      c.all_reduce(t, ReduceOp::kAvg);
+    }
+    EXPECT_FALSE(c.aborted());
+  });
+}
+
+TEST(Watchdog, ScanCoversSubcommunicators) {
+  // The stall happens inside a split() subgroup; the root watchdog scan
+  // must still see it and name the world rank.
+  std::atomic<int> aborted_ranks{0};
+  std::string reason;
+  std::mutex mu;
+  run_ranks(4, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      comm::WatchdogOptions opts;
+      opts.deadline_seconds = 0.3;
+      c.start_watchdog(opts);
+    }
+    Communicator half = c.split(c.rank() / 2, c.rank());
+    Tensor t = Tensor::ones({4});
+    try {
+      if (c.rank() == 3) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+      }
+      half.all_reduce(t);
+      // The healthy pair (ranks 0,1) completes its subgroup collective;
+      // it must then observe the abort on the next root rendezvous.
+      c.barrier();
+      FAIL() << "rank " << c.rank() << " never observed the abort";
+    } catch (const comm::Aborted&) {
+      ++aborted_ranks;
+      std::lock_guard<std::mutex> lk(mu);
+      if (reason.empty()) reason = c.abort_reason();
+    }
+  });
+  EXPECT_EQ(aborted_ranks.load(), 4);
+  EXPECT_NE(reason.find("rank 3"), std::string::npos);
+}
+
+// ----- fault injection -------------------------------------------------------
+
+TEST(Fault, KillAtPostUnwindsRankAndAbortsPeers) {
+  std::atomic<int> killed{0};
+  std::atomic<int> aborted{0};
+  std::atomic<int> completed_posts{0};
+  run_ranks(3, [&](Communicator& c) {
+    auto injector = std::make_shared<comm::FaultInjector>(comm::FaultPlan{
+        0, {comm::FaultEvent::kill_at_post(1, 2)}});
+    if (c.rank() == 0) c.install_fault_injector(injector);
+    c.barrier();
+    Tensor t = Tensor::ones({4});
+    try {
+      for (int i = 0; i < 10; ++i) {
+        c.all_reduce(t);
+        if (c.rank() == 1) ++completed_posts;
+      }
+      FAIL() << "rank " << c.rank() << " survived the kill plan";
+    } catch (const comm::RankKilled& e) {
+      EXPECT_EQ(e.global_rank(), 1);
+      EXPECT_EQ(c.rank(), 1);
+      ++killed;
+    } catch (const comm::Aborted&) {
+      ++aborted;
+    }
+  });
+  EXPECT_EQ(killed.load(), 1);
+  EXPECT_EQ(aborted.load(), 2);
+  // The kill triggers on rank 1's third post (after_posts == 2): exactly
+  // two collectives completed before it.
+  EXPECT_EQ(completed_posts.load(), 2);
+}
+
+TEST(Fault, CorruptionIsDeterministicAcrossRuns) {
+  auto run_once = [&](bool corrupt) {
+    std::vector<float> result(8);
+    run_ranks(2, [&](Communicator& c) {
+      if (corrupt) {
+        auto injector = std::make_shared<comm::FaultInjector>(comm::FaultPlan{
+            7, {comm::FaultEvent::corrupt_at_post(0, 1)}});
+        if (c.rank() == 0) c.install_fault_injector(injector);
+      }
+      c.barrier();
+      Tensor t = Tensor::full({8}, 1.5f);
+      c.all_reduce(t);  // post 0: clean
+      c.all_reduce(t);  // post 1: rank 0's contribution corrupted
+      if (c.rank() == 0) {
+        for (int i = 0; i < 8; ++i) result[static_cast<size_t>(i)] = t[i];
+      }
+    });
+    return result;
+  };
+  const auto clean = run_once(false);
+  const auto faulted1 = run_once(true);
+  const auto faulted2 = run_once(true);
+  EXPECT_NE(clean, faulted1);     // the corruption changed the result...
+  EXPECT_EQ(faulted1, faulted2);  // ...identically on every replay
+}
+
+TEST(Fault, SlowRankDelaysWithoutChangingResults) {
+  auto run_once = [&](bool slow) {
+    std::vector<float> result(4);
+    run_ranks(3, [&](Communicator& c) {
+      if (slow && c.rank() == 0) {
+        auto injector = std::make_shared<comm::FaultInjector>(comm::FaultPlan{
+            0, {comm::FaultEvent::slow_rank(2, 1, 0.01, 4)}});
+        c.install_fault_injector(injector);
+      }
+      c.barrier();
+      Tensor t = Tensor::full({4}, static_cast<float>(c.rank() + 1));
+      for (int i = 0; i < 6; ++i) c.all_reduce(t, ReduceOp::kAvg);
+      if (c.rank() == 0) {
+        for (int i = 0; i < 4; ++i) result[static_cast<size_t>(i)] = t[i];
+      }
+    });
+    return result;
+  };
+  // A slow rank stretches wall time but must be bitwise invisible in the
+  // data (rank-ordered reductions don't depend on arrival order).
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+TEST(Fault, StallAtPostIsCaughtByWatchdog) {
+  std::atomic<int> aborted{0};
+  std::vector<int> suspects;
+  std::mutex mu;
+  run_ranks(3, [&](Communicator& c) {
+    if (c.rank() == 0) {
+      auto injector = std::make_shared<comm::FaultInjector>(comm::FaultPlan{
+          0, {comm::FaultEvent::stall_at_post(1, 3, 2.0)}});
+      c.install_fault_injector(injector);
+      comm::WatchdogOptions opts;
+      opts.deadline_seconds = 0.4;
+      c.start_watchdog(opts);
+    }
+    c.barrier();
+    Tensor t = Tensor::ones({4});
+    try {
+      for (int i = 0; i < 10; ++i) c.all_reduce(t);
+      FAIL() << "rank " << c.rank() << " completed despite the stall plan";
+    } catch (const comm::Aborted&) {
+      ++aborted;
+      std::lock_guard<std::mutex> lk(mu);
+      if (suspects.empty()) suspects = c.abort_suspects();
+    }
+  });
+  EXPECT_EQ(aborted.load(), 3);
+  EXPECT_EQ(suspects, (std::vector<int>{1}));
+}
+
+TEST(Fault, FiredTracksConsumedEvents) {
+  auto injector = std::make_shared<comm::FaultInjector>(comm::FaultPlan{
+      0,
+      {comm::FaultEvent::corrupt_at_post(0, 0),
+       comm::FaultEvent::kill_at_step(1, 99)}});
+  run_ranks(2, [&](Communicator& c) {
+    if (c.rank() == 0) c.install_fault_injector(injector);
+    c.barrier();
+    Tensor t = Tensor::ones({4});
+    c.all_reduce(t);
+  });
+  const auto fired = injector->fired();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_TRUE(fired[0]);   // corruption consumed
+  EXPECT_FALSE(fired[1]);  // the step-99 kill never triggered
 }
 
 }  // namespace
