@@ -89,9 +89,14 @@ int main(int argc, char** argv) {
   // Phase 2: the same shape under a mid-run rank kill, driven by the
   // elastic supervisor, so the recovery path (recover.detect /
   // recover.reform / recover.reshard) is on the gate — an absent
-  // recover.* span means in-run recovery silently stopped working.
+  // recover.* span means in-run recovery silently stopped working. The
+  // killed rank re-joins at the next checkpoint boundary
+  // (recover.readmit), and every published checkpoint is mirrored by the
+  // retrying uploader (upload.exposed is the publish-side hook cost).
   const std::string elastic_root = ckpt_root + "_elastic";
+  const std::string mirror_root = elastic_root + "_mirror";
   std::filesystem::remove_all(elastic_root);
+  std::filesystem::remove_all(mirror_root);
   {
     train::ElasticConfig ecfg;
     ecfg.model = models::mae_for(models::proxy_huge());
@@ -105,10 +110,13 @@ int main(int argc, char** argv) {
     ecfg.train.checkpoint_every_n_steps = 3;
     ecfg.train.checkpoint_dir = elastic_root;
     ecfg.train.async_checkpoint = false;
+    ecfg.train.upload.destination = mirror_root;
+    ecfg.readmission.readmit_quarantined = true;
     ecfg.faults.events.push_back(comm::FaultEvent::kill_at_step(2, 5));
     train::run_elastic(ecfg, corpus);
   }
   std::filesystem::remove_all(elastic_root);
+  std::filesystem::remove_all(mirror_root);
 
   std::map<std::string, double> seconds_by_span;
   for (const auto& e : recorder.snapshot()) {

@@ -13,11 +13,15 @@
 // latest checkpoint at HALF the world size — the elastic reshard path
 // reassembling 4 ranks' shards into 2 ranks' layout.
 //
-// A third phase survives a fault *in-run*: a deterministic FaultPlan
-// kills one rank mid-step under the elastic supervisor, which
-// quarantines it, re-forms the communicator over the 3 survivors,
-// reshards from the latest checkpoint, and continues to completion in
-// the same process — no external restart.
+// A third phase survives a fault *in-run* and then heals: a
+// deterministic FaultPlan kills one rank mid-step under the elastic
+// supervisor, which quarantines it, re-forms the communicator over the
+// survivors (4 -> 2 here, since the global batch forces an even world),
+// reshards from the latest checkpoint, and continues. At the next
+// checkpoint boundary the supervisor runs the quarantined identities
+// through a probationary health check and grows the world back to 4 —
+// and every checkpoint it publishes along the way is mirrored to a
+// secondary location by the background retrying uploader.
 //
 // Run:  ./example_distributed_pretraining
 //
@@ -142,16 +146,25 @@ int main() {
   resume_cfg.resume_from = ckpt_root;
   run_phase(2, resume_cfg);
 
-  // Phase 3: in-run failure recovery. A fresh 4-rank run under the
-  // elastic supervisor, with a fault plan that kills rank 1 at step 12;
-  // the comm watchdog (1s deadline) would likewise catch a silent stall.
-  // Survivors unwind with comm::Aborted, the supervisor quarantines the
-  // dead rank, re-forms at world 3, reshards from the step-9 checkpoint,
-  // and finishes — all inside this process.
+  // Phase 3: in-run failure recovery, then grow-back. A fresh 4-rank run
+  // under the elastic supervisor, with a fault plan that kills rank 1 at
+  // step 12; the comm watchdog (1s deadline) would likewise catch a
+  // silent stall. Survivors unwind with comm::Aborted; the supervisor
+  // quarantines the dead rank, trims to an even world (global batch 64 is
+  // not divisible by 3), re-forms at world 2, and reshards from the
+  // step-9 checkpoint. With readmission enabled it then stops at the next
+  // checkpoint boundary (step 14), health-checks the two parked
+  // identities in a probationary rendezvous, and grows back to world 4
+  // for the final stretch. Every published checkpoint is also mirrored to
+  // a secondary directory by the background retrying uploader — training
+  // never blocks on the mirror.
   const std::string elastic_root = ckpt_root + "_elastic";
+  const std::string mirror_root = elastic_root + "_mirror";
   std::filesystem::remove_all(elastic_root);
+  std::filesystem::remove_all(mirror_root);
   std::printf("elastic phase: 4 ranks, rank 1 killed at step 12 by fault "
-              "plan; shrink-and-continue\n");
+              "plan; shrink, then grow back at the next checkpoint "
+              "boundary\n");
   train::ElasticConfig ecfg;
   ecfg.model = models::mae_for(models::proxy_huge());
   ecfg.model_seed = 1;
@@ -160,20 +173,25 @@ int main() {
   ecfg.fsdp.prefetch = parallel::BackwardPrefetch::kBackwardPre;
   ecfg.train = cfg;
   ecfg.train.steps = 20;
-  ecfg.train.global_batch = 48;  // divides 4 and 3 — shrink-friendly
-  ecfg.train.checkpoint_every_n_steps = 10;
+  ecfg.train.checkpoint_every_n_steps = 5;
   ecfg.train.checkpoint_dir = elastic_root;
+  ecfg.train.upload.destination = mirror_root;
   ecfg.faults.events.push_back(comm::FaultEvent::kill_at_step(1, 12));
   ecfg.watchdog_deadline_seconds = 1.0;
+  ecfg.readmission.readmit_quarantined = true;
   const auto eres = train::run_elastic(ecfg, corpus);
   for (size_t i = 0; i < eres.attempts.size(); ++i) {
     const auto& a = eres.attempts[i];
     if (a.completed) {
-      std::printf("  attempt %zu: world %d completed steps %lld..%lld "
-                  "(final loss %.4f)\n",
+      std::printf("  attempt %zu: world %d ran steps %lld..%lld "
+                  "(last loss %.4f)%s%s\n",
                   i + 1, a.world, static_cast<long long>(a.start_step),
-                  static_cast<long long>(ecfg.train.steps - 1),
-                  a.losses.back());
+                  static_cast<long long>(a.start_step) +
+                      static_cast<long long>(a.losses.size()) - 1,
+                  a.losses.back(),
+                  a.readmitted.empty() ? "" : " — after growing back",
+                  a.truncated_for_growth ? "; stopped at boundary to re-admit"
+                                         : "");
     } else {
       std::printf("  attempt %zu: world %d failed — %s; quarantined rank "
                   "%d\n",
@@ -181,10 +199,19 @@ int main() {
                   a.quarantined.empty() ? -1 : a.quarantined.front());
     }
   }
-  std::printf("  recovered %d time(s), %.1f ms failure-to-running "
-              "(recovery.count / recovery.seconds; spans recover.detect / "
-              "recover.reform / recover.reshard in the trace)\n",
-              eres.recoveries, 1e3 * eres.recovery_seconds);
+  std::printf("  recovered %d time(s) (%.1f ms failure-to-running), grew "
+              "back %d time(s) (spans recover.detect / recover.reform / "
+              "recover.reshard / recover.readmit in the trace)\n",
+              eres.recoveries, 1e3 * eres.recovery_seconds,
+              eres.readmissions);
+  std::printf("  uploader: mirrored %d checkpoint(s) to %s "
+              "(%lld bytes, %d attempt(s), %d retrie(s), %d gave up)\n",
+              static_cast<int>(metric_sum("upload.checkpoints")),
+              mirror_root.c_str(),
+              static_cast<long long>(metric_sum("upload.bytes")),
+              static_cast<int>(metric_sum("upload.attempts")),
+              static_cast<int>(metric_sum("upload.retries")),
+              static_cast<int>(metric_sum("upload.gave_up")));
 
   std::printf("done. checkpoints under %s, final model at "
               "/tmp/geofm_distributed_example.bin\n",

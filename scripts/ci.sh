@@ -25,17 +25,21 @@ ctest --test-dir build --output-on-failure
 
 echo "== trace-span budget gate =="
 # Structural perf tripwires: comm wait, unshard, loader fetch, the exposed
-# checkpoint-snapshot cost, and the elastic-recovery path (recover.*) as
-# fractions of step time (budgets in scripts/span_budgets.txt).
+# checkpoint-snapshot cost, the elastic-recovery path (recover.*, including
+# grow-back readmission), and the uploader's publish-side hook
+# (upload.exposed) as fractions of step time (budgets in
+# scripts/span_budgets.txt).
 ./build/bench/bench_span_budget_gate scripts/span_budgets.txt
 
 echo "== fault matrix: every FaultPlan kind x sharding strategy =="
-# Each deterministic fault kind (kill, stall, slow-rank, corruption) under
-# both DDP (NO_SHARD) and FULL_SHARD, plus the shrink-and-continue
-# recovery scenarios, as their own pass so a fault-layer regression is
-# named here rather than buried in the full suite.
+# Each deterministic fault kind (kill, stall, slow-rank, corruption, and
+# the storage-path injections) under both DDP (NO_SHARD) and FULL_SHARD,
+# plus the shrink-and-continue and grow-back recovery scenarios and the
+# retrying uploader, as their own pass so a fault-layer regression is
+# named here rather than buried in the full suite. FaultTrace is the
+# JSON record/replay contract for realized fault schedules.
 ./build/tests/geofm_tests \
-    --gtest_filter='*ElasticFaultMatrix*:ElasticRecovery.*:Fault.*'
+    --gtest_filter='*ElasticFaultMatrix*:ElasticRecovery.*:*ElasticGrowBack*:Fault.*:FaultTrace.*:Uploader.*:StorageFaults.*'
 
 if [[ "$SKIP_TSAN" == "0" ]]; then
   echo "== tier-1: ThreadSanitizer build + ctest =="
@@ -55,6 +59,19 @@ if [[ "$SKIP_TSAN" == "0" ]]; then
   # repeat for schedule diversity.
   ./build-tsan/tests/geofm_tests \
       --gtest_filter='ElasticRecovery.KillMidStepShrinksAndContinues:ElasticRecovery.StallQuarantinedByWatchdog' \
+      --gtest_repeat=2
+  echo "== TSan: uploader vs retention GC, extra schedules =="
+  # The background uploader races checkpoint publication (enqueue from the
+  # publishing rank) and the retention GC (anchor protection); repeat so
+  # the slow-copy/GC interleaving sees multiple schedules.
+  ./build-tsan/tests/geofm_tests \
+      --gtest_filter='Uploader.*' --gtest_repeat=3
+  echo "== TSan: grow-back at a checkpoint boundary, extra schedules =="
+  # Shrink -> probationary rendezvous -> re-formed communicator layers the
+  # probe group, the supervisor pad rank, the watchdog, and a fresh
+  # restore on top of the recovery machinery above.
+  ./build-tsan/tests/geofm_tests \
+      --gtest_filter='Strategies/ElasticGrowBack.ShrinkThenGrowBackBitwise/full_shard' \
       --gtest_repeat=2
 fi
 

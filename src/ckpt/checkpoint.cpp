@@ -6,9 +6,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "ckpt/io_fault.hpp"
 #include "ckpt/reshard.hpp"
+#include "ckpt/uploader.hpp"
+#include "comm/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "util/thread_context.hpp"
 
 namespace geofm::ckpt {
@@ -91,6 +95,22 @@ void publish_checkpoint(const std::string& root, i64 step, int world) {
   latest << format::step_dir_name(step) << "\n";
 }
 
+/// Tolerated save failure: count + warn, training goes on.
+void report_tolerated_failure(const std::exception_ptr& err, i64 step) {
+  std::string what = "unknown error";
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+  }
+  static auto& failures =
+      obs::MetricsRegistry::instance().counter("ckpt.save_failures");
+  failures.add(1);
+  GEOFM_WARN("checkpoint save at step " << step
+                                        << " failed (tolerated): " << what);
+}
+
 }  // namespace
 
 // ----- Checkpointer ----------------------------------------------------------
@@ -115,6 +135,7 @@ Checkpointer::Staged Checkpointer::stage(const SaveRequest& req) {
   staged.dir = req.dir;
   staged.step = req.step;
   staged.retention = req.retention;
+  staged.tolerate = req.tolerate_failures;
   staged.shard.rank = req.rank;
   staged.shard.world = req.world;
   staged.shard.counters = req.counters;
@@ -146,9 +167,28 @@ void Checkpointer::write_staged(const Staged& staged) {
   const std::string tmp = tmp_step_dir(staged.dir, staged.step);
   const std::string path =
       (fs::path(tmp) / format::shard_file_name(staged.shard.rank)).string();
+  // Storage-path fault seam: a failed write throws before any bytes land;
+  // a torn write lands a truncated shard in the hidden temp dir and then
+  // throws — either way coordinator_arrive never runs for this rank, so
+  // the step can never publish with a damaged shard in it.
+  if (auto injector = io_fault_injector()) {
+    const auto fault =
+        injector->before_io(comm::IoPath::kWrite, staged.shard.rank);
+    if (fault.fail || fault.unreadable) throw Error(fault.reason);
+    if (fault.torn) {
+      format::write_shard_file(path, staged.shard);
+      std::error_code tear_ec;
+      const auto size = fs::file_size(path, tear_ec);
+      if (!tear_ec) fs::resize_file(path, size / 2, tear_ec);
+      throw Error(fault.reason);
+    }
+  }
   format::write_shard_file(path, staged.shard);
   if (coordinator_arrive(staged.dir, staged.step, staged.shard.world)) {
     publish_checkpoint(staged.dir, staged.step, staged.shard.world);
+    // Enqueue for upload *before* GC so retention sees the new step as
+    // protected from the instant it is published.
+    notify_checkpoint_published(staged.dir, staged.step);
     apply_retention(staged.dir, staged.retention);
   }
   i64 bytes = 0;
@@ -182,6 +222,10 @@ void Checkpointer::writer_loop(int owner_rank) {
     } catch (...) {
       err = std::current_exception();
     }
+    if (err && staged->tolerate) {
+      report_tolerated_failure(err, staged->step);
+      err = nullptr;
+    }
     lk.lock();
     busy_ = false;
     if (err && !error_) error_ = err;
@@ -196,7 +240,12 @@ void Checkpointer::save(const SaveRequest& req) {
   static auto& saves = obs::MetricsRegistry::instance().counter("ckpt.saves");
   saves.add(1);
   if (!async_) {
-    write_staged(*staged);
+    try {
+      write_staged(*staged);
+    } catch (...) {
+      if (!staged->tolerate) throw;
+      report_tolerated_failure(std::current_exception(), staged->step);
+    }
     return;
   }
   {
@@ -287,6 +336,11 @@ std::vector<i64> apply_retention(const std::string& root,
     const i64 step = steps[i];
     if (policy.keep_multiple_of > 0 && step % policy.keep_multiple_of == 0) {
       continue;  // anchor checkpoint
+    }
+    if (uploader_protects(root, step)) {
+      // Queued, mid-upload, or the newest step the secondary location
+      // holds — the recovery anchor if the primary root is lost.
+      continue;
     }
     // Atomic unpublish: rename out of the step_* namespace first, so a
     // reader that races the (non-atomic) recursive delete never opens a
@@ -438,6 +492,13 @@ u64 CheckpointReader::rng_state(const std::string& name) const {
 
 const float* CheckpointReader::part_data(StoredPart& part) {
   if (part.data == nullptr) {
+    if (auto injector = io_fault_injector()) {
+      const auto fault =
+          injector->before_io(comm::IoPath::kRead, this_thread_rank());
+      if (fault.any()) {
+        throw Error(fault.reason + " reading " + files_[part.file]);
+      }
+    }
     part.data = std::make_shared<std::vector<float>>(
         format::read_shard_record(files_[part.file], part.entry));
   }

@@ -63,6 +63,12 @@ struct SaveRequest {
   std::map<std::string, i64> counters;     // step, epoch, seed, optim.*
   std::map<std::string, u64> rng_streams;  // named Rng states
   RetentionPolicy retention;  // applied after this save publishes
+  // Degrade instead of die: a failed shard write (disk error, injected
+  // IO fault) is logged and counted (`ckpt.save_failures`) and the step
+  // simply never publishes — training continues and the next save gets a
+  // fresh try. Off by default: an unexpected write failure surfaces on
+  // the next save()/wait_idle() like any async error.
+  bool tolerate_failures = false;
 };
 
 /// Per-rank checkpoint writer. Thread-compatible (one owner thread calls
@@ -92,6 +98,7 @@ class Checkpointer {
     i64 step = 0;
     format::ShardData shard;
     RetentionPolicy retention;
+    bool tolerate = false;
     // Owns the floats the shard's records point into.
     std::vector<std::vector<float>> buffers;
   };

@@ -1,0 +1,30 @@
+#include "ckpt/io_fault.hpp"
+
+#include <mutex>
+
+#include "comm/fault.hpp"
+
+namespace geofm::ckpt {
+
+namespace {
+
+std::mutex g_io_fault_mu;
+std::shared_ptr<comm::FaultInjector>& io_fault_slot() {
+  static auto* slot = new std::shared_ptr<comm::FaultInjector>();
+  return *slot;
+}
+
+}  // namespace
+
+void install_io_fault_injector(
+    std::shared_ptr<comm::FaultInjector> injector) {
+  std::lock_guard<std::mutex> lk(g_io_fault_mu);
+  io_fault_slot() = std::move(injector);
+}
+
+std::shared_ptr<comm::FaultInjector> io_fault_injector() {
+  std::lock_guard<std::mutex> lk(g_io_fault_mu);
+  return io_fault_slot();
+}
+
+}  // namespace geofm::ckpt

@@ -72,9 +72,70 @@ FaultEvent FaultEvent::callback_every_step(
   return e;
 }
 
+namespace {
+
+FaultEvent make_io_event(FaultEvent::Kind kind, IoPath path, int rank,
+                         i64 after_io, double seconds, i64 ops_affected) {
+  FaultEvent e;
+  e.kind = kind;
+  e.rank = rank;
+  e.io_path = path;
+  e.after_io = after_io;
+  e.seconds = seconds;
+  e.ops_affected = ops_affected;
+  return e;
+}
+
+}  // namespace
+
+FaultEvent FaultEvent::io_fail_write(int rank, i64 after_io,
+                                     i64 ops_affected) {
+  return make_io_event(Kind::kIoFail, IoPath::kWrite, rank, after_io, 0,
+                       ops_affected);
+}
+
+FaultEvent FaultEvent::io_torn_write(int rank, i64 after_io) {
+  return make_io_event(Kind::kIoTorn, IoPath::kWrite, rank, after_io, 0, 1);
+}
+
+FaultEvent FaultEvent::io_slow_write(int rank, i64 after_io, double seconds,
+                                     i64 ops_affected) {
+  return make_io_event(Kind::kIoSlow, IoPath::kWrite, rank, after_io, seconds,
+                       ops_affected);
+}
+
+FaultEvent FaultEvent::io_unreadable_at_restore(int rank, i64 after_io) {
+  return make_io_event(Kind::kIoUnreadable, IoPath::kRead, rank, after_io, 0,
+                       1);
+}
+
+FaultEvent FaultEvent::io_fail_upload(i64 after_io, i64 ops_affected) {
+  return make_io_event(Kind::kIoFail, IoPath::kUpload, 0, after_io, 0,
+                       ops_affected);
+}
+
+FaultEvent FaultEvent::io_torn_upload(i64 after_io) {
+  return make_io_event(Kind::kIoTorn, IoPath::kUpload, 0, after_io, 0, 1);
+}
+
+FaultEvent FaultEvent::io_slow_upload(i64 after_io, double seconds,
+                                      i64 ops_affected) {
+  return make_io_event(Kind::kIoSlow, IoPath::kUpload, 0, after_io, seconds,
+                       ops_affected);
+}
+
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)), fired_(plan_.events.size(), false) {
   for (const auto& e : plan_.events) {
+    if (e.is_io()) {
+      GEOFM_CHECK(e.io_path != IoPath::kNone,
+                  "IO fault event must name an io_path");
+      GEOFM_CHECK(e.after_io >= 0,
+                  "IO fault event must trigger at an op index");
+      GEOFM_CHECK(e.rank >= -1, "IO fault event rank must be >= -1");
+      has_io_events_ = true;
+      continue;
+    }
     GEOFM_CHECK(e.kind == FaultEvent::Kind::kCallback || e.rank >= 0,
                 "fault event must target a specific rank");
     GEOFM_CHECK(e.kind != FaultEvent::Kind::kCallback || e.callback,
@@ -209,9 +270,98 @@ FaultInjector::PostFault FaultInjector::before_post(int global_rank,
   return out;
 }
 
+namespace {
+
+const char* io_path_name(IoPath path) {
+  switch (path) {
+    case IoPath::kNone:
+      return "none";
+    case IoPath::kWrite:
+      return "write";
+    case IoPath::kRead:
+      return "read";
+    case IoPath::kUpload:
+      return "upload";
+  }
+  return "none";
+}
+
+}  // namespace
+
+FaultInjector::IoFault FaultInjector::before_io(IoPath path, int rank) {
+  IoFault out;
+  if (!has_io_events_ || path == IoPath::kNone) return out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const u64 idx = io_ops_[{static_cast<int>(path), rank}]++;
+    for (size_t i = 0; i < plan_.events.size(); ++i) {
+      const FaultEvent& e = plan_.events[i];
+      if (!e.is_io() || e.io_path != path) continue;
+      if (e.rank != -1 && e.rank != rank) continue;
+      const u64 trigger = static_cast<u64>(e.after_io);
+      const bool in_window =
+          idx >= trigger && (e.ops_affected <= 0 ||
+                             idx < trigger + static_cast<u64>(e.ops_affected));
+      const std::string site = std::string(io_path_name(path)) + " op " +
+                               std::to_string(idx) + " on rank " +
+                               std::to_string(rank);
+      switch (e.kind) {
+        case FaultEvent::Kind::kIoFail:
+          if (in_window) {
+            fired_[i] = true;
+            out.fail = true;
+            out.reason = "injected io failure (" + site + ")";
+          }
+          break;
+        case FaultEvent::Kind::kIoTorn:
+          if (idx == trigger && !fired_[i]) {
+            fired_[i] = true;
+            out.torn = true;
+            out.reason = "injected torn write (" + site + ")";
+          }
+          break;
+        case FaultEvent::Kind::kIoSlow:
+          if (in_window) {
+            fired_[i] = true;
+            out.delay_seconds += e.seconds;
+          }
+          break;
+        case FaultEvent::Kind::kIoUnreadable:
+          if (idx == trigger && !fired_[i]) {
+            fired_[i] = true;
+            out.unreadable = true;
+            out.reason = "injected unreadable shard (" + site + ")";
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  // The slow-disk delay sleeps inline (mirroring before_post) so callers
+  // need no extra plumbing; `delay_seconds` is reported for accounting.
+  if (out.delay_seconds > 0) {
+    obs::trace_instant("fault.io_slow", "fault");
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(out.delay_seconds));
+  }
+  if (out.any()) obs::trace_instant("fault.io", "fault");
+  return out;
+}
+
 std::vector<bool> FaultInjector::fired() const {
   std::lock_guard<std::mutex> lk(mu_);
   return fired_;
+}
+
+FaultPlan FaultInjector::fired_plan() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  FaultPlan out;
+  out.seed = plan_.seed;
+  for (size_t i = 0; i < plan_.events.size(); ++i) {
+    if (fired_[i]) out.events.push_back(plan_.events[i]);
+  }
+  return out;
 }
 
 }  // namespace geofm::comm

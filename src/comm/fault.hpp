@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -51,9 +52,19 @@ class RankKilled : public Error {
   int global_rank_;
 };
 
+/// Storage-path trigger points (comm faults test the network path; IO
+/// faults test the checkpoint storage path the same way). The ckpt layer
+/// consults the installed injector at three seams: every primary shard
+/// write (`kWrite`, counted per writing rank), every shard-record read at
+/// restore (`kRead`, counted per restoring rank), and every file copy the
+/// checkpoint uploader performs (`kUpload`, counted on rank 0 — there is
+/// one uploader per run).
+enum class IoPath { kNone, kWrite, kRead, kUpload };
+
 /// One scheduled fault. Triggers are exact: `step` matches the driver's
 /// per-step fault point, `after_posts` matches the target rank's N-th
-/// collective post (0-based, counted from injector construction). Ranks
+/// collective post, and `after_io` matches the rank's N-th IO operation
+/// on `io_path` (all 0-based, counted from injector construction). Ranks
 /// are *global* (root-communicator) ranks; under `run_elastic` they are
 /// the persistent rank identities of the initial world.
 struct FaultEvent {
@@ -63,17 +74,27 @@ struct FaultEvent {
     kSlowRank,  // add `seconds` latency to each of `posts_affected` posts
     kCorrupt,   // flip one deterministic payload bit at the post boundary
     kCallback,  // invoke `callback(comm, step)` at the step point
+    // ----- storage-path faults (consulted by src/ckpt/) -----------------
+    kIoFail,        // the IO op throws before any bytes land
+    kIoTorn,        // a short write: truncated bytes land, then the op fails
+    kIoSlow,        // add `seconds` latency to each of `ops_affected` ops
+    kIoUnreadable,  // a read refuses the shard (unreadable at restore)
   };
 
   Kind kind = Kind::kKill;
-  int rank = 0;         // target global rank; -1 = every rank (kCallback)
+  int rank = 0;         // target global rank; -1 = every rank (kCallback,
+                        // and IO events matched on any rank's counter)
   i64 step = -1;        // trigger at the driver step point of this step...
   i64 after_posts = -1;  // ...or at the rank's N-th collective post
-  double seconds = 0;   // kStall: sleep length; kSlowRank: per-post delay
+  double seconds = 0;   // kStall: sleep length; kSlowRank/kIoSlow: per-op
   i64 posts_affected = 0;  // kSlowRank: posts slowed from trigger (0 = all)
   std::function<void(Communicator&, i64)> callback;  // kCallback only
                                                      // (every step if
                                                      // step == -1)
+  // IO-kind trigger: the rank's `after_io`-th op on `io_path`.
+  IoPath io_path = IoPath::kNone;
+  i64 after_io = -1;
+  i64 ops_affected = 1;  // kIoFail/kIoSlow: ops hit from trigger (0 = all)
 
   static FaultEvent kill_at_step(int rank, i64 step);
   static FaultEvent kill_at_post(int rank, i64 after_posts);
@@ -84,6 +105,25 @@ struct FaultEvent {
   static FaultEvent corrupt_at_post(int rank, i64 after_posts);
   static FaultEvent callback_every_step(
       std::function<void(Communicator&, i64)> fn);
+  // Storage-path factories. Write faults name the saving rank; restore
+  // faults may use rank -1 (whichever rank's read counter hits `after_io`
+  // first — use explicit ranks when replay determinism matters); upload
+  // faults always target the run's single uploader (rank 0's).
+  static FaultEvent io_fail_write(int rank, i64 after_io,
+                                  i64 ops_affected = 1);
+  static FaultEvent io_torn_write(int rank, i64 after_io);
+  static FaultEvent io_slow_write(int rank, i64 after_io, double seconds,
+                                  i64 ops_affected = 1);
+  static FaultEvent io_unreadable_at_restore(int rank, i64 after_io);
+  static FaultEvent io_fail_upload(i64 after_io, i64 ops_affected = 1);
+  static FaultEvent io_torn_upload(i64 after_io);
+  static FaultEvent io_slow_upload(i64 after_io, double seconds,
+                                   i64 ops_affected = 1);
+
+  bool is_io() const {
+    return kind == Kind::kIoFail || kind == Kind::kIoTorn ||
+           kind == Kind::kIoSlow || kind == Kind::kIoUnreadable;
+  }
 };
 
 /// A seeded schedule of faults. The seed feeds corruption-site selection;
@@ -126,17 +166,48 @@ class FaultInjector {
   PostFault before_post(int global_rank, const char* op_label, float* payload,
                         i64 count);
 
+  /// Storage integration (called by src/ckpt at each IO seam): advances
+  /// `rank`'s op counter on `path`, sleeps inline for any triggered
+  /// kIoSlow delay (reported in `delay_seconds` for accounting), and
+  /// reports faults the *caller* applies at its own seam: throw on
+  /// `fail`/`unreadable`, or land a truncated file before throwing on
+  /// `torn`. Events with rank -1 match any rank's counter on the path.
+  struct IoFault {
+    bool fail = false;
+    bool torn = false;
+    bool unreadable = false;
+    double delay_seconds = 0;
+    std::string reason;
+    bool any() const { return fail || torn || unreadable; }
+  };
+  IoFault before_io(IoPath path, int rank);
+
   /// fired()[i] is true once plan().events[i] has triggered (one-shot
   /// events only; an every-step kCallback never reports fired). The
   /// elastic supervisor uses this to carry the un-fired remainder of a
   /// plan into the next attempt.
   std::vector<bool> fired() const;
 
+  /// The subset of plan().events that actually fired, as a plan that
+  /// replays them (same seed, same triggers). Feed to `plan_to_json` to
+  /// capture a run's realized fault schedule.
+  FaultPlan fired_plan() const;
+
  private:
   mutable std::mutex mu_;
   FaultPlan plan_;
   std::vector<bool> fired_;
+  bool has_io_events_ = false;
   std::map<int, u64> posts_;  // per-global-rank post counter
+  std::map<std::pair<int, int>, u64> io_ops_;  // (path, rank) op counter
 };
+
+/// Serialize a plan to a JSON trace (stable field names, doubles printed
+/// round-trip exact) and parse one back, so the fault schedule realized by
+/// one run — `FaultInjector::fired_plan()` — can be replayed bitwise in
+/// another. kCallback events hold code and cannot be serialized (throws
+/// `Error`); every other kind round-trips exactly.
+std::string plan_to_json(const FaultPlan& plan);
+FaultPlan plan_from_json(const std::string& json);
 
 }  // namespace geofm::comm

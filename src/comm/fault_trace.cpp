@@ -1,0 +1,284 @@
+// FaultPlan <-> JSON trace. `plan_to_json` captures a plan (typically
+// `FaultInjector::fired_plan()` — the schedule a run actually realized)
+// in a stable text form; `plan_from_json` loads it back for a bitwise
+// replay. The format is a plain JSON object:
+//
+//   {"seed": 7,
+//    "events": [{"kind": "kill", "rank": 1, "step": 4, "after_posts": -1,
+//                "seconds": 0, "posts_affected": 0, "io_path": "none",
+//                "after_io": -1, "ops_affected": 1}, ...]}
+//
+// Every trigger field is always emitted so traces diff cleanly; doubles
+// are printed with %.17g (round-trip exact). The parser is a minimal
+// recursive-descent reader for exactly this shape — objects, arrays,
+// strings, and numbers; unknown keys are rejected loudly rather than
+// silently dropped, since a misspelled trigger field would otherwise
+// replay a different schedule.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "comm/fault.hpp"
+
+namespace geofm::comm {
+
+namespace {
+
+const char* kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kKill:
+      return "kill";
+    case FaultEvent::Kind::kStall:
+      return "stall";
+    case FaultEvent::Kind::kSlowRank:
+      return "slow_rank";
+    case FaultEvent::Kind::kCorrupt:
+      return "corrupt";
+    case FaultEvent::Kind::kCallback:
+      return "callback";
+    case FaultEvent::Kind::kIoFail:
+      return "io_fail";
+    case FaultEvent::Kind::kIoTorn:
+      return "io_torn";
+    case FaultEvent::Kind::kIoSlow:
+      return "io_slow";
+    case FaultEvent::Kind::kIoUnreadable:
+      return "io_unreadable";
+  }
+  return "kill";
+}
+
+FaultEvent::Kind kind_from_name(const std::string& name) {
+  if (name == "kill") return FaultEvent::Kind::kKill;
+  if (name == "stall") return FaultEvent::Kind::kStall;
+  if (name == "slow_rank") return FaultEvent::Kind::kSlowRank;
+  if (name == "corrupt") return FaultEvent::Kind::kCorrupt;
+  if (name == "io_fail") return FaultEvent::Kind::kIoFail;
+  if (name == "io_torn") return FaultEvent::Kind::kIoTorn;
+  if (name == "io_slow") return FaultEvent::Kind::kIoSlow;
+  if (name == "io_unreadable") return FaultEvent::Kind::kIoUnreadable;
+  throw Error("fault trace: unknown event kind \"" + name + "\"");
+}
+
+const char* path_name(IoPath path) {
+  switch (path) {
+    case IoPath::kNone:
+      return "none";
+    case IoPath::kWrite:
+      return "write";
+    case IoPath::kRead:
+      return "read";
+    case IoPath::kUpload:
+      return "upload";
+  }
+  return "none";
+}
+
+IoPath path_from_name(const std::string& name) {
+  if (name == "none") return IoPath::kNone;
+  if (name == "write") return IoPath::kWrite;
+  if (name == "read") return IoPath::kRead;
+  if (name == "upload") return IoPath::kUpload;
+  throw Error("fault trace: unknown io_path \"" + name + "\"");
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // %.17g prints integral doubles as e.g. "2" — valid JSON, parses back
+  // exactly, so no decoration needed.
+  return buf;
+}
+
+// ----- minimal JSON reader --------------------------------------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    GEOFM_CHECK(pos_ < text_.size(), "fault trace: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    GEOFM_CHECK(peek() == c, "fault trace: expected '" + std::string(1, c) +
+                                 "' at offset " + std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume_if(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      GEOFM_CHECK(pos_ < text_.size(),
+                  "fault trace: unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        GEOFM_CHECK(pos_ < text_.size(),
+                    "fault trace: unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(esc);
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          default:
+            throw Error("fault trace: unsupported escape in string");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  double read_number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    GEOFM_CHECK(end != start, "fault trace: expected a number at offset " +
+                                  std::to_string(pos_));
+    pos_ += static_cast<size_t>(end - start);
+    return v;
+  }
+
+  u64 read_u64() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    u64 v = std::strtoull(start, &end, 10);
+    GEOFM_CHECK(end != start,
+                "fault trace: expected an unsigned integer at offset " +
+                    std::to_string(pos_));
+    pos_ += static_cast<size_t>(end - start);
+    return v;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+FaultEvent read_event(JsonReader& r) {
+  FaultEvent e;
+  r.expect('{');
+  bool first = true;
+  while (r.peek() != '}') {
+    if (!first) r.expect(',');
+    first = false;
+    const std::string key = r.read_string();
+    r.expect(':');
+    if (key == "kind") {
+      e.kind = kind_from_name(r.read_string());
+    } else if (key == "io_path") {
+      e.io_path = path_from_name(r.read_string());
+    } else if (key == "rank") {
+      e.rank = static_cast<int>(r.read_number());
+    } else if (key == "step") {
+      e.step = static_cast<i64>(r.read_number());
+    } else if (key == "after_posts") {
+      e.after_posts = static_cast<i64>(r.read_number());
+    } else if (key == "seconds") {
+      e.seconds = r.read_number();
+    } else if (key == "posts_affected") {
+      e.posts_affected = static_cast<i64>(r.read_number());
+    } else if (key == "after_io") {
+      e.after_io = static_cast<i64>(r.read_number());
+    } else if (key == "ops_affected") {
+      e.ops_affected = static_cast<i64>(r.read_number());
+    } else {
+      throw Error("fault trace: unknown event field \"" + key + "\"");
+    }
+  }
+  r.expect('}');
+  return e;
+}
+
+}  // namespace
+
+std::string plan_to_json(const FaultPlan& plan) {
+  std::string out = "{\"seed\": " + std::to_string(plan.seed) +
+                    ",\n \"events\": [";
+  bool first = true;
+  for (const auto& e : plan.events) {
+    GEOFM_CHECK(e.kind != FaultEvent::Kind::kCallback,
+                "fault trace: kCallback events hold code and cannot be "
+                "serialized");
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"kind\": \"" + std::string(kind_name(e.kind)) + "\"";
+    out += ", \"rank\": " + std::to_string(e.rank);
+    out += ", \"step\": " + std::to_string(e.step);
+    out += ", \"after_posts\": " + std::to_string(e.after_posts);
+    out += ", \"seconds\": " + format_double(e.seconds);
+    out += ", \"posts_affected\": " + std::to_string(e.posts_affected);
+    out += ", \"io_path\": \"" + std::string(path_name(e.io_path)) + "\"";
+    out += ", \"after_io\": " + std::to_string(e.after_io);
+    out += ", \"ops_affected\": " + std::to_string(e.ops_affected);
+    out += "}";
+  }
+  out += first ? "]}\n" : "\n ]}\n";
+  return out;
+}
+
+FaultPlan plan_from_json(const std::string& json) {
+  JsonReader r(json);
+  FaultPlan plan;
+  r.expect('{');
+  bool first = true;
+  while (r.peek() != '}') {
+    if (!first) r.expect(',');
+    first = false;
+    const std::string key = r.read_string();
+    r.expect(':');
+    if (key == "seed") {
+      plan.seed = r.read_u64();
+    } else if (key == "events") {
+      r.expect('[');
+      while (r.peek() != ']') {
+        plan.events.push_back(read_event(r));
+        if (r.peek() != ']') r.expect(',');
+      }
+      r.expect(']');
+    } else {
+      throw Error("fault trace: unknown top-level field \"" + key + "\"");
+    }
+  }
+  r.expect('}');
+  GEOFM_CHECK(r.at_end(), "fault trace: trailing content after plan");
+  return plan;
+}
+
+}  // namespace geofm::comm

@@ -23,8 +23,10 @@
 #pragma once
 
 #include "ckpt/checkpoint.hpp"
+#include "ckpt/io_fault.hpp"
 #include "ckpt/reshard.hpp"
 #include "ckpt/state.hpp"
+#include "ckpt/uploader.hpp"
 #include "comm/communicator.hpp"
 #include "comm/fault.hpp"
 #include "comm/watchdog.hpp"

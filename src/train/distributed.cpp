@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "ckpt/checkpoint.hpp"
+#include "ckpt/io_fault.hpp"
+#include "ckpt/uploader.hpp"
 #include "comm/watchdog.hpp"
 #include "data/dataloader.hpp"
 #include "obs/metrics.hpp"
@@ -35,6 +37,9 @@ DistributedPretrainResult pretrain_mae_distributed(
   // plan (not installed at the comm level — hooks are step-point only).
   if (cfg.fault_injector) {
     comm.install_fault_injector(cfg.fault_injector);
+    // The same plan covers the storage path: checkpoint writes, restore
+    // reads, and uploader copies consult the injector's IO events.
+    ckpt::install_io_fault_injector(cfg.fault_injector);
   }
   if (cfg.watchdog_deadline_seconds > 0) {
     comm::WatchdogOptions wopts;
@@ -74,23 +79,37 @@ DistributedPretrainResult pretrain_mae_distributed(
   Rng mask_stream = Rng(cfg.seed).split(hash_name("mask_stream"));
 
   i64 start_step = 0;
+  bool epoch_primed = false;  // loader already started on the resume epoch
   if (!cfg.resume_from.empty()) {
     // An elastic shrink-and-continue restart is the same reshard-restore
     // path, surfaced under the recover.* span family for time-to-recover
-    // accounting.
-    obs::TraceScope span(cfg.recovery_resume ? "recover.reshard"
-                                             : "ckpt.resume",
-                         cfg.recovery_resume ? "recover" : "ckpt");
+    // accounting. The span's arg records that the first post-resume data
+    // fetch was kicked off inside it (loader/restore overlap).
+    const bool overlap_fetch = cfg.loader_workers > 0;
+    obs::TraceScope span(
+        cfg.recovery_resume ? "recover.reshard" : "ckpt.resume",
+        cfg.recovery_resume ? "recover" : "ckpt", "loader_overlap",
+        overlap_fetch ? 1 : 0);
+    // Opening the reader is a header/index scan only — cheap; shard
+    // payloads load lazily during restore() below.
     ckpt::CheckpointReader reader(cfg.resume_from);
+    // Checkpoints are taken after a step completes; resume at the next.
+    start_step = reader.counter("step", -1) + 1;
+    GEOFM_CHECK(start_step >= 1, "resumed checkpoint has no step counter");
+    // Overlap the restore with the first post-resume fetch: the resumed
+    // epoch's fast-forward + render pipeline spins up on the loader's
+    // worker threads while this thread replays plan_reads below. The
+    // loader touches no model state, so the two cannot interact.
+    const i64 resume_epoch = start_step / batches_per_epoch;
+    loader.start_epoch(resume_epoch,
+                       start_step - resume_epoch * batches_per_epoch);
+    epoch_primed = true;
     // Shards become the only authority before restored values land in
     // them; any previously gathered full parameters would be stale.
     fsdp.drop_full_parameters();
     reader.restore(ckpt::fsdp_state(fsdp, &opt));
     ckpt::restore_optimizer_scalars(reader, opt);
     mask_stream.set_state(reader.rng_state("mask_stream"));
-    // Checkpoints are taken after a step completes; resume at the next.
-    start_step = reader.counter("step", -1) + 1;
-    GEOFM_CHECK(start_step >= 1, "resumed checkpoint has no step counter");
     if (cfg.verbose && comm.rank() == 0) {
       GEOFM_INFO("resumed from " << reader.location() << " (saved at world "
                                  << reader.saved_world() << ", step "
@@ -104,6 +123,15 @@ DistributedPretrainResult pretrain_mae_distributed(
     // A previous run that died mid-save must not leak partial shards
     // into this run's checkpoints.
     ckpt::reset_save_state(cfg.checkpoint_dir);
+  }
+  const bool uploads_configured =
+      checkpointer.has_value() && cfg.upload.enabled();
+  std::optional<ckpt::Uploader> uploader;
+  if (uploads_configured && comm.rank() == 0) {
+    ckpt::UploaderOptions uopts = cfg.upload;
+    uopts.source = cfg.checkpoint_dir;
+    uopts.owner_rank = comm.rank();
+    uploader.emplace(uopts);
   }
 
   DistributedPretrainResult result;
@@ -120,8 +148,13 @@ DistributedPretrainResult pretrain_mae_distributed(
   for (i64 epoch = start_step / batches_per_epoch; step < cfg.steps;
        ++epoch) {
     // On the resumed epoch, fast-forward past the batches the previous
-    // run already consumed (step k is batch k % bpe of epoch k / bpe).
-    loader.start_epoch(epoch, step - epoch * batches_per_epoch);
+    // run already consumed (step k is batch k % bpe of epoch k / bpe) —
+    // unless the resume path already primed the loader, overlapped with
+    // the checkpoint restore.
+    if (!epoch_primed) {
+      loader.start_epoch(epoch, step - epoch * batches_per_epoch);
+    }
+    epoch_primed = false;
     for (;;) {
       // Fetch blocking time is the loader's exposed cost to this rank —
       // the input-pipeline analogue of CommStats::exposed_wait_seconds.
@@ -195,6 +228,7 @@ DistributedPretrainResult pretrain_mae_distributed(
         req.rng_streams = {{"mask_stream", mask_stream.state()}};
         req.retention.keep_last = cfg.checkpoint_keep_last;
         req.retention.keep_multiple_of = cfg.checkpoint_keep_multiple_of;
+        req.tolerate_failures = cfg.tolerate_checkpoint_failures;
         checkpointer->save(req);
       }
 
@@ -230,6 +264,23 @@ DistributedPretrainResult pretrain_mae_distributed(
   // The run's last checkpoint must be durable (and any write failure
   // reported) before the driver returns.
   if (checkpointer) checkpointer->wait_idle();
+  if (uploads_configured) {
+    // Publication happens on whichever rank's shard lands last, so rank
+    // 0 can only trust the queue after every rank's writer drained. The
+    // condition is config-derived — symmetric across ranks.
+    comm.barrier();
+    if (uploader) {
+      uploader->drain();
+      const ckpt::UploaderStats ustats = uploader->stats();
+      result.checkpoints_uploaded = ustats.uploaded;
+      result.upload_failures = ustats.failures;
+      result.upload_gave_up = ustats.gave_up;
+      if (ustats.gave_up > 0) {
+        GEOFM_WARN("run finished with " << ustats.gave_up
+                                        << " checkpoint(s) never uploaded");
+      }
+    }
+  }
   result.wall_seconds = timer.seconds();
   return result;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/uploader.hpp"
 #include "comm/communicator.hpp"
 #include "comm/fault.hpp"
 #include "data/datasets.hpp"
@@ -71,6 +72,20 @@ struct DistributedPretrainConfig {
   /// ...plus every step divisible by this (0 = no anchors), GC'ing the
   /// rest atomically after each publication.
   i64 checkpoint_keep_multiple_of = 0;
+
+  // ----- storage-path robustness (ckpt::Uploader, io-fault seam) ----------
+  /// Mirror every published checkpoint to `upload.destination` from a
+  /// background uploader owned by rank 0 (empty destination = disabled).
+  /// `upload.source` is owned by the driver (always the checkpoint_dir);
+  /// the remaining knobs — retries, backoff, timeouts, checksum
+  /// verification — pass through. Training never blocks on the upload:
+  /// the driver barriers once at the end of the run and drains the queue,
+  /// reporting totals in the result.
+  ckpt::UploaderOptions upload;
+  /// Treat a failed shard write (disk error, injected IO fault) as a
+  /// skipped checkpoint instead of a fatal error: logged, counted in
+  /// `ckpt.save_failures`, training continues to the next save.
+  bool tolerate_checkpoint_failures = false;
 };
 
 struct DistributedPretrainResult {
@@ -93,6 +108,12 @@ struct DistributedPretrainResult {
   // render pipeline hides behind compute and this stays near zero; with
   // loader_workers == 0 every render is on the critical path.
   double loader_exposed_seconds = 0;
+
+  // Checkpoint-upload accounting from the end-of-run drain (rank 0 of an
+  // upload-configured run; zero elsewhere).
+  i64 checkpoints_uploaded = 0;
+  i64 upload_failures = 0;
+  i64 upload_gave_up = 0;
 };
 
 /// Runs `cfg.steps` optimizer steps of MAE pretraining on `mae`, already

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "ckpt/checkpoint.hpp"
+#include "ckpt/io_fault.hpp"
 #include "comm/watchdog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -27,11 +28,16 @@ struct Outcome {
 struct Assignment {
   comm::Communicator comm;
   DistributedPretrainConfig train;
+  // Probationary rendezvous instead of a training attempt: run the
+  // health-check hook, then barrier + all-reduce with the supervisor.
+  bool probe = false;
 };
 
 // Supervisor <-> worker handoff: one slot per identity. Workers block
 // until their slot holds an assignment (or they are retired), run the
-// attempt, and report an outcome.
+// attempt (or probe), and report an outcome. Identities with neither an
+// assignment nor retirement are *parked*: they sit in the wait, belong
+// to no communicator group, and are invisible to every watchdog.
 struct Shared {
   std::mutex mu;
   std::condition_variable cv;
@@ -41,11 +47,26 @@ struct Shared {
   double first_failure_ts = 0;  // monotonic_seconds of the first report
 };
 
+/// Largest k in [1, avail] such that world+k respects max_world and
+/// divides the global batch; 0 when no growth is possible.
+int admissible_growth(int world, int avail, int max_world, i64 global_batch) {
+  for (int k = avail; k >= 1; --k) {
+    const int grown = world + k;
+    if (grown <= max_world && global_batch % grown == 0) return k;
+  }
+  return 0;
+}
+
 }  // namespace
 
 ElasticResult run_elastic(const ElasticConfig& cfg,
                           const data::SceneDataset& corpus) {
+  const int spares = cfg.readmission.spare_identities;
+  const int total_ids = cfg.world + spares;
+  const int max_world =
+      cfg.readmission.max_world > 0 ? cfg.readmission.max_world : cfg.world;
   GEOFM_CHECK(cfg.world >= 1, "elastic world must be positive");
+  GEOFM_CHECK(spares >= 0, "spare_identities must be >= 0");
   GEOFM_CHECK(cfg.min_world >= 1 && cfg.min_world <= cfg.world,
               "elastic min_world out of range");
   GEOFM_CHECK(cfg.train.global_batch % cfg.world == 0,
@@ -57,17 +78,17 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
               "run_elastic owns the train config's fault/resume fields; "
               "use ElasticConfig.faults / checkpoint_dir");
   for (const auto& e : cfg.faults.events) {
-    GEOFM_CHECK(e.rank < cfg.world,
+    GEOFM_CHECK(e.rank < total_ids,
                 "fault plan targets rank " << e.rank
-                                           << " beyond the initial world");
+                                           << " beyond the identity space");
   }
 
   obs::set_thread_label("elastic.supervisor");
 
   Shared sh;
-  sh.work.resize(static_cast<size_t>(cfg.world));
-  sh.outcome.resize(static_cast<size_t>(cfg.world));
-  sh.retired.assign(static_cast<size_t>(cfg.world), 0);
+  sh.work.resize(static_cast<size_t>(total_ids));
+  sh.outcome.resize(static_cast<size_t>(total_ids));
+  sh.retired.assign(static_cast<size_t>(total_ids), 0);
 
   auto worker = [&](int identity) {
     for (;;) {
@@ -83,32 +104,55 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
         sh.work[static_cast<size_t>(identity)].reset();
       }
       // The thread re-labels per attempt: its rank changes as the world
-      // shrinks, while its identity (and fault targeting) stays fixed.
+      // shrinks or grows, while its identity (and fault targeting) stays
+      // fixed.
       set_thread_rank(a->comm.rank());
-      obs::set_thread_label("rank");
+      obs::set_thread_label(a->probe ? "rank.probe" : "rank");
       Outcome out;
-      try {
-        Rng rng(cfg.model_seed);
-        models::MAE mae(cfg.model, rng);
-        parallel::Fsdp fsdp(mae, a->comm, cfg.fsdp);
-        out.result =
-            pretrain_mae_distributed(mae, fsdp, a->comm, corpus, a->train);
-        out.kind = Outcome::Kind::kCompleted;
-      } catch (const comm::RankKilled& e) {
-        out.kind = Outcome::Kind::kKilled;
-        out.error = std::current_exception();
-        out.what = e.what();
-      } catch (const comm::Aborted& e) {
-        out.kind = Outcome::Kind::kAborted;
-        out.error = std::current_exception();
-        out.what = e.what();
-      } catch (const std::exception& e) {
-        out.kind = Outcome::Kind::kFailed;
-        out.error = std::current_exception();
-        out.what = e.what();
-      } catch (...) {
-        out.kind = Outcome::Kind::kFailed;
-        out.error = std::current_exception();
+      if (a->probe) {
+        try {
+          if (cfg.readmission.probation_hook) {
+            cfg.readmission.probation_hook(identity);
+          }
+          a->comm.barrier();
+          Tensor token = Tensor::full({1}, 1.0f);
+          a->comm.all_reduce(token);
+          out.kind = Outcome::Kind::kCompleted;
+        } catch (const comm::Aborted& e) {
+          out.kind = Outcome::Kind::kAborted;
+          out.what = e.what();
+        } catch (const std::exception& e) {
+          out.kind = Outcome::Kind::kFailed;
+          out.what = e.what();
+          // Unblock the supervisor and fellow candidates immediately
+          // rather than waiting for the probation watchdog.
+          a->comm.abort(std::string("probation failure on identity ") +
+                        std::to_string(identity) + ": " + e.what());
+        }
+      } else {
+        try {
+          Rng rng(cfg.model_seed);
+          models::MAE mae(cfg.model, rng);
+          parallel::Fsdp fsdp(mae, a->comm, cfg.fsdp);
+          out.result =
+              pretrain_mae_distributed(mae, fsdp, a->comm, corpus, a->train);
+          out.kind = Outcome::Kind::kCompleted;
+        } catch (const comm::RankKilled& e) {
+          out.kind = Outcome::Kind::kKilled;
+          out.error = std::current_exception();
+          out.what = e.what();
+        } catch (const comm::Aborted& e) {
+          out.kind = Outcome::Kind::kAborted;
+          out.error = std::current_exception();
+          out.what = e.what();
+        } catch (const std::exception& e) {
+          out.kind = Outcome::Kind::kFailed;
+          out.error = std::current_exception();
+          out.what = e.what();
+        } catch (...) {
+          out.kind = Outcome::Kind::kFailed;
+          out.error = std::current_exception();
+        }
       }
       a.reset();  // drop the attempt's communicator before reporting
       {
@@ -124,8 +168,8 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(cfg.world));
-  for (int id = 0; id < cfg.world; ++id) threads.emplace_back(worker, id);
+  threads.reserve(static_cast<size_t>(total_ids));
+  for (int id = 0; id < total_ids; ++id) threads.emplace_back(worker, id);
   auto join_all = [&] {
     {
       std::lock_guard<std::mutex> lk(sh.mu);
@@ -139,35 +183,145 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
   auto& rec_count = registry.counter("recovery.count");
   auto& rec_seconds = registry.counter("recovery.seconds");
   auto& rec_world = registry.gauge("recovery.world");
+  auto& readmit_count = registry.counter("readmit.count");
+  auto& readmit_seconds = registry.counter("readmit.seconds");
+  auto& readmit_rejected = registry.counter("readmit.probation_failures");
 
   ElasticResult res;
+  res.fired_plan.seed = cfg.faults.seed;
   std::vector<int> live(static_cast<size_t>(cfg.world));
   for (int id = 0; id < cfg.world; ++id) live[static_cast<size_t>(id)] = id;
+  // Identities awaiting (re-)admission: spare identities from the start,
+  // plus quarantined ones when the policy re-admits them.
+  std::vector<int> parked;
+  for (int id = cfg.world; id < total_ids; ++id) parked.push_back(id);
+  std::vector<int> pending_readmitted;  // admitted, next attempt not yet run
+  int readmit_rounds = 0;
   std::vector<comm::FaultEvent> remaining = cfg.faults.events;
   double pending_failure_ts = 0;  // consumed when the next attempt starts
+
+  // Rejects `failed` candidates permanently: retired, counted, recorded.
+  auto reject_candidates = [&](const std::vector<int>& failed) {
+    if (failed.empty()) return;
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      for (int id : failed) sh.retired[static_cast<size_t>(id)] = 1;
+    }
+    sh.cv.notify_all();
+    for (int id : failed) {
+      parked.erase(std::remove(parked.begin(), parked.end(), id),
+                   parked.end());
+      res.probation_rejected.push_back(id);
+    }
+    readmit_rejected.add(static_cast<double>(failed.size()));
+  };
+
+  // Probationary rendezvous: candidates + supervisor form a probe group,
+  // run the health hook, and complete barrier + all-reduce under the
+  // probation watchdog. Flaky candidates are rejected and the healthy
+  // remainder retried, so one bad returner cannot block the others.
+  auto run_probation = [&](std::vector<int> cand) -> std::vector<int> {
+    while (!cand.empty()) {
+      const int n = static_cast<int>(cand.size());
+      auto pgroup = comm::make_group(n + 1);
+      comm::Communicator pad(pgroup, n);  // the supervisor's probe rank
+      if (cfg.readmission.probation_deadline_seconds > 0) {
+        comm::WatchdogOptions wopts;
+        wopts.deadline_seconds = cfg.readmission.probation_deadline_seconds;
+        pad.start_watchdog(wopts);
+      }
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        for (int i = 0; i < n; ++i) {
+          const auto id = static_cast<size_t>(cand[static_cast<size_t>(i)]);
+          sh.outcome[id].reset();
+          sh.work[id] = Assignment{comm::Communicator(pgroup, i), cfg.train,
+                                   /*probe=*/true};
+        }
+      }
+      sh.cv.notify_all();
+      bool supervisor_ok = true;
+      try {
+        pad.barrier();
+        Tensor token = Tensor::full({1}, 1.0f);
+        pad.all_reduce(token);
+      } catch (const comm::Aborted&) {
+        supervisor_ok = false;
+      }
+      {
+        std::unique_lock<std::mutex> lk(sh.mu);
+        sh.cv.wait(lk, [&] {
+          return std::all_of(cand.begin(), cand.end(), [&](int id) {
+            return sh.outcome[static_cast<size_t>(id)].has_value();
+          });
+        });
+      }
+      std::vector<int> failed;
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        for (int id : cand) {
+          const Outcome& o = *sh.outcome[static_cast<size_t>(id)];
+          if (o.kind == Outcome::Kind::kFailed ||
+              o.kind == Outcome::Kind::kKilled) {
+            failed.push_back(id);
+          }
+        }
+      }
+      for (int r : pad.abort_suspects()) {
+        if (r >= 0 && r < n) failed.push_back(cand[static_cast<size_t>(r)]);
+      }
+      std::sort(failed.begin(), failed.end());
+      failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
+      if (supervisor_ok && failed.empty()) return cand;  // all admitted
+      if (failed.empty()) failed = cand;  // undiagnosable: reject the round
+      if (cfg.train.verbose) {
+        std::string f;
+        for (int id : failed) f += (f.empty() ? "" : ",") + std::to_string(id);
+        GEOFM_WARN("elastic: probation rejected identity(s) " << f);
+      }
+      reject_candidates(failed);
+      std::vector<int> rest;
+      for (int id : cand) {
+        if (!std::binary_search(failed.begin(), failed.end(), id)) {
+          rest.push_back(id);
+        }
+      }
+      cand = std::move(rest);
+    }
+    return {};
+  };
 
   try {
     for (;;) {
       const int w = static_cast<int>(live.size());
       ElasticAttempt att;
       att.world = w;
+      att.readmitted = pending_readmitted;
+      pending_readmitted.clear();
 
       // ----- re-form: fresh group over survivors, watchdog re-armed ------
       std::shared_ptr<geofm::comm::detail::CommGroup> group;
       comm::FaultPlan attempt_plan;
       attempt_plan.seed = cfg.faults.seed;
       std::vector<comm::FaultEvent> attempt_events_by_identity;
+      // Pending events whose identity is not in this attempt are held
+      // back, NOT dropped: a re-admitted identity's events must fire
+      // when it returns.
+      std::vector<comm::FaultEvent> held_events;
       {
         std::optional<obs::TraceScope> reform;
         if (!res.attempts.empty()) {
           reform.emplace("recover.reform", "recover", "world", w);
         }
         group = comm::make_group(w);
-        // Events still pending whose identity survived, remapped to this
-        // attempt's ranks (identity live[r] is rank r).
+        // Events still pending whose identity is in this attempt,
+        // remapped to attempt ranks (identity live[r] is rank r).
         for (const comm::FaultEvent& e : remaining) {
           const auto it = std::find(live.begin(), live.end(), e.rank);
-          if (it == live.end() && e.rank != -1) continue;
+          if (it == live.end() && e.rank != -1) {
+            held_events.push_back(e);
+            continue;
+          }
           comm::FaultEvent mapped = e;
           if (e.rank != -1) {
             mapped.rank = static_cast<int>(it - live.begin());
@@ -187,18 +341,46 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
       if (!attempt_plan.events.empty()) {
         injector = std::make_shared<comm::FaultInjector>(attempt_plan);
       }
+      // The same injector serves the storage path: checkpoint writes,
+      // restore reads, and uploader copies consult it via the io-fault
+      // seam. Re-installed (or cleared) per attempt so IO op counters
+      // reset with the post counters.
+      ckpt::install_io_fault_injector(injector);
 
       DistributedPretrainConfig tc = cfg.train;
       tc.fault_injector = injector;
       tc.watchdog_deadline_seconds = cfg.watchdog_deadline_seconds;
       tc.recovery_resume = !res.attempts.empty();
-      if (!cfg.train.checkpoint_dir.empty() &&
-          ckpt::latest_step(cfg.train.checkpoint_dir) >= 0) {
-        // Pin the resume source now: later saves may add newer steps (or
-        // retention may GC this one), and the attempt record must name
-        // what was actually restored.
-        att.resumed_from = ckpt::resolve_checkpoint(cfg.train.checkpoint_dir);
-        tc.resume_from = att.resumed_from;
+      i64 resume_step = 0;
+      if (!cfg.train.checkpoint_dir.empty()) {
+        const i64 latest = ckpt::latest_step(cfg.train.checkpoint_dir);
+        if (latest >= 0) {
+          // Pin the resume source now: later saves may add newer steps
+          // (or retention may GC this one), and the attempt record must
+          // name what was actually restored.
+          att.resumed_from =
+              ckpt::resolve_checkpoint(cfg.train.checkpoint_dir);
+          tc.resume_from = att.resumed_from;
+          resume_step = latest + 1;
+        }
+      }
+
+      // ----- grow-back window: stop at the next checkpoint boundary ------
+      // When parked identities could re-join, cut this attempt at the
+      // next step the driver checkpoints; its completion is then a
+      // boundary stop where probation + admission run.
+      if (cfg.readmission.enabled() && !parked.empty() &&
+          cfg.train.checkpoint_every_n_steps > 0 &&
+          !cfg.train.checkpoint_dir.empty() &&
+          readmit_rounds < cfg.readmission.max_readmissions &&
+          admissible_growth(w, static_cast<int>(parked.size()), max_world,
+                            cfg.train.global_batch) > 0) {
+        const i64 n = cfg.train.checkpoint_every_n_steps;
+        const i64 boundary = (resume_step / n + 1) * n;
+        if (boundary < cfg.train.steps) {
+          tc.steps = boundary;
+          att.truncated_for_growth = true;
+        }
       }
 
       // ----- launch the attempt ------------------------------------------
@@ -209,7 +391,7 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
           sh.outcome[static_cast<size_t>(live[static_cast<size_t>(r)])]
               .reset();
           sh.work[static_cast<size_t>(live[static_cast<size_t>(r)])] =
-              Assignment{comm::Communicator(group, r), tc};
+              Assignment{comm::Communicator(group, r), tc, /*probe=*/false};
         }
       }
       sh.cv.notify_all();
@@ -244,11 +426,14 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
         for (size_t i = 0; i < attempt_events_by_identity.size(); ++i) {
           if (i < fired.size() && fired[i]) {
             ++att.faults_fired;
+            res.fired_plan.events.push_back(attempt_events_by_identity[i]);
           } else {
             next.push_back(attempt_events_by_identity[i]);
           }
         }
         remaining = std::move(next);
+        remaining.insert(remaining.end(), held_events.begin(),
+                         held_events.end());
       }
 
       // ----- collect ------------------------------------------------------
@@ -275,8 +460,54 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
           att.completed = true;
           att.start_step = o0.result.start_step;
           att.losses = o0.result.step_losses;
-          res.final_result = o0.result;
+          if (!att.truncated_for_growth) res.final_result = o0.result;
         }
+      }
+      if (all_completed && att.truncated_for_growth) {
+        // ----- boundary stop: probation + admission ----------------------
+        pending_failure_ts = 0;
+        const bool was_verbose = cfg.train.verbose;
+        const double t0 = monotonic_seconds();
+        std::vector<int> joining;
+        {
+          obs::TraceScope readmit(
+              "recover.readmit", "recover", "world", w, "candidates",
+              static_cast<i64>(parked.size()));
+          ++readmit_rounds;
+          std::vector<int> cand = parked;
+          std::sort(cand.begin(), cand.end());
+          const std::vector<int> admitted = run_probation(cand);
+          const int k =
+              admissible_growth(w, static_cast<int>(admitted.size()),
+                                max_world, cfg.train.global_batch);
+          joining.assign(admitted.begin(), admitted.begin() + k);
+          // Admitted-but-unjoinable candidates (divisibility, max_world)
+          // stay parked for a later boundary.
+          for (int id : joining) {
+            parked.erase(std::remove(parked.begin(), parked.end(), id),
+                         parked.end());
+          }
+        }
+        readmit_seconds.add(monotonic_seconds() - t0);
+        res.attempts.push_back(std::move(att));
+        if (!joining.empty()) {
+          live.insert(live.end(), joining.begin(), joining.end());
+          std::sort(live.begin(), live.end());
+          pending_readmitted = joining;
+          ++res.readmissions;
+          readmit_count.add(1);
+          rec_world.set(static_cast<double>(live.size()));
+          if (was_verbose) {
+            std::string j;
+            for (int id : joining) {
+              j += (j.empty() ? "" : ",") + std::to_string(id);
+            }
+            GEOFM_INFO("elastic: re-admitted identity(s) "
+                       << j << " at step boundary; growing to world "
+                       << live.size());
+          }
+        }
+        continue;
       }
       if (all_completed) {
         res.final_identities = live;
@@ -327,7 +558,11 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
                    << q << " after '" << att.failure << "'; re-forming at "
                    << "world " << survivors.size());
       }
-      {
+      if (cfg.readmission.readmit_quarantined) {
+        // Quarantined identities stay parked (threads alive, in no comm
+        // group) so a later checkpoint boundary can re-admit them.
+        for (int id : att.quarantined) parked.push_back(id);
+      } else {
         std::lock_guard<std::mutex> lk(sh.mu);
         for (int id : att.quarantined) {
           sh.retired[static_cast<size_t>(id)] = 1;
@@ -350,9 +585,11 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
       rec_world.set(static_cast<double>(live.size()));
     }
   } catch (...) {
+    ckpt::install_io_fault_injector(nullptr);
     join_all();
     throw;
   }
+  ckpt::install_io_fault_injector(nullptr);
   join_all();
   return res;
 }

@@ -44,6 +44,43 @@
 
 namespace geofm::train {
 
+/// When and who may re-join a shrunken run (grow-back).
+///
+/// Re-admission happens only at *checkpoint boundaries*: when growth is
+/// possible, the supervisor truncates the shrunken attempt at the next
+/// step the driver checkpoints, and on its completion runs a
+/// *probationary rendezvous* — candidates form a probe group with the
+/// supervisor, run the (optional) health-check hook, and complete a
+/// barrier + all-reduce under a watchdog armed with
+/// `probation_deadline_seconds`. A candidate that stalls or throws is
+/// re-quarantined permanently (`ElasticResult::probation_rejected`)
+/// without stalling the run; the healthy remainder is admitted, the
+/// communicator re-forms *up*, and the next attempt reshards from the
+/// boundary checkpoint onto the larger world. Identities parked while
+/// awaiting re-admission are in no communicator group, so the training
+/// watchdog never sees (and never flags) them.
+struct ReadmissionPolicy {
+  /// Re-admit identities the supervisor quarantined earlier (a node
+  /// coming back after a reboot).
+  bool readmit_quarantined = false;
+  /// Fresh replacement identities world..world+spares-1, parked from the
+  /// start (a spare node joining for the first time).
+  int spare_identities = 0;
+  /// Never grow beyond this world size (0 = the initial world).
+  int max_world = 0;
+  /// Watchdog deadline for the probationary rendezvous; a candidate
+  /// whose rendezvous skew exceeds it is rejected, not admitted.
+  double probation_deadline_seconds = 0.75;
+  /// Give up on growing after this many probation rounds.
+  int max_readmissions = 4;
+  /// Test seam: runs on the candidate's thread before its probationary
+  /// rendezvous. Throwing or sleeping past the deadline gets the
+  /// candidate rejected.
+  std::function<void(int identity)> probation_hook;
+
+  bool enabled() const { return readmit_quarantined || spare_identities > 0; }
+};
+
 struct ElasticConfig {
   /// Per-attempt training template. The supervisor owns `resume_from`,
   /// `recovery_resume`, `fault_injector`, and
@@ -69,14 +106,20 @@ struct ElasticConfig {
   /// Give up after this many recoveries (a fault storm, not a fault).
   int max_recoveries = 8;
 
-  /// Fault schedule, in *identity* (initial-world rank) terms. Unfired
-  /// events carry over across attempts, remapped to each attempt's
-  /// ranks; events targeting quarantined identities are dropped.
+  /// Fault schedule, in *identity* (initial-world rank, plus spare
+  /// identity) terms. Unfired events carry over across attempts,
+  /// remapped to each attempt's ranks; events targeting identities not
+  /// in the attempt are held back — and fire if their identity is later
+  /// re-admitted.
   comm::FaultPlan faults;
 
   /// > 0 arms the comm watchdog on every attempt's group: stalled ranks
   /// are diagnosed, aborted, and quarantined like crashed ones.
   double watchdog_deadline_seconds = 0;
+
+  /// Grow-back: re-admit quarantined/replacement identities at checkpoint
+  /// boundaries. Disabled by default (a shrunken run stays shrunken).
+  ReadmissionPolicy readmission;
 };
 
 /// One attempt = one communicator generation.
@@ -87,14 +130,28 @@ struct ElasticAttempt {
   std::vector<float> losses;       // per-step losses this attempt produced
   std::string resumed_from;        // checkpoint dir ("" = from scratch)
   std::vector<int> quarantined;    // identities retired after this attempt
+  std::vector<int> readmitted;     // identities admitted before this attempt
   std::string failure;             // first failure's message ("" if none)
   i64 faults_fired = 0;            // plan events consumed by this attempt
+  /// True when the supervisor cut this attempt short at a checkpoint
+  /// boundary to attempt grow-back (its completion is a boundary stop,
+  /// not the end of training).
+  bool truncated_for_growth = false;
 };
 
 struct ElasticResult {
   std::vector<ElasticAttempt> attempts;  // >= 1; last one completed
   int recoveries = 0;
   double recovery_seconds = 0;  // summed first-failure -> next-attempt time
+  /// Successful grow-back rounds (readmitted identities per round are on
+  /// the following attempt's `readmitted`).
+  int readmissions = 0;
+  /// Candidates rejected during probation, permanently re-quarantined.
+  std::vector<int> probation_rejected;
+  /// Every plan event that actually fired across all attempts, in
+  /// identity terms — serialize with `comm::plan_to_json` to capture the
+  /// run's realized fault schedule for bitwise replay.
+  comm::FaultPlan fired_plan;
   /// The completing attempt's driver result (its step_losses are the
   /// post-recovery trajectory).
   DistributedPretrainResult final_result;

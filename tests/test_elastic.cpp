@@ -7,9 +7,11 @@
 // reshard-restore, loader rescale — is behind that one float comparison.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
@@ -260,7 +262,8 @@ TEST_P(ElasticFaultMatrix, RunsToCompletion) {
       cfg.faults.events.push_back(comm::FaultEvent::corrupt_at_post(1, 3));
       break;
     case comm::FaultEvent::Kind::kCallback:
-      break;  // not part of the matrix (covered by the fault_hook shim test)
+    default:  // IO kinds: covered by the StorageFaults suite, not here
+      break;
   }
 
   const auto res = train::run_elastic(cfg, corpus);
@@ -353,6 +356,243 @@ TEST(ElasticRecovery, FaultBeforeFirstSaveRestartsFromScratch) {
   EXPECT_TRUE(res.attempts[1].completed);
   EXPECT_EQ(res.final_result.step_losses.size(), 5u);
   fs::remove_all(root);
+}
+
+// ----- grow-back: re-admission at checkpoint boundaries ----------------------
+
+// Like expect_bitwise, but `got` is a truncated attempt: compare against
+// the leading steps of the reference trajectory.
+void expect_bitwise_prefix(const std::vector<float>& got,
+                           const std::vector<float>& want) {
+  ASSERT_LE(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "diverged at step " << i;
+  }
+}
+
+class ElasticGrowBack : public ::testing::TestWithParam<ShardingStrategy> {};
+
+// The acceptance scenario: a kill plus divisibility trimming shrink
+// 4 -> 2; at the next checkpoint boundary both quarantined identities
+// pass probation and the run grows back to 4. The grown attempt must be
+// bitwise the trajectory of a fresh 4-rank run resumed from the boundary
+// checkpoint, and the armed watchdog must never flag the parked ranks.
+TEST_P(ElasticGrowBack, ShrinkThenGrowBackBitwise) {
+  const bool fsdp = GetParam() == ShardingStrategy::kFullShard;
+  const std::string root = fresh_root(
+      std::string("geofm_test_growback_") + (fsdp ? "fsdp" : "ddp"));
+  auto corpus = data::million_aid_pretrain(64, 16);
+  auto cfg = base_config(root);
+  cfg.fsdp.strategy = GetParam();
+  cfg.train.steps = 9;
+  cfg.train.global_batch = 8;  // divides 4 and 2 but not 3: the kill of
+                               // identity 1 trims identity 3 too (4 -> 2)
+  cfg.train.loader_workers = 1;  // resume overlaps restore with prefetch
+  cfg.watchdog_deadline_seconds = 0.75;
+  cfg.readmission.readmit_quarantined = true;
+  cfg.faults.events.push_back(comm::FaultEvent::kill_at_step(1, 4));
+
+  obs::TraceRecorder::instance().enable();
+  auto& registry = obs::MetricsRegistry::instance();
+  const double readmits_before = registry.counter("readmit.count").value();
+
+  const auto res = train::run_elastic(cfg, corpus);
+
+  ASSERT_EQ(res.attempts.size(), 3u);
+  EXPECT_EQ(res.recoveries, 1);
+  EXPECT_EQ(res.readmissions, 1);
+  EXPECT_TRUE(res.probation_rejected.empty());
+
+  const auto& a0 = res.attempts[0];
+  EXPECT_EQ(a0.world, 4);
+  EXPECT_FALSE(a0.completed);
+  EXPECT_EQ(a0.quarantined, (std::vector<int>{1, 3}));
+
+  // The shrunken attempt stops at the boundary the driver checkpoints
+  // (step 6 = next multiple of checkpoint_every_n_steps past resume).
+  const auto& a1 = res.attempts[1];
+  EXPECT_EQ(a1.world, 2);
+  EXPECT_TRUE(a1.completed);
+  EXPECT_TRUE(a1.truncated_for_growth);
+  EXPECT_EQ(a1.start_step, 3);
+  ASSERT_EQ(a1.losses.size(), 3u);
+  EXPECT_NE(a1.resumed_from.find("step_00000002"), std::string::npos);
+
+  const auto& a2 = res.attempts[2];
+  EXPECT_EQ(a2.world, 4);
+  EXPECT_TRUE(a2.completed);
+  EXPECT_FALSE(a2.truncated_for_growth);
+  EXPECT_EQ(a2.readmitted, (std::vector<int>{1, 3}));
+  EXPECT_EQ(a2.start_step, 6);
+  ASSERT_EQ(a2.losses.size(), 3u);
+  EXPECT_NE(a2.resumed_from.find("step_00000005"), std::string::npos);
+  EXPECT_EQ(res.final_identities, (std::vector<int>{0, 1, 2, 3}));
+
+  // Bitwise parity on both sides of the boundary: the shrunken prefix
+  // equals a fresh 2-rank resume, the grown tail a fresh 4-rank resume.
+  expect_bitwise_prefix(
+      a1.losses, fresh_resumed_losses(2, a1.resumed_from, cfg, corpus));
+  expect_bitwise(a2.losses,
+                 fresh_resumed_losses(4, a2.resumed_from, cfg, corpus));
+
+  EXPECT_GE(registry.counter("readmit.count").value(), readmits_before + 1);
+  bool saw_readmit = false, saw_overlap_arg = false;
+  for (const auto& e : obs::TraceRecorder::instance().snapshot()) {
+    const std::string name = e.name ? e.name : "";
+    saw_readmit |= name == "recover.readmit";
+    // Restore/fetch overlap is accounted on the reshard span: with
+    // loader workers the resume primes the epoch before restoring.
+    if (name == "recover.reshard" && e.arg_name != nullptr &&
+        std::string(e.arg_name) == "loader_overlap" && e.arg == 1) {
+      saw_overlap_arg = true;
+    }
+  }
+  EXPECT_TRUE(saw_readmit);
+  EXPECT_TRUE(saw_overlap_arg);
+  fs::remove_all(root);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ElasticGrowBack,
+    ::testing::Values(ShardingStrategy::kNoShard,
+                      ShardingStrategy::kFullShard),
+    [](const ::testing::TestParamInfo<ShardingStrategy>& info) {
+      return info.param == ShardingStrategy::kFullShard ? "full_shard"
+                                                        : "ddp";
+    });
+
+// A spare identity that was never in the initial world joins at the
+// boundary (replacement node), and the grown run is still bitwise a
+// fresh 4-rank resume.
+TEST(ElasticGrowBackScenarios, ReplacementIdentityJoins) {
+  const std::string root = fresh_root("geofm_test_growback_spare");
+  auto corpus = data::million_aid_pretrain(64, 16);
+  auto cfg = base_config(root);
+  cfg.train.steps = 9;
+  cfg.readmission.spare_identities = 1;  // identity 4, parked from launch
+  cfg.faults.events.push_back(comm::FaultEvent::kill_at_step(1, 4));
+
+  const auto res = train::run_elastic(cfg, corpus);
+
+  ASSERT_EQ(res.attempts.size(), 3u);
+  EXPECT_EQ(res.attempts[0].quarantined, (std::vector<int>{1}));
+  EXPECT_EQ(res.attempts[1].world, 3);
+  EXPECT_TRUE(res.attempts[1].truncated_for_growth);
+  const auto& last = res.attempts[2];
+  EXPECT_EQ(last.world, 4);
+  EXPECT_EQ(last.readmitted, (std::vector<int>{4}));
+  EXPECT_TRUE(last.completed);
+  // The dead identity stays retired; the spare takes its slot.
+  EXPECT_EQ(res.final_identities, (std::vector<int>{0, 2, 3, 4}));
+  expect_bitwise(last.losses,
+                 fresh_resumed_losses(4, last.resumed_from, cfg, corpus));
+  fs::remove_all(root);
+}
+
+// A returning rank that hangs in its health check is re-quarantined by
+// the probation watchdog instead of stalling the run; training finishes
+// at the shrunken world.
+TEST(ElasticGrowBackScenarios, FlakyReturningRankRequarantined) {
+  const std::string root = fresh_root("geofm_test_growback_flaky");
+  auto corpus = data::million_aid_pretrain(64, 16);
+  auto cfg = base_config(root);
+  cfg.train.steps = 9;
+  cfg.readmission.readmit_quarantined = true;
+  cfg.readmission.probation_deadline_seconds = 0.75;
+  cfg.readmission.probation_hook = [](int identity) {
+    if (identity == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2500));
+    }
+  };
+  cfg.faults.events.push_back(comm::FaultEvent::kill_at_step(1, 4));
+
+  const auto res = train::run_elastic(cfg, corpus);
+
+  ASSERT_EQ(res.attempts.size(), 3u);
+  EXPECT_EQ(res.readmissions, 0);
+  EXPECT_EQ(res.probation_rejected, (std::vector<int>{1}));
+  EXPECT_TRUE(res.attempts[1].truncated_for_growth);
+  const auto& last = res.attempts[2];
+  EXPECT_EQ(last.world, 3);  // nobody joined; the run stays shrunken
+  EXPECT_TRUE(last.readmitted.empty());
+  EXPECT_TRUE(last.completed);
+  EXPECT_EQ(res.final_identities, (std::vector<int>{0, 2, 3}));
+  expect_bitwise(last.losses,
+                 fresh_resumed_losses(3, last.resumed_from, cfg, corpus));
+  fs::remove_all(root);
+}
+
+// Regression: plan events targeting an identity outside the current
+// attempt are held back, not dropped — a re-admitted identity's later
+// faults must still fire. Identity 1 dies, rejoins, and dies again.
+TEST(ElasticGrowBackScenarios, ReadmittedIdentityFaultsFireAgain) {
+  const std::string root = fresh_root("geofm_test_growback_refault");
+  auto corpus = data::million_aid_pretrain(64, 16);
+  auto cfg = base_config(root);
+  cfg.train.steps = 10;
+  cfg.train.checkpoint_every_n_steps = 2;
+  cfg.readmission.readmit_quarantined = true;
+  cfg.faults.events.push_back(comm::FaultEvent::kill_at_step(1, 4));
+  cfg.faults.events.push_back(comm::FaultEvent::kill_at_step(1, 7));
+
+  const auto res = train::run_elastic(cfg, corpus);
+
+  // kill -> boundary stop -> grow -> kill again -> boundary stop -> grow.
+  ASSERT_EQ(res.attempts.size(), 5u);
+  EXPECT_EQ(res.recoveries, 2);
+  EXPECT_EQ(res.readmissions, 2);
+  EXPECT_EQ(res.attempts[0].quarantined, (std::vector<int>{1}));
+  EXPECT_EQ(res.attempts[2].readmitted, (std::vector<int>{1}));
+  // The second event survived the attempt where identity 1 was absent
+  // and fired after re-admission.
+  EXPECT_EQ(res.attempts[2].quarantined, (std::vector<int>{1}));
+  EXPECT_EQ(res.attempts[2].faults_fired, 1);
+  EXPECT_EQ(res.attempts[4].readmitted, (std::vector<int>{1}));
+  ASSERT_EQ(res.fired_plan.events.size(), 2u);
+  EXPECT_EQ(res.fired_plan.events[0].rank, 1);
+  EXPECT_EQ(res.fired_plan.events[1].rank, 1);
+  EXPECT_TRUE(res.attempts[4].completed);
+  EXPECT_EQ(res.final_identities, (std::vector<int>{0, 1, 2, 3}));
+  expect_bitwise(
+      res.attempts[4].losses,
+      fresh_resumed_losses(4, res.attempts[4].resumed_from, cfg, corpus));
+  fs::remove_all(root);
+}
+
+// ----- FaultPlan record/replay: the realized schedule re-runs bitwise --------
+
+TEST(FaultTrace, ElasticRunReplaysBitwise) {
+  auto corpus = data::million_aid_pretrain(64, 16);
+  const std::string root1 = fresh_root("geofm_test_replay_record");
+  auto cfg = base_config(root1);
+  cfg.faults.seed = 21;
+  cfg.faults.events.push_back(comm::FaultEvent::kill_at_step(1, 5));
+  // An event that never fires (step past the end) must not appear in the
+  // recorded plan.
+  cfg.faults.events.push_back(comm::FaultEvent::kill_at_step(2, 99));
+  const auto recorded = train::run_elastic(cfg, corpus);
+  ASSERT_EQ(recorded.fired_plan.events.size(), 1u);
+  EXPECT_EQ(recorded.fired_plan.seed, 21u);
+
+  // Round-trip the realized schedule through JSON and drive a second run
+  // with it: every attempt must replay bitwise.
+  const std::string json = comm::plan_to_json(recorded.fired_plan);
+  const std::string root2 = fresh_root("geofm_test_replay_play");
+  auto cfg2 = base_config(root2);
+  cfg2.faults = comm::plan_from_json(json);
+  const auto replayed = train::run_elastic(cfg2, corpus);
+
+  ASSERT_EQ(replayed.attempts.size(), recorded.attempts.size());
+  for (size_t i = 0; i < recorded.attempts.size(); ++i) {
+    const auto& want = recorded.attempts[i];
+    const auto& got = replayed.attempts[i];
+    EXPECT_EQ(got.world, want.world) << "attempt " << i;
+    EXPECT_EQ(got.quarantined, want.quarantined) << "attempt " << i;
+    expect_bitwise(got.losses, want.losses);
+  }
+  EXPECT_EQ(replayed.final_identities, recorded.final_identities);
+  fs::remove_all(root1);
+  fs::remove_all(root2);
 }
 
 }  // namespace

@@ -1,0 +1,105 @@
+// FaultPlan JSON record/replay. The serialized form is the contract for
+// capturing a run's realized fault schedule (`FaultInjector::fired_plan`)
+// and replaying it bitwise later: every serializable kind and every
+// trigger field must survive the round trip exactly, including doubles
+// that are not representable in short decimal.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "comm/fault.hpp"
+
+namespace geofm {
+namespace {
+
+using comm::FaultEvent;
+using comm::FaultPlan;
+using comm::IoPath;
+
+FaultPlan every_serializable_kind() {
+  FaultPlan plan;
+  plan.seed = 0xfeedbeefULL;
+  plan.events.push_back(FaultEvent::kill_at_step(1, 5));
+  plan.events.push_back(FaultEvent::kill_at_post(3, 17));
+  plan.events.push_back(FaultEvent::stall_at_step(2, 7, 0.1));
+  plan.events.push_back(FaultEvent::slow_rank(0, 3, 2.5, 4));
+  plan.events.push_back(FaultEvent::corrupt_at_post(3, 9));
+  plan.events.push_back(FaultEvent::io_fail_write(1, 2, 3));
+  plan.events.push_back(FaultEvent::io_torn_write(0, 1));
+  plan.events.push_back(FaultEvent::io_slow_write(2, 0, 0.015625, 0));
+  plan.events.push_back(FaultEvent::io_unreadable_at_restore(-1, 4));
+  plan.events.push_back(FaultEvent::io_fail_upload(0, 2));
+  plan.events.push_back(FaultEvent::io_torn_upload(1));
+  plan.events.push_back(FaultEvent::io_slow_upload(3, 0.2, 1));
+  return plan;
+}
+
+TEST(FaultTrace, JsonRoundTrip) {
+  const FaultPlan plan = every_serializable_kind();
+  const std::string json = comm::plan_to_json(plan);
+  const FaultPlan parsed = comm::plan_from_json(json);
+
+  // Serializing the parse reproduces the exact byte string: the format is
+  // stable and lossless (doubles printed round-trip exact).
+  EXPECT_EQ(comm::plan_to_json(parsed), json);
+
+  EXPECT_EQ(parsed.seed, plan.seed);
+  ASSERT_EQ(parsed.events.size(), plan.events.size());
+  for (size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& want = plan.events[i];
+    const FaultEvent& got = parsed.events[i];
+    EXPECT_EQ(got.kind, want.kind) << "event " << i;
+    EXPECT_EQ(got.rank, want.rank) << "event " << i;
+    EXPECT_EQ(got.step, want.step) << "event " << i;
+    EXPECT_EQ(got.after_posts, want.after_posts) << "event " << i;
+    EXPECT_EQ(got.seconds, want.seconds) << "event " << i;
+    EXPECT_EQ(got.posts_affected, want.posts_affected) << "event " << i;
+    EXPECT_EQ(got.io_path, want.io_path) << "event " << i;
+    EXPECT_EQ(got.after_io, want.after_io) << "event " << i;
+    EXPECT_EQ(got.ops_affected, want.ops_affected) << "event " << i;
+  }
+}
+
+TEST(FaultTrace, CallbackEventsRefuseToSerialize) {
+  FaultPlan plan;
+  plan.events.push_back(
+      FaultEvent::callback_every_step([](comm::Communicator&, i64) {}));
+  EXPECT_THROW(comm::plan_to_json(plan), Error);
+}
+
+TEST(FaultTrace, MalformedJsonIsRejected) {
+  EXPECT_THROW(comm::plan_from_json(""), Error);
+  // A plan with no events is valid (an empty realized schedule).
+  EXPECT_TRUE(comm::plan_from_json("{\"seed\": 1}").events.empty());
+  EXPECT_THROW(
+      comm::plan_from_json("{\"seed\": 1, \"events\": [{\"kind\": \"nope\"}]}"),
+      Error);
+  // Unknown keys are an error, not silently dropped: a replay must never
+  // quietly ignore part of the schedule it was handed.
+  const std::string unknown =
+      "{\"seed\": 1,\n \"events\": [\n  {\"kind\": \"kill\", \"rank\": 0, "
+      "\"step\": 1, \"mystery\": 3}\n ]}\n";
+  EXPECT_THROW(comm::plan_from_json(unknown), Error);
+}
+
+TEST(FaultTrace, FiredPlanCapturesOnlyFiredEvents) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.events.push_back(FaultEvent::io_fail_write(0, 0));
+  plan.events.push_back(FaultEvent::io_fail_write(0, 99));  // never reached
+  comm::FaultInjector injector(plan);
+  const auto fault = injector.before_io(IoPath::kWrite, 0);
+  EXPECT_TRUE(fault.fail);
+
+  const FaultPlan fired = injector.fired_plan();
+  EXPECT_EQ(fired.seed, plan.seed);
+  ASSERT_EQ(fired.events.size(), 1u);
+  EXPECT_EQ(fired.events[0].after_io, 0);
+  // The realized schedule is serializable as-is.
+  const FaultPlan replay = comm::plan_from_json(comm::plan_to_json(fired));
+  ASSERT_EQ(replay.events.size(), 1u);
+  EXPECT_EQ(replay.events[0].kind, FaultEvent::Kind::kIoFail);
+}
+
+}  // namespace
+}  // namespace geofm

@@ -1,0 +1,501 @@
+// Storage-path robustness: the retrying checkpoint uploader and the
+// io-fault seams in the save/restore path.
+//
+// The load-bearing properties:
+//   * Mirroring — every published checkpoint lands verified at the
+//     secondary location; failures retry with backoff and give up
+//     gracefully (training is never blocked, the gap is loud).
+//   * GC safety — retention never deletes a step that is queued,
+//     mid-upload, or the newest one the secondary location holds.
+//   * Write-path integrity — a torn primary write can never publish;
+//     tolerated write failures skip the checkpoint and training goes on.
+//   * Restore loudness — an unreadable shard at restore throws with the
+//     offending file named, never silently zero-fills.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/format.hpp"
+#include "ckpt/io_fault.hpp"
+#include "ckpt/state.hpp"
+#include "ckpt/uploader.hpp"
+#include "comm/communicator.hpp"
+#include "comm/fault.hpp"
+#include "data/datasets.hpp"
+#include "models/mae.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/fsdp.hpp"
+#include "train/distributed.hpp"
+
+namespace geofm {
+namespace {
+
+namespace fs = std::filesystem;
+using comm::Communicator;
+using comm::FaultEvent;
+using comm::FaultPlan;
+using comm::run_ranks;
+using parallel::Fsdp;
+using parallel::FsdpOptions;
+using parallel::ShardingStrategy;
+
+// The io-fault injector slot is process-global; every test that installs
+// one must clear it on exit so later tests see clean counters.
+struct InjectorGuard {
+  explicit InjectorGuard(FaultPlan plan) {
+    ckpt::install_io_fault_injector(
+        std::make_shared<comm::FaultInjector>(std::move(plan)));
+  }
+  ~InjectorGuard() { ckpt::install_io_fault_injector(nullptr); }
+};
+
+std::string fresh_root(const std::string& name) {
+  const std::string root = "/tmp/" + name;
+  fs::remove_all(root);
+  ckpt::reset_save_state(root);
+  return root;
+}
+
+// One complete single-rank checkpoint at `step` under `root`.
+void save_step(const std::string& root, i64 step) {
+  ckpt::SaveRequest req;
+  req.dir = root;
+  req.step = step;
+  req.rank = 0;
+  req.world = 1;
+  req.counters = {{"step", step}};
+  ckpt::TensorSlice slice;
+  slice.name = "w";
+  slice.shape = {64};
+  slice.begin = 0;
+  slice.data = Tensor::full({64}, static_cast<float>(step));
+  req.state.slices.push_back(slice);
+  ckpt::Checkpointer saver(/*async=*/false);
+  saver.save(req);
+}
+
+std::vector<i64> published_steps(const std::string& root) {
+  std::vector<i64> steps;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return steps;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("step_", 0) != 0) continue;
+    if (!fs::exists(entry.path() / "manifest.txt")) continue;
+    steps.push_back(std::stoll(name.substr(5)));
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+models::MaeConfig upl_mae_cfg() {
+  models::ViTConfig enc{.name = "t", .width = 16, .depth = 3, .mlp_dim = 32,
+                        .heads = 2, .img_size = 16, .patch_size = 4,
+                        .in_channels = 3};
+  return models::mae_for(enc);
+}
+
+ckpt::UploaderOptions fast_uploader(const std::string& src,
+                                    const std::string& dst) {
+  ckpt::UploaderOptions uo;
+  uo.source = src;
+  uo.destination = dst;
+  uo.max_retries = 4;
+  uo.initial_backoff_seconds = 0.005;
+  uo.max_backoff_seconds = 0.02;
+  return uo;
+}
+
+// ----- uploader: mirror, retry, give up --------------------------------------
+
+TEST(Uploader, MirrorsPublishedCheckpoints) {
+  const std::string root = fresh_root("geofm_test_upl_mirror_src");
+  const std::string dst = fresh_root("geofm_test_upl_mirror_dst");
+  {
+    ckpt::Uploader up(fast_uploader(root, dst));
+    // Publication notifies the registered uploader; no manual enqueue.
+    for (i64 step = 0; step < 3; ++step) save_step(root, step);
+    up.drain();
+    const auto st = up.stats();
+    EXPECT_EQ(st.uploaded, 3);
+    EXPECT_EQ(st.failures, 0);
+    EXPECT_EQ(st.retries, 0);
+    EXPECT_EQ(st.newest_uploaded_step, 2);
+    // The newest mirrored step is the recovery anchor; older mirrored
+    // steps are not GC-protected.
+    EXPECT_TRUE(up.protects(2));
+    EXPECT_FALSE(up.protects(1));
+    EXPECT_TRUE(ckpt::uploader_protects(root, 2));
+  }
+  // The mirror is a real checkpoint tree: resolvable, readable, current.
+  EXPECT_EQ(published_steps(dst), (std::vector<i64>{0, 1, 2}));
+  EXPECT_EQ(ckpt::latest_step(dst), 2);
+  ckpt::CheckpointReader reader(dst);
+  EXPECT_EQ(reader.counter("step", -1), 2);
+  // After the uploader is gone its protection is too.
+  EXPECT_FALSE(ckpt::uploader_protects(root, 2));
+  fs::remove_all(root);
+  fs::remove_all(dst);
+}
+
+TEST(Uploader, RetriesWithBackoffUnderInjectedFaults) {
+  const std::string root = fresh_root("geofm_test_upl_retry_src");
+  const std::string dst = fresh_root("geofm_test_upl_retry_dst");
+  // Attempt 1 dies on its first copy; attempt 2 lands a torn copy (which
+  // must fail the attempt, not the verify later); attempt 3 succeeds.
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent::io_fail_upload(0));
+  plan.events.push_back(FaultEvent::io_torn_upload(1));
+  InjectorGuard guard(std::move(plan));
+  {
+    ckpt::Uploader up(fast_uploader(root, dst));
+    save_step(root, 0);
+    up.drain();
+    const auto st = up.stats();
+    EXPECT_EQ(st.uploaded, 1);
+    EXPECT_EQ(st.attempts, 3);
+    EXPECT_EQ(st.retries, 2);
+    EXPECT_EQ(st.failures, 2);
+    EXPECT_EQ(st.gave_up, 0);
+  }
+  // What arrived is whole and checksum-verified, and no temp dirs leak.
+  EXPECT_EQ(published_steps(dst), (std::vector<i64>{0}));
+  for (const auto& entry : fs::directory_iterator(dst)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp"),
+              std::string::npos);
+  }
+  ckpt::CheckpointReader reader(dst);
+  EXPECT_EQ(reader.counter("step", -1), 0);
+  fs::remove_all(root);
+  fs::remove_all(dst);
+}
+
+TEST(Uploader, GivesUpGracefullyAndMovesOn) {
+  const std::string root = fresh_root("geofm_test_upl_giveup_src");
+  const std::string dst = fresh_root("geofm_test_upl_giveup_dst");
+  auto& gave_up_metric =
+      obs::MetricsRegistry::instance().counter("upload.gave_up");
+  const double gave_up_before = gave_up_metric.value();
+  {
+    ckpt::Uploader up(fast_uploader(root, dst));
+    {
+      // ops_affected = 0: every upload op fails, all retries exhausted.
+      FaultPlan plan;
+      plan.events.push_back(FaultEvent::io_fail_upload(0, /*ops=*/0));
+      InjectorGuard guard(std::move(plan));
+      save_step(root, 0);
+      up.drain();
+    }
+    auto st = up.stats();
+    EXPECT_EQ(st.uploaded, 0);
+    EXPECT_EQ(st.gave_up, 1);
+    EXPECT_EQ(st.failures, 4);  // == max_retries
+    EXPECT_EQ(st.newest_uploaded_step, -1);
+    EXPECT_FALSE(up.protects(0));  // an abandoned step is not protected
+    EXPECT_GE(gave_up_metric.value(), gave_up_before + 1);
+
+    // The next publication gets a fresh set of attempts (injector gone).
+    save_step(root, 1);
+    up.drain();
+    st = up.stats();
+    EXPECT_EQ(st.uploaded, 1);
+    EXPECT_EQ(st.gave_up, 1);
+    EXPECT_EQ(st.newest_uploaded_step, 1);
+  }
+  EXPECT_EQ(published_steps(dst), (std::vector<i64>{1}));
+  fs::remove_all(root);
+  fs::remove_all(dst);
+}
+
+// ----- uploader vs retention GC ---------------------------------------------
+
+TEST(Uploader, GcSkipsInFlightAndNewestUploadedAnchor) {
+  const std::string root = fresh_root("geofm_test_upl_gc_src");
+  const std::string dst = fresh_root("geofm_test_upl_gc_dst");
+  for (i64 step = 0; step < 4; ++step) save_step(root, step);
+
+  ckpt::RetentionPolicy policy;
+  policy.keep_last = 1;
+  {
+    // The first copy of step 0 crawls for 1.5s: the GC pass below runs
+    // while step 0 is mid-upload and 1..3 are still queued.
+    FaultPlan slow;
+    slow.events.push_back(FaultEvent::io_slow_upload(0, 1.5, 1));
+    InjectorGuard guard(std::move(slow));
+    ckpt::Uploader up(fast_uploader(root, dst));
+    for (i64 step = 0; step < 4; ++step) up.enqueue(step);
+
+    // keep_last=1 would doom steps 0..2, but all of them are in the
+    // uploader's hands: GC must touch nothing.
+    EXPECT_TRUE(ckpt::apply_retention(root, policy).empty());
+    EXPECT_EQ(published_steps(root), (std::vector<i64>{0, 1, 2, 3}));
+
+    up.drain();
+    EXPECT_EQ(up.stats().uploaded, 4);
+    EXPECT_EQ(up.newest_uploaded_step(), 3);
+
+    // A newer checkpoint whose upload permanently fails: the mirror's
+    // anchor stays at 3, and GC must keep it even though keep_last only
+    // covers 4.
+    {
+      FaultPlan always_fail;
+      always_fail.events.push_back(FaultEvent::io_fail_upload(0, /*ops=*/0));
+      InjectorGuard fail_guard(std::move(always_fail));
+      save_step(root, 4);
+      up.drain();
+    }
+    EXPECT_EQ(up.stats().gave_up, 1);
+    EXPECT_EQ(up.newest_uploaded_step(), 3);
+
+    const auto removed = ckpt::apply_retention(root, policy);
+    EXPECT_EQ(removed, (std::vector<i64>{0, 1, 2}));
+    EXPECT_EQ(published_steps(root), (std::vector<i64>{3, 4}));
+  }
+  fs::remove_all(root);
+  fs::remove_all(dst);
+}
+
+// ----- uploader wired through the distributed driver -------------------------
+
+TEST(Uploader, DriverMirrorsAndReportsStats) {
+  const std::string root = fresh_root("geofm_test_upl_driver_src");
+  const std::string dst = fresh_root("geofm_test_upl_driver_dst");
+  auto corpus = data::million_aid_pretrain(32, 16);
+  train::DistributedPretrainConfig cfg;
+  cfg.steps = 4;
+  cfg.global_batch = 8;
+  cfg.seed = 3;
+  cfg.loader_workers = 0;
+  cfg.checkpoint_every_n_steps = 2;  // publishes steps 1 and 3
+  cfg.checkpoint_dir = root;
+  cfg.async_checkpoint = false;
+  cfg.upload.destination = dst;
+  cfg.upload.initial_backoff_seconds = 0.005;
+
+  train::DistributedPretrainResult rank0;
+  std::mutex mu;
+  run_ranks(2, [&](Communicator& c) {
+    Rng rng(42);
+    models::MAE mae(upl_mae_cfg(), rng);
+    FsdpOptions opts;
+    opts.strategy = ShardingStrategy::kFullShard;
+    Fsdp fsdp(mae, c, opts);
+    auto r = train::pretrain_mae_distributed(mae, fsdp, c, corpus, cfg);
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      rank0 = r;
+    }
+  });
+
+  EXPECT_EQ(rank0.checkpoints_uploaded, 2);
+  EXPECT_EQ(rank0.upload_failures, 0);
+  EXPECT_EQ(rank0.upload_gave_up, 0);
+  EXPECT_EQ(published_steps(dst), (std::vector<i64>{1, 3}));
+  // The mirror restores like the primary: both shards, all counters.
+  ckpt::CheckpointReader reader(dst);
+  EXPECT_EQ(reader.counter("step", -1), 3);
+  fs::remove_all(root);
+  fs::remove_all(dst);
+}
+
+// ----- storage faults on the primary write/restore path ----------------------
+
+TEST(StorageFaults, TornPrimaryWriteNeverPublishes) {
+  const std::string root = fresh_root("geofm_test_sf_torn");
+  auto corpus = data::million_aid_pretrain(32, 16);
+  train::DistributedPretrainConfig cfg;
+  cfg.steps = 4;
+  cfg.global_batch = 4;
+  cfg.seed = 3;
+  cfg.checkpoint_every_n_steps = 2;  // would publish steps 1 and 3
+  cfg.checkpoint_dir = root;
+  cfg.async_checkpoint = false;
+  cfg.tolerate_checkpoint_failures = true;
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent::io_torn_write(0, 0));
+  cfg.fault_injector = std::make_shared<comm::FaultInjector>(plan);
+  struct ClearInjector {
+    ~ClearInjector() { ckpt::install_io_fault_injector(nullptr); }
+  } clear;
+
+  const double failures_before =
+      obs::MetricsRegistry::instance().counter("ckpt.save_failures").value();
+  std::vector<float> losses;
+  std::mutex mu;
+  run_ranks(1, [&](Communicator& c) {
+    Rng rng(42);
+    models::MAE mae(upl_mae_cfg(), rng);
+    FsdpOptions opts;
+    Fsdp fsdp(mae, c, opts);
+    auto r = train::pretrain_mae_distributed(mae, fsdp, c, corpus, cfg);
+    std::lock_guard<std::mutex> lk(mu);
+    losses = r.step_losses;
+  });
+
+  // Training survived the torn save; only the clean step published.
+  EXPECT_EQ(losses.size(), 4u);
+  EXPECT_EQ(published_steps(root), (std::vector<i64>{3}));
+  EXPECT_EQ(ckpt::latest_step(root), 3);
+  EXPECT_FALSE(fs::exists(root + "/step_00000001"));
+  EXPECT_GE(
+      obs::MetricsRegistry::instance().counter("ckpt.save_failures").value(),
+      failures_before + 1);
+
+  // The torn bytes really landed — truncated, in the hidden temp dir,
+  // where no reader will ever trust them.
+  const std::string torn = root + "/.step_00000001.tmp/" +
+                           ckpt::format::shard_file_name(0);
+  ASSERT_TRUE(fs::exists(torn));
+  bool rejected = false;
+  try {
+    const auto header = ckpt::format::read_shard_header(torn);
+    for (const auto& entry : header.records) {
+      ckpt::format::read_shard_record(torn, entry);
+    }
+  } catch (const std::exception&) {
+    rejected = true;
+  }
+  EXPECT_TRUE(rejected);
+  fs::remove_all(root);
+}
+
+TEST(StorageFaults, WriteFailureOnOneRankSkipsTheCheckpoint) {
+  const std::string root = fresh_root("geofm_test_sf_fail_rank");
+  auto corpus = data::million_aid_pretrain(32, 16);
+  train::DistributedPretrainConfig cfg;
+  cfg.steps = 4;
+  cfg.global_batch = 8;
+  cfg.seed = 3;
+  cfg.checkpoint_every_n_steps = 2;
+  cfg.checkpoint_dir = root;
+  cfg.async_checkpoint = false;
+  cfg.tolerate_checkpoint_failures = true;
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent::io_fail_write(1, 0));
+  cfg.fault_injector = std::make_shared<comm::FaultInjector>(plan);
+  struct ClearInjector {
+    ~ClearInjector() { ckpt::install_io_fault_injector(nullptr); }
+  } clear;
+
+  auto run2 = [&](const train::DistributedPretrainConfig& c2) {
+    std::vector<float> losses;
+    std::mutex mu;
+    run_ranks(2, [&](Communicator& c) {
+      Rng rng(42);
+      models::MAE mae(upl_mae_cfg(), rng);
+      FsdpOptions opts;
+      opts.strategy = ShardingStrategy::kFullShard;
+      Fsdp fsdp(mae, c, opts);
+      auto r = train::pretrain_mae_distributed(mae, fsdp, c, corpus, c2);
+      if (c.rank() == 0) {
+        std::lock_guard<std::mutex> lk(mu);
+        losses = r.step_losses;
+      }
+    });
+    return losses;
+  };
+  const auto faulted_losses = run2(cfg);
+
+  // Rank 1's shard never landed, so step 1 never published; step 3 did.
+  EXPECT_EQ(published_steps(root), (std::vector<i64>{3}));
+
+  // The storage fault is invisible to the training math.
+  ckpt::install_io_fault_injector(nullptr);
+  auto clean = cfg;
+  clean.checkpoint_every_n_steps = 0;
+  clean.checkpoint_dir.clear();
+  clean.fault_injector = nullptr;
+  clean.tolerate_checkpoint_failures = false;
+  const auto clean_losses = run2(clean);
+  ASSERT_EQ(faulted_losses.size(), clean_losses.size());
+  for (size_t i = 0; i < clean_losses.size(); ++i) {
+    EXPECT_EQ(faulted_losses[i], clean_losses[i]) << "step " << i;
+  }
+  fs::remove_all(root);
+}
+
+TEST(StorageFaults, TrainingContinuesUnderRepeatedWriteFaults) {
+  const std::string root = fresh_root("geofm_test_sf_repeat");
+  auto corpus = data::million_aid_pretrain(32, 16);
+  train::DistributedPretrainConfig cfg;
+  cfg.steps = 6;
+  cfg.global_batch = 4;
+  cfg.seed = 3;
+  cfg.checkpoint_every_n_steps = 2;  // tries steps 1, 3, 5
+  cfg.checkpoint_dir = root;
+  cfg.async_checkpoint = true;  // failures surface on the writer thread
+  cfg.tolerate_checkpoint_failures = true;
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent::io_fail_write(0, 0, /*ops=*/2));
+  cfg.fault_injector = std::make_shared<comm::FaultInjector>(plan);
+  struct ClearInjector {
+    ~ClearInjector() { ckpt::install_io_fault_injector(nullptr); }
+  } clear;
+
+  auto run1 = [&](const train::DistributedPretrainConfig& c1) {
+    std::vector<float> losses;
+    i64 start = -1;
+    std::mutex mu;
+    run_ranks(1, [&](Communicator& c) {
+      Rng rng(42);
+      models::MAE mae(upl_mae_cfg(), rng);
+      FsdpOptions opts;
+      Fsdp fsdp(mae, c, opts);
+      auto r = train::pretrain_mae_distributed(mae, fsdp, c, corpus, c1);
+      std::lock_guard<std::mutex> lk(mu);
+      losses = r.step_losses;
+      start = r.start_step;
+    });
+    return std::make_pair(losses, start);
+  };
+  const auto [losses, start] = run1(cfg);
+  EXPECT_EQ(start, 0);
+  EXPECT_EQ(losses.size(), 6u);
+  // The first two saves were swallowed; the third published.
+  EXPECT_EQ(published_steps(root), (std::vector<i64>{5}));
+
+  // What survived is a working resume source.
+  ckpt::install_io_fault_injector(nullptr);
+  auto resume = cfg;
+  resume.steps = 8;
+  resume.fault_injector = nullptr;
+  resume.resume_from = root;
+  const auto [resumed_losses, resumed_start] = run1(resume);
+  EXPECT_EQ(resumed_start, 6);
+  EXPECT_EQ(resumed_losses.size(), 2u);
+  fs::remove_all(root);
+}
+
+TEST(StorageFaults, UnreadableShardAtRestoreIsLoud) {
+  const std::string root = fresh_root("geofm_test_sf_unreadable");
+  save_step(root, 0);
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent::io_unreadable_at_restore(-1, 0));
+  InjectorGuard guard(std::move(plan));
+
+  ckpt::CheckpointReader reader(root);
+  Tensor target = Tensor::zeros({64});
+  ckpt::StateDesc desc;
+  ckpt::TensorSlice slice;
+  slice.name = "w";
+  slice.shape = {64};
+  slice.begin = 0;
+  slice.data = target;
+  desc.slices.push_back(slice);
+  try {
+    reader.restore(desc);
+    FAIL() << "restore through an unreadable shard must throw";
+  } catch (const Error& e) {
+    // Loud and located: the injected reason plus the shard path.
+    EXPECT_NE(std::string(e.what()).find("unreadable"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("shard_"), std::string::npos);
+  }
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace geofm
