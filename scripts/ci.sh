@@ -23,6 +23,14 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
+echo "== kernel engine: scalar-oracle cross-check =="
+# The default build above ran everything under the SIMD kernel engine
+# (GEOFM_KERNELS default). Re-run the kernel-facing suites against the
+# scalar oracle so both sides of the dispatch seam stay green, plus the
+# parity suite which compares the two implementations directly.
+GEOFM_KERNELS=scalar ./build/tests/geofm_tests \
+    --gtest_filter='Kernel*:Ops.*:Linear.*:LayerNorm.*:Attention.*:Mlp.*:TransformerBlock.*:PatchEmbed.*:AdamW.*:Sgd.*:Lars.*:Mae.*:ViT.*'
+
 echo "== trace-span budget gate =="
 # Structural perf tripwires: comm wait, unshard, loader fetch, the exposed
 # checkpoint-snapshot cost, the elastic-recovery path (recover.*, including
@@ -41,12 +49,28 @@ echo "== fault matrix: every FaultPlan kind x sharding strategy =="
 ./build/tests/geofm_tests \
     --gtest_filter='*ElasticFaultMatrix*:ElasticRecovery.*:*ElasticGrowBack*:Fault.*:FaultTrace.*:Uploader.*:StorageFaults.*'
 
+echo "== kernel engine: parity suite under AddressSanitizer =="
+# The SIMD kernels do tail-masked loads/stores and packed-panel staging;
+# ASan is the reviewer for off-by-one lane handling. Tests-only target —
+# the full ASan ctest pass is not in tier-1 budget.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DGEOFM_SANITIZE=address
+cmake --build build-asan -j "$JOBS" --target geofm_tests
+./build-asan/tests/geofm_tests --gtest_filter='Kernel*:ThreadPool.*'
+GEOFM_KERNELS=scalar ./build-asan/tests/geofm_tests --gtest_filter='Kernel*'
+
 if [[ "$SKIP_TSAN" == "0" ]]; then
   echo "== tier-1: ThreadSanitizer build + ctest =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DGEOFM_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure
+  echo "== TSan: kernel parity suite =="
+  # The kernel engine parallelizes over the pool with grain hints and
+  # thread-local packing buffers; run the parity suite under TSan in both
+  # dispatch modes.
+  ./build-tsan/tests/geofm_tests --gtest_filter='Kernel*:ThreadPool.*'
+  GEOFM_KERNELS=scalar ./build-tsan/tests/geofm_tests --gtest_filter='Kernel*'
   echo "== TSan: fault-injected restart, extra schedules =="
   # The abort -> unwind -> async-writer-drain -> resume path is the most
   # concurrency-dense sequence in the repo; ctest above ran it once, this

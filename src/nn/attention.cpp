@@ -1,5 +1,6 @@
 #include "nn/attention.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.hpp"
@@ -16,6 +17,8 @@ void split_qkv(const Tensor& qkv, i64 b, i64 t, i64 heads, i64 hd, Tensor& q,
   const i64 c = heads * hd;
   const float* src = qkv.data();
   Tensor* outs[3] = {&q, &k, &v};
+  // Pure layout copy, 3c floats per item: grain so a chunk moves ~64 KB.
+  const i64 grain = std::max<i64>(1, 16384 / (3 * c));
   parallel_for(b * t, [&](i64 i0, i64 i1) {
     for (i64 bt = i0; bt < i1; ++bt) {
       const i64 bi = bt / t, ti = bt % t;
@@ -29,7 +32,7 @@ void split_qkv(const Tensor& qkv, i64 b, i64 t, i64 heads, i64 hd, Tensor& q,
         }
       }
     }
-  });
+  }, grain);
 }
 
 // Inverse layout transform for gradients: three [B*H, T, Dh] -> [B, T, 3C].
@@ -39,6 +42,7 @@ Tensor merge_qkv_grads(const Tensor& dq, const Tensor& dk, const Tensor& dv,
   Tensor out({b, t, 3 * c});
   float* dst = out.data();
   const Tensor* ins[3] = {&dq, &dk, &dv};
+  const i64 grain = std::max<i64>(1, 16384 / (3 * c));
   parallel_for(b * t, [&](i64 i0, i64 i1) {
     for (i64 bt = i0; bt < i1; ++bt) {
       const i64 bi = bt / t, ti = bt % t;
@@ -52,7 +56,7 @@ Tensor merge_qkv_grads(const Tensor& dq, const Tensor& dk, const Tensor& dv,
         }
       }
     }
-  });
+  }, grain);
   return out;
 }
 
@@ -62,6 +66,7 @@ Tensor merge_heads(const Tensor& x, i64 b, i64 t, i64 heads, i64 hd) {
   Tensor out({b, t, c});
   const float* src = x.data();
   float* dst = out.data();
+  const i64 grain = std::max<i64>(1, 16384 / c);
   parallel_for(b * t, [&](i64 i0, i64 i1) {
     for (i64 bt = i0; bt < i1; ++bt) {
       const i64 bi = bt / t, ti = bt % t;
@@ -71,7 +76,7 @@ Tensor merge_heads(const Tensor& x, i64 b, i64 t, i64 heads, i64 hd) {
         for (i64 e = 0; e < hd; ++e) row[h * hd + e] = s[e];
       }
     }
-  });
+  }, grain);
   return out;
 }
 
@@ -81,6 +86,7 @@ Tensor split_heads(const Tensor& x, i64 b, i64 t, i64 heads, i64 hd) {
   Tensor out({b * heads, t, hd});
   const float* src = x.data();
   float* dst = out.data();
+  const i64 grain = std::max<i64>(1, 16384 / c);
   parallel_for(b * t, [&](i64 i0, i64 i1) {
     for (i64 bt = i0; bt < i1; ++bt) {
       const i64 bi = bt / t, ti = bt % t;
@@ -90,7 +96,7 @@ Tensor split_heads(const Tensor& x, i64 b, i64 t, i64 heads, i64 hd) {
         for (i64 e = 0; e < hd; ++e) d[e] = row[h * hd + e];
       }
     }
-  });
+  }, grain);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/trace.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace geofm::optim {
 
@@ -81,26 +82,19 @@ AdamW::AdamW(std::vector<nn::Parameter*> params, double lr, double beta1,
 void AdamW::step() {
   obs::TraceScope span("optim.step.adamw", "optim");
   ++t_;
-  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
-  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  kernels::AdamWConfig cfg;
+  cfg.lr = lr_;
+  cfg.beta1 = beta1_;
+  cfg.beta2 = beta2_;
+  cfg.eps = eps_;
+  cfg.weight_decay = weight_decay_;
+  cfg.bias_c1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  cfg.bias_c2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (size_t i = 0; i < params_.size(); ++i) {
     nn::Parameter* p = params_[i];
     if (!p->requires_grad || !p->grad.defined()) continue;
-    float* w = p->value.data();
-    const float* g = p->grad.data();
-    float* m = m_[i].data();
-    float* v = v_[i].data();
-    for (i64 j = 0; j < p->numel(); ++j) {
-      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * g[j]);
-      v[j] = static_cast<float>(beta2_ * v[j] +
-                                (1.0 - beta2_) * static_cast<double>(g[j]) *
-                                    g[j]);
-      const double mhat = m[j] / bc1;
-      const double vhat = v[j] / bc2;
-      // Decoupled weight decay, then the Adam update.
-      w[j] -= static_cast<float>(lr_ * weight_decay_ * w[j]);
-      w[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
-    }
+    kernels::adamw_update(p->numel(), p->value.data(), p->grad.data(),
+                          m_[i].data(), v_[i].data(), cfg);
   }
 }
 

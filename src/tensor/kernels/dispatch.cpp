@@ -1,0 +1,48 @@
+#include "tensor/kernels/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace geofm::kernels {
+namespace {
+
+std::atomic<int> g_mode{-1};  // -1 = consult GEOFM_KERNELS on first use
+
+int mode_from_env() {
+  const char* env = std::getenv("GEOFM_KERNELS");
+  if (env == nullptr || *env == '\0') return static_cast<int>(Mode::kSimd);
+  const std::string s(env);
+  if (s == "scalar") return static_cast<int>(Mode::kScalar);
+  if (s == "simd") return static_cast<int>(Mode::kSimd);
+  GEOFM_CHECK(false, "GEOFM_KERNELS must be 'scalar' or 'simd', got '" << s
+                     << "'");
+  return static_cast<int>(Mode::kSimd);  // unreachable
+}
+
+}  // namespace
+
+Mode active_mode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    // Benign race: concurrent first callers compute the same value.
+    m = mode_from_env();
+    g_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<Mode>(m);
+}
+
+Mode set_mode(Mode mode) {
+  const int prev = g_mode.exchange(static_cast<int>(mode),
+                                   std::memory_order_relaxed);
+  return prev < 0 ? static_cast<Mode>(mode_from_env())
+                  : static_cast<Mode>(prev);
+}
+
+const char* mode_name(Mode mode) {
+  return mode == Mode::kScalar ? "scalar" : "simd";
+}
+
+}  // namespace geofm::kernels

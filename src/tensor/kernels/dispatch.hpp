@@ -1,0 +1,41 @@
+// Runtime dispatch seam for the kernel engine (DESIGN §5).
+//
+// Every hot kernel exists twice: the original scalar loops (the oracle —
+// clear, deterministic, kept bit-identical to the seed implementation) and
+// a SIMD + cache-blocked rewrite. `GEOFM_KERNELS=scalar|simd` selects the
+// active implementation at process start (default: simd); tests flip it
+// programmatically with set_mode() to run the parity oracle suite.
+#pragma once
+
+namespace geofm::kernels {
+
+enum class Mode { kScalar, kSimd };
+
+/// The active implementation. First call consults GEOFM_KERNELS; later
+/// calls return the cached (or set_mode-overridden) value.
+Mode active_mode();
+
+/// Overrides the active mode (tests / benches). Returns the previous mode.
+Mode set_mode(Mode mode);
+
+/// "scalar" / "simd".
+const char* mode_name(Mode mode);
+
+/// Lane count of the compiled SIMD kernels (floats per vector register),
+/// e.g. 16 with AVX-512, 8 otherwise. The parity suite sweeps shapes
+/// around this to exercise tail handling.
+int simd_lanes();
+
+/// RAII mode override for tests: restores the previous mode on scope exit.
+class ModeGuard {
+ public:
+  explicit ModeGuard(Mode mode) : prev_(set_mode(mode)) {}
+  ~ModeGuard() { set_mode(prev_); }
+  ModeGuard(const ModeGuard&) = delete;
+  ModeGuard& operator=(const ModeGuard&) = delete;
+
+ private:
+  Mode prev_;
+};
+
+}  // namespace geofm::kernels

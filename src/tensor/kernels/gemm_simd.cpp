@@ -1,0 +1,184 @@
+// SIMD GEMM: register-tiled, cache-blocked, packed-panel — the classic
+// GotoBLAS/BLIS decomposition scaled down to this repo's needs.
+//
+//   for jc over N in NC panels            (Bp panel lives in L2)
+//     for pc over K in KC panels
+//       pack B[pc:pc+KC, jc:jc+NC] -> Bp  (NR-wide slivers, zero-padded)
+//       parallel over M in MC blocks      (grain hint = one block)
+//         pack A[ic:ic+MC, pc:pc+KC] -> Ap (MR-tall slivers)
+//         for each NR sliver of Bp        (sliver stays in L1)
+//           for each MR sliver of Ap
+//             microkernel: MR x NR register tile of C += Ap * Bp
+//
+// The microkernel holds an MR x (2 vectors) accumulator block in
+// registers and broadcasts A; edge tiles route through a small stack
+// buffer so the hot path never masks. Strides on A and B are arbitrary
+// (packing is where strided/transposed inputs get linearized), so one
+// core serves NN/NT/TN and padded sub-views. C accumulates across KC
+// panels in a fixed order — results are deterministic and independent of
+// the thread count.
+//
+// This TU is compiled with -march=native (when available) so the vector
+// type in simd.hpp maps to the widest ISA on the build machine; tiny
+// problems are routed to the scalar oracle by the dispatcher before
+// getting here (packing would dominate).
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "tensor/kernels/detail.hpp"
+#include "tensor/kernels/simd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace geofm::kernels::detail {
+namespace {
+
+using simd::kLanes;
+using simd::vf;
+
+constexpr i64 MR = 6;             // microkernel rows
+constexpr i64 NR = 2 * kLanes;    // microkernel cols (2 vector registers)
+constexpr i64 KC = 192;           // k panel: Bp sliver = KC*NR floats in L1
+constexpr i64 MC = 96;            // m block: Ap block = MC*KC floats in L2
+constexpr i64 NC = 2048;          // n panel: Bp panel = KC*NC floats in L2
+
+// Packs kc x nc of B (element stride brs/bcs) into NR-wide slivers,
+// zero-padding the last sliver: dst[sliver][p][0..NR).
+void pack_b(const float* b, i64 brs, i64 bcs, i64 kc, i64 nc, float* dst) {
+  for (i64 j0 = 0; j0 < nc; j0 += NR) {
+    const i64 jw = std::min<i64>(NR, nc - j0);
+    for (i64 p = 0; p < kc; ++p) {
+      const float* src = b + p * brs + j0 * bcs;
+      if (bcs == 1) {
+        std::memcpy(dst, src, static_cast<size_t>(jw) * sizeof(float));
+      } else {
+        for (i64 j = 0; j < jw; ++j) dst[j] = src[j * bcs];
+      }
+      for (i64 j = jw; j < NR; ++j) dst[j] = 0.f;
+      dst += NR;
+    }
+  }
+}
+
+// Packs mc x kc of A (element stride ars/acs) into MR-tall slivers,
+// zero-padding the last: dst[sliver][p][0..MR).
+void pack_a(const float* a, i64 ars, i64 acs, i64 mc, i64 kc, float* dst) {
+  for (i64 i0 = 0; i0 < mc; i0 += MR) {
+    const i64 iw = std::min<i64>(MR, mc - i0);
+    for (i64 p = 0; p < kc; ++p) {
+      const float* src = a + i0 * ars + p * acs;
+      for (i64 i = 0; i < iw; ++i) dst[i] = src[i * ars];
+      for (i64 i = iw; i < MR; ++i) dst[i] = 0.f;
+      dst += MR;
+    }
+  }
+}
+
+// C[0..mr, 0..nr] += Ap(MR x kc sliver) * Bp(kc x NR sliver). Full tiles
+// accumulate straight into C; edge tiles go through `spill`.
+void micro(const float* ap, const float* bp, i64 kc, float* c, i64 ldc,
+           i64 mr, i64 nr) {
+  vf acc0[MR], acc1[MR];
+  for (i64 r = 0; r < MR; ++r) {
+    acc0[r] = vf{};
+    acc1[r] = vf{};
+  }
+  for (i64 p = 0; p < kc; ++p) {
+    const vf b0 = simd::load(bp + p * NR);
+    const vf b1 = simd::load(bp + p * NR + kLanes);
+    const float* arow = ap + p * MR;
+    for (i64 r = 0; r < MR; ++r) {
+      const vf av = simd::splat(arow[r]);
+      acc0[r] += av * b0;
+      acc1[r] += av * b1;
+    }
+  }
+  if (mr == MR && nr == NR) {
+    for (i64 r = 0; r < MR; ++r) {
+      float* crow = c + r * ldc;
+      simd::store(crow, simd::load(crow) + acc0[r]);
+      simd::store(crow + kLanes, simd::load(crow + kLanes) + acc1[r]);
+    }
+    return;
+  }
+  float spill[MR * NR];
+  for (i64 r = 0; r < MR; ++r) {
+    simd::store(spill + r * NR, acc0[r]);
+    simd::store(spill + r * NR + kLanes, acc1[r]);
+  }
+  for (i64 r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    const float* srow = spill + r * NR;
+    for (i64 j = 0; j < nr; ++j) crow[j] += srow[j];
+  }
+}
+
+// One batch slice. `parallel` toggles row-parallelism (off when the
+// caller already parallelized over the batch dimension).
+void gemm_slice(const float* a, i64 ars, i64 acs, const float* b, i64 brs,
+                i64 bcs, float* c, i64 ldc, i64 m, i64 k, i64 n,
+                bool parallel) {
+  for (i64 i = 0; i < m; ++i) std::fill_n(c + i * ldc, n, 0.f);
+  if (k <= 0) return;
+
+  thread_local std::vector<float> bpack;
+  bpack.resize(static_cast<size_t>(KC * NC));
+
+  for (i64 jc = 0; jc < n; jc += NC) {
+    const i64 nc = std::min<i64>(NC, n - jc);
+    for (i64 pc = 0; pc < k; pc += KC) {
+      const i64 kc = std::min<i64>(KC, k - pc);
+      pack_b(b + pc * brs + jc * bcs, brs, bcs, kc, nc, bpack.data());
+      const float* bp = bpack.data();
+
+      auto rows = [&](i64 r0, i64 r1) {
+        thread_local std::vector<float> apack;
+        apack.resize(static_cast<size_t>(MC * KC));
+        for (i64 ic = r0; ic < r1; ic += MC) {
+          const i64 mc = std::min<i64>(MC, r1 - ic);
+          pack_a(a + ic * ars + pc * acs, ars, acs, mc, kc, apack.data());
+          for (i64 jr = 0; jr < nc; jr += NR) {
+            const i64 nr = std::min<i64>(NR, nc - jr);
+            const float* bsliver = bp + (jr / NR) * kc * NR;
+            for (i64 ir = 0; ir < mc; ir += MR) {
+              const i64 mr = std::min<i64>(MR, mc - ir);
+              micro(apack.data() + (ir / MR) * kc * MR, bsliver, kc,
+                    c + (ic + ir) * ldc + jc + jr, ldc, mr, nr);
+            }
+          }
+        }
+      };
+      if (parallel) {
+        parallel_for(m, rows, MC);
+      } else {
+        rows(0, m);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int simd_lanes_impl() { return kLanes; }
+
+void simd_gemm(i64 batch, i64 m, i64 k, i64 n,
+               const float* a, i64 a_batch, i64 ars, i64 acs,
+               const float* b, i64 b_batch, i64 brs, i64 bcs,
+               float* c, i64 c_batch, i64 ldc) {
+  if (batch <= 0 || m <= 0 || n <= 0) return;
+  if (batch == 1) {
+    gemm_slice(a, ars, acs, b, brs, bcs, c, ldc, m, k, n, /*parallel=*/true);
+    return;
+  }
+  parallel_for(
+      batch,
+      [&](i64 b0, i64 b1) {
+        for (i64 i = b0; i < b1; ++i) {
+          gemm_slice(a + i * a_batch, ars, acs, b + i * b_batch, brs, bcs,
+                     c + i * c_batch, ldc, m, k, n, /*parallel=*/false);
+        }
+      },
+      /*grain=*/1);
+}
+
+}  // namespace geofm::kernels::detail

@@ -1,0 +1,128 @@
+// Portable SIMD layer for the vectorized kernels, built on GCC/Clang
+// vector extensions: a fixed-width float vector type with unaligned
+// load/store, broadcast, select, horizontal reductions, and a vectorized
+// exp. The compiler lowers arithmetic on these types to the best ISA the
+// translation unit is compiled for (the simd_*.cpp files get
+// -march=native when available, see src/CMakeLists.txt) and emulates
+// wider-than-hardware vectors otherwise, so this header needs no
+// per-ISA intrinsics and always compiles.
+//
+// ONLY include this from the *_simd.cpp translation units: the lane count
+// depends on the TU's target flags, so leaking these types into commonly
+// compiled code would be an ODR violation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "util/common.hpp"
+
+namespace geofm::kernels::simd {
+
+#if defined(__AVX512F__)
+inline constexpr int kLanes = 16;
+#else
+// 8 floats = one AVX register, or two SSE registers when the TU is built
+// for baseline x86-64 — GCC emulates the wider type with no correctness
+// cost.
+inline constexpr int kLanes = 8;
+#endif
+
+typedef float vf __attribute__((vector_size(kLanes * sizeof(float))));
+typedef std::int32_t vi __attribute__((vector_size(kLanes * sizeof(std::int32_t))));
+
+inline vf splat(float x) { return vf{} + x; }
+
+inline vf load(const float* p) {
+  vf v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store(float* p, vf v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// Loads n < kLanes floats, zero-filling the rest.
+inline vf load_partial(const float* p, i64 n) {
+  vf v{};
+  std::memcpy(&v, p, static_cast<size_t>(n) * sizeof(float));
+  return v;
+}
+
+/// Stores the first n lanes only.
+inline void store_partial(float* p, vf v, i64 n) {
+  std::memcpy(p, &v, static_cast<size_t>(n) * sizeof(float));
+}
+
+inline float hsum(vf v) {
+  float s = 0.f;
+  for (int l = 0; l < kLanes; ++l) s += v[l];
+  return s;
+}
+
+inline float hmax(vf v) {
+  float m = v[0];
+  for (int l = 1; l < kLanes; ++l) m = m > v[l] ? m : v[l];
+  return m;
+}
+
+inline vf vmax(vf a, vf b) { return a > b ? a : b; }
+
+/// Lane-wise sqrt; vectorizes to sqrtps under -fno-math-errno.
+inline vf vsqrt(vf x) {
+  vf r;
+  for (int l = 0; l < kLanes; ++l) r[l] = std::sqrt(x[l]);
+  return r;
+}
+
+/// Vectorized e^x for x <= ~88 (softmax inputs are <= 0 after the max
+/// subtraction). Cody-Waite range reduction to r in [-ln2/2, ln2/2], a
+/// degree-6 Taylor polynomial (relative error ~1.5e-7), then a 2^n scale
+/// via exponent-bit arithmetic. Inputs below -87 clamp (exp underflows to
+/// ~1e-38 instead of 0 — indistinguishable at fp32 softmax tolerances).
+inline vf vexp(vf x) {
+  const vf lo = splat(-87.0f);
+  const vf hi = splat(88.0f);
+  x = x < lo ? lo : x;
+  x = x > hi ? hi : x;
+  const vf magic = splat(12582912.0f);  // 1.5 * 2^23: round-to-nearest trick
+  vf t = x * splat(1.44269504088896341f) + magic;
+  const vf n = t - magic;
+  vf r = x - n * splat(0.693145751953125f);    // ln2 high bits
+  r = r - n * splat(1.42860677e-06f);          // ln2 low bits
+  vf p = splat(1.3888889e-3f);                 // 1/720
+  p = p * r + splat(8.3333333e-3f);            // 1/120
+  p = p * r + splat(4.1666667e-2f);            // 1/24
+  p = p * r + splat(0.16666667f);              // 1/6
+  p = p * r + splat(0.5f);
+  p = p * r + splat(1.0f);
+  p = p * r + splat(1.0f);
+  const vi ni = __builtin_convertvector(n, vi);
+  const vi bits = (ni + 127) << 23;  // 2^n as float bits
+  vf scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return p * scale;
+}
+
+// Half-width double vectors for high-precision row statistics (layernorm
+// accumulates in double like the scalar oracle).
+inline constexpr int kDLanes = kLanes / 2;
+typedef double vd __attribute__((vector_size(kDLanes * sizeof(double))));
+typedef float vfh __attribute__((vector_size(kDLanes * sizeof(float))));
+
+inline vfh load_half(const float* p) {
+  vfh v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline vd to_double(vfh v) { return __builtin_convertvector(v, vd); }
+
+inline double hsum(vd v) {
+  double s = 0.0;
+  for (int l = 0; l < kDLanes; ++l) s += v[l];
+  return s;
+}
+
+}  // namespace geofm::kernels::simd

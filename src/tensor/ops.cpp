@@ -4,63 +4,16 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/kernels/kernels.hpp"
 #include "util/thread_pool.hpp"
+
+// The hot kernels (GEMM, layernorm, softmax, patchify) live in
+// tensor/kernels/ behind the GEOFM_KERNELS dispatch seam; this file keeps
+// the Tensor-level shape handling plus the cheap ops that don't warrant a
+// kernel entry.
 
 namespace geofm::ops {
 namespace {
-
-// Inner GEMM microkernels over raw pointers. A is [m,k] row-major.
-// These favour clarity + cache-friendly loop orders over peak FLOPs; the
-// models trained functionally are small, and the performance study proper
-// runs in the simulator.
-
-void gemm_nn(const float* a, const float* b, float* c, i64 m, i64 k, i64 n) {
-  parallel_for(m, [&](i64 r0, i64 r1) {
-    for (i64 i = r0; i < r1; ++i) {
-      float* crow = c + i * n;
-      std::fill_n(crow, n, 0.f);
-      const float* arow = a + i * k;
-      for (i64 p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.f) continue;
-        const float* brow = b + p * n;
-        for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
-}
-
-// C[m,n] = A[m,k] * B[n,k]^T — dot products of rows; B accessed row-wise.
-void gemm_nt(const float* a, const float* b, float* c, i64 m, i64 k, i64 n) {
-  parallel_for(m, [&](i64 r0, i64 r1) {
-    for (i64 i = r0; i < r1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (i64 j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.f;
-        for (i64 p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] = acc;
-      }
-    }
-  });
-}
-
-// C[k,n] = A[m,k]^T * B[m,n] — accumulate outer products row by row.
-void gemm_tn(const float* a, const float* b, float* c, i64 m, i64 k, i64 n) {
-  parallel_for(k, [&](i64 r0, i64 r1) {
-    for (i64 p = r0; p < r1; ++p) {
-      float* crow = c + p * n;
-      std::fill_n(crow, n, 0.f);
-      for (i64 i = 0; i < m; ++i) {
-        const float av = a[i * k + p];
-        if (av == 0.f) continue;
-        const float* brow = b + i * n;
-        for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
-}
 
 struct Dims2 {
   i64 rows;
@@ -81,7 +34,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   GEOFM_CHECK(a.dim(1) == b.dim(0), "matmul inner dims: " << a.shape_str()
                                      << " x " << b.shape_str());
   Tensor c({a.dim(0), b.dim(1)});
-  gemm_nn(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  kernels::gemm_nn(1, a.dim(0), a.dim(1), b.dim(1), a.data(), b.data(),
+                   c.data());
   return c;
 }
 
@@ -90,7 +44,8 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   GEOFM_CHECK(a.dim(1) == b.dim(1), "matmul_nt inner dims: " << a.shape_str()
                                      << " x " << b.shape_str());
   Tensor c({a.dim(0), b.dim(0)});
-  gemm_nt(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(0));
+  kernels::gemm_nt(1, a.dim(0), a.dim(1), b.dim(0), a.data(), b.data(),
+                   c.data());
   return c;
 }
 
@@ -99,7 +54,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   GEOFM_CHECK(a.dim(0) == b.dim(0), "matmul_tn outer dims: " << a.shape_str()
                                      << " x " << b.shape_str());
   Tensor c({a.dim(1), b.dim(1)});
-  gemm_tn(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  kernels::gemm_tn(1, a.dim(0), a.dim(1), b.dim(1), a.data(), b.data(),
+                   c.data());
   return c;
 }
 
@@ -109,22 +65,7 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
               "bmm shapes: " << a.shape_str() << " x " << b.shape_str());
   const i64 batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
   Tensor c({batch, m, n});
-  parallel_for(batch, [&](i64 b0, i64 b1) {
-    for (i64 i = b0; i < b1; ++i) {
-      const float* ap = a.data() + i * m * k;
-      const float* bp = b.data() + i * k * n;
-      float* cp = c.data() + i * m * n;
-      for (i64 r = 0; r < m; ++r) {
-        float* crow = cp + r * n;
-        std::fill_n(crow, n, 0.f);
-        for (i64 p = 0; p < k; ++p) {
-          const float av = ap[r * k + p];
-          const float* brow = bp + p * n;
-          for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  });
+  kernels::gemm_nn(batch, m, k, n, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -134,23 +75,7 @@ Tensor bmm_nt(const Tensor& a, const Tensor& b) {
               "bmm_nt shapes: " << a.shape_str() << " x " << b.shape_str());
   const i64 batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
   Tensor c({batch, m, n});
-  parallel_for(batch, [&](i64 b0, i64 b1) {
-    for (i64 i = b0; i < b1; ++i) {
-      const float* ap = a.data() + i * m * k;
-      const float* bp = b.data() + i * n * k;
-      float* cp = c.data() + i * m * n;
-      for (i64 r = 0; r < m; ++r) {
-        const float* arow = ap + r * k;
-        float* crow = cp + r * n;
-        for (i64 j = 0; j < n; ++j) {
-          const float* brow = bp + j * k;
-          float acc = 0.f;
-          for (i64 p = 0; p < k; ++p) acc += arow[p] * brow[p];
-          crow[j] = acc;
-        }
-      }
-    }
-  });
+  kernels::gemm_nt(batch, m, k, n, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -160,23 +85,7 @@ Tensor bmm_tn(const Tensor& a, const Tensor& b) {
               "bmm_tn shapes: " << a.shape_str() << " x " << b.shape_str());
   const i64 batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
   Tensor c({batch, k, n});
-  parallel_for(batch, [&](i64 b0, i64 b1) {
-    for (i64 i = b0; i < b1; ++i) {
-      const float* ap = a.data() + i * m * k;
-      const float* bp = b.data() + i * m * n;
-      float* cp = c.data() + i * k * n;
-      std::fill_n(cp, k * n, 0.f);
-      for (i64 r = 0; r < m; ++r) {
-        const float* arow = ap + r * k;
-        const float* brow = bp + r * n;
-        for (i64 p = 0; p < k; ++p) {
-          const float av = arow[p];
-          float* crow = cp + p * n;
-          for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  });
+  kernels::gemm_tn(batch, m, k, n, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -252,23 +161,7 @@ Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
 Tensor softmax_lastdim(const Tensor& x) {
   const Dims2 d = as_2d(x);
   Tensor y(x.shape());
-  const float* xp = x.data();
-  float* yp = y.data();
-  parallel_for(d.rows, [&](i64 r0, i64 r1) {
-    for (i64 r = r0; r < r1; ++r) {
-      const float* xi = xp + r * d.cols;
-      float* yi = yp + r * d.cols;
-      float mx = xi[0];
-      for (i64 c = 1; c < d.cols; ++c) mx = std::max(mx, xi[c]);
-      float sum = 0.f;
-      for (i64 c = 0; c < d.cols; ++c) {
-        yi[c] = std::exp(xi[c] - mx);
-        sum += yi[c];
-      }
-      const float inv = 1.f / sum;
-      for (i64 c = 0; c < d.cols; ++c) yi[c] *= inv;
-    }
-  });
+  kernels::softmax_fwd(d.rows, d.cols, x.data(), y.data());
   return y;
 }
 
@@ -276,19 +169,7 @@ Tensor softmax_backward_lastdim(const Tensor& dy, const Tensor& y) {
   GEOFM_CHECK(dy.shape() == y.shape());
   const Dims2 d = as_2d(y);
   Tensor dx(y.shape());
-  const float* dyp = dy.data();
-  const float* yp = y.data();
-  float* dxp = dx.data();
-  parallel_for(d.rows, [&](i64 r0, i64 r1) {
-    for (i64 r = r0; r < r1; ++r) {
-      const float* dyi = dyp + r * d.cols;
-      const float* yi = yp + r * d.cols;
-      float* dxi = dxp + r * d.cols;
-      float dot = 0.f;
-      for (i64 c = 0; c < d.cols; ++c) dot += dyi[c] * yi[c];
-      for (i64 c = 0; c < d.cols; ++c) dxi[c] = yi[c] * (dyi[c] - dot);
-    }
-  });
+  kernels::softmax_bwd(d.rows, d.cols, dy.data(), y.data(), dx.data());
   return dx;
 }
 
@@ -300,33 +181,8 @@ Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   Tensor y(x.shape());
   cache.mean = Tensor({d.rows});
   cache.rstd = Tensor({d.rows});
-  const float* xp = x.data();
-  const float* gp = gamma.data();
-  const float* bp = beta.data();
-  float* yp = y.data();
-  float* mp = cache.mean.data();
-  float* rp = cache.rstd.data();
-  parallel_for(d.rows, [&](i64 r0, i64 r1) {
-    for (i64 r = r0; r < r1; ++r) {
-      const float* xi = xp + r * d.cols;
-      float* yi = yp + r * d.cols;
-      double mean = 0.0;
-      for (i64 c = 0; c < d.cols; ++c) mean += xi[c];
-      mean /= static_cast<double>(d.cols);
-      double var = 0.0;
-      for (i64 c = 0; c < d.cols; ++c) {
-        const double diff = xi[c] - mean;
-        var += diff * diff;
-      }
-      var /= static_cast<double>(d.cols);
-      const float rstd = static_cast<float>(1.0 / std::sqrt(var + eps));
-      mp[r] = static_cast<float>(mean);
-      rp[r] = rstd;
-      for (i64 c = 0; c < d.cols; ++c) {
-        yi[c] = (xi[c] - mp[r]) * rstd * gp[c] + bp[c];
-      }
-    }
-  });
+  kernels::layernorm_fwd(d.rows, d.cols, x.data(), gamma.data(), beta.data(),
+                         eps, y.data(), cache.mean.data(), cache.rstd.data());
   return y;
 }
 
@@ -337,47 +193,9 @@ Tensor layernorm_backward(const Tensor& dy, const Tensor& x,
   GEOFM_CHECK(dy.numel() == x.numel());
   GEOFM_CHECK(dgamma.numel() == d.cols && dbeta.numel() == d.cols);
   Tensor dx(x.shape());
-  const float* dyp = dy.data();
-  const float* xp = x.data();
-  const float* gp = gamma.data();
-  const float* mp = cache.mean.data();
-  const float* rp = cache.rstd.data();
-  float* dxp = dx.data();
-  float* dgp = dgamma.data();
-  float* dbp = dbeta.data();
-
-  // dgamma/dbeta accumulate across rows — do serially to stay deterministic.
-  for (i64 r = 0; r < d.rows; ++r) {
-    const float* dyi = dyp + r * d.cols;
-    const float* xi = xp + r * d.cols;
-    for (i64 c = 0; c < d.cols; ++c) {
-      const float xhat = (xi[c] - mp[r]) * rp[r];
-      dgp[c] += dyi[c] * xhat;
-      dbp[c] += dyi[c];
-    }
-  }
-
-  parallel_for(d.rows, [&](i64 r0, i64 r1) {
-    for (i64 r = r0; r < r1; ++r) {
-      const float* dyi = dyp + r * d.cols;
-      const float* xi = xp + r * d.cols;
-      float* dxi = dxp + r * d.cols;
-      // Two row reductions, then the standard LN gradient identity.
-      float sum_g = 0.f, sum_gx = 0.f;
-      for (i64 c = 0; c < d.cols; ++c) {
-        const float g = dyi[c] * gp[c];
-        const float xhat = (xi[c] - mp[r]) * rp[r];
-        sum_g += g;
-        sum_gx += g * xhat;
-      }
-      const float inv_n = 1.f / static_cast<float>(d.cols);
-      for (i64 c = 0; c < d.cols; ++c) {
-        const float g = dyi[c] * gp[c];
-        const float xhat = (xi[c] - mp[r]) * rp[r];
-        dxi[c] = rp[r] * (g - inv_n * sum_g - xhat * inv_n * sum_gx);
-      }
-    }
-  });
+  kernels::layernorm_bwd(d.rows, d.cols, dy.data(), x.data(), gamma.data(),
+                         cache.mean.data(), cache.rstd.data(), dx.data(),
+                         dgamma.data(), dbeta.data());
   return dx;
 }
 
@@ -473,27 +291,9 @@ Tensor patchify(const Tensor& images, i64 patch) {
   const i64 b = images.dim(0), c = images.dim(1), h = images.dim(2),
             w = images.dim(3);
   GEOFM_CHECK(h % patch == 0 && w % patch == 0, "image not divisible by patch");
-  const i64 gh = h / patch, gw = w / patch, n = gh * gw;
-  const i64 pdim = patch * patch * c;
-  Tensor out({b, n, pdim});
-  const float* ip = images.data();
-  float* op = out.data();
-  parallel_for(b * n, [&](i64 i0, i64 i1) {
-    for (i64 idx = i0; idx < i1; ++idx) {
-      const i64 bi = idx / n;
-      const i64 pi = idx % n;
-      const i64 py = pi / gw, px = pi % gw;
-      float* dst = op + idx * pdim;
-      for (i64 ci = 0; ci < c; ++ci) {
-        for (i64 y = 0; y < patch; ++y) {
-          const float* src = ip + ((bi * c + ci) * h + py * patch + y) * w +
-                             px * patch;
-          std::memcpy(dst, src, static_cast<size_t>(patch) * sizeof(float));
-          dst += patch;
-        }
-      }
-    }
-  });
+  const i64 n = (h / patch) * (w / patch);
+  Tensor out({b, n, patch * patch * c});
+  kernels::patchify(b, c, h, w, patch, images.data(), out.data());
   return out;
 }
 
@@ -505,25 +305,7 @@ Tensor unpatchify(const Tensor& patches, i64 patch, i64 channels) {
   GEOFM_CHECK(g * g == n, "unpatchify expects square grid");
   const i64 hw = g * patch;
   Tensor out({b, channels, hw, hw});
-  const float* pp = patches.data();
-  float* op = out.data();
-  const i64 pdim = patch * patch * channels;
-  parallel_for(b * n, [&](i64 i0, i64 i1) {
-    for (i64 idx = i0; idx < i1; ++idx) {
-      const i64 bi = idx / n;
-      const i64 pi = idx % n;
-      const i64 py = pi / g, px = pi % g;
-      const float* src = pp + idx * pdim;
-      for (i64 ci = 0; ci < channels; ++ci) {
-        for (i64 y = 0; y < patch; ++y) {
-          float* dst = op + ((bi * channels + ci) * hw + py * patch + y) * hw +
-                       px * patch;
-          std::memcpy(dst, src, static_cast<size_t>(patch) * sizeof(float));
-          src += patch;
-        }
-      }
-    }
-  });
+  kernels::unpatchify(b, channels, g, patch, patches.data(), out.data());
   return out;
 }
 

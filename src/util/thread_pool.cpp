@@ -57,11 +57,14 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(i64 n, const std::function<void(i64, i64)>& fn) {
+void ThreadPool::parallel_for(i64 n, const std::function<void(i64, i64)>& fn,
+                              i64 grain) {
+  GEOFM_CHECK(grain >= 0, "parallel_for grain must be non-negative");
   if (n <= 0) return;
   const int workers = n_workers();
-  // Small loops: the dispatch cost outweighs parallelism.
-  if (workers == 0 || n < 512) {
+  // Single-chunk bypass: loops at or below the grain (or the legacy 512
+  // threshold when no grain is given) never pay dispatch or fan-out cost.
+  if (workers == 0 || (grain > 0 ? n <= grain : n < 512)) {
     fn(0, n);
     return;
   }
@@ -80,8 +83,9 @@ void ThreadPool::parallel_for(i64 n, const std::function<void(i64, i64)>& fn) {
   task.fn = &fn;
   task.n = n;
   // Aim for ~4 chunks per participant for dynamic balance without
-  // excessive atomics traffic.
-  task.chunk = std::max<i64>(1, n / (static_cast<i64>(workers + 1) * 4));
+  // excessive atomics traffic, but never carve chunks below the grain.
+  task.chunk = std::max<i64>(std::max<i64>(1, grain),
+                             n / (static_cast<i64>(workers + 1) * 4));
   task.remaining.store(workers);
 
   {
@@ -120,8 +124,8 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for(i64 n, const std::function<void(i64, i64)>& fn) {
-  ThreadPool::global().parallel_for(n, fn);
+void parallel_for(i64 n, const std::function<void(i64, i64)>& fn, i64 grain) {
+  ThreadPool::global().parallel_for(n, fn, grain);
 }
 
 }  // namespace geofm

@@ -31,7 +31,15 @@ class ThreadPool {
   /// Runs fn(begin, end) over disjoint subranges of [0, n) across the pool
   /// plus the calling thread; blocks until all subranges complete.
   /// Exceptions thrown by fn propagate to the caller (first one wins).
-  void parallel_for(i64 n, const std::function<void(i64, i64)>& fn);
+  ///
+  /// `grain` is a minimum chunk size hint: no dispatched subrange is
+  /// smaller than `grain` indices (except the final remainder), and when
+  /// n <= grain the whole range runs inline on the caller — the
+  /// single-chunk bypass — without touching the dispatch lock, so small
+  /// kernels don't pay fan-out overhead. grain == 0 keeps the legacy
+  /// heuristic (inline below 512 indices, ~4 chunks per participant).
+  void parallel_for(i64 n, const std::function<void(i64, i64)>& fn,
+                    i64 grain = 0);
 
   /// Process-wide pool sized to the hardware; created on first use.
   static ThreadPool& global();
@@ -59,7 +67,9 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
-/// Convenience wrapper over the global pool.
-void parallel_for(i64 n, const std::function<void(i64, i64)>& fn);
+/// Convenience wrapper over the global pool. `grain` as in
+/// ThreadPool::parallel_for: minimum chunk size, n <= grain runs inline.
+void parallel_for(i64 n, const std::function<void(i64, i64)>& fn,
+                  i64 grain = 0);
 
 }  // namespace geofm

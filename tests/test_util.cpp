@@ -1,9 +1,14 @@
 // Tests for util/: RNG determinism, thread pool, table formatting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <set>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/common.hpp"
 #include "util/rng.hpp"
@@ -117,6 +122,66 @@ TEST(ThreadPool, ConcurrentCallersDegradeGracefully) {
   t1.join();
   t2.join();
   EXPECT_EQ(total.load(), 2 * 20 * 5000);
+}
+
+TEST(ThreadPool, GrainAtLeastRangeTakesSingleChunkBypass) {
+  // grain >= n must run inline on the caller thread as one chunk, even
+  // when workers are available (no dispatch lock, no fan-out).
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  i64 got_b = -1, got_e = -1;
+  std::thread::id ran_on;
+  pool.parallel_for(
+      1000,
+      [&](i64 b, i64 e) {
+        ++calls;
+        got_b = b;
+        got_e = e;
+        ran_on = std::this_thread::get_id();
+      },
+      /*grain=*/1000);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(got_b, 0);
+  EXPECT_EQ(got_e, 1000);
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, GrainBoundsChunkSizeFromBelow) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<i64, i64>> chunks;
+  pool.parallel_for(
+      10000,
+      [&](i64 b, i64 e) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(b, e);
+      },
+      /*grain=*/2500);
+  // Exact coverage, and no chunk smaller than the grain except the tail.
+  std::sort(chunks.begin(), chunks.end());
+  i64 covered = 0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, covered);
+    covered = chunks[i].second;
+    if (i + 1 < chunks.size()) {
+      EXPECT_GE(chunks[i].second - chunks[i].first, 2500);
+    }
+  }
+  EXPECT_EQ(covered, 10000);
+  EXPECT_LE(chunks.size(), 4u);
+}
+
+TEST(ThreadPool, GrainZeroKeepsLegacySmallRangeInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(511, [&](i64, i64) { ++calls; }, /*grain=*/0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, GrainRejectsNegative) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(10, [&](i64, i64) {}, /*grain=*/-1), Error);
 }
 
 TEST(Check, ThrowsGeofmError) {
