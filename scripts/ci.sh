@@ -49,6 +49,22 @@ echo "== fault matrix: every FaultPlan kind x sharding strategy =="
 ./build/tests/geofm_tests \
     --gtest_filter='*ElasticFaultMatrix*:ElasticRecovery.*:*ElasticGrowBack*:Fault.*:FaultTrace.*:Uploader.*:StorageFaults.*'
 
+echo "== observability: postmortem bundles + sampler + health report =="
+# Flight-recorder contract over the elastic fault matrix: every
+# fault-injected recovery (kill, watchdog-diagnosed stall, slow rank past
+# the deadline) must leave exactly one postmortem bundle whose
+# kind/diagnosis/suspects match the abort path's, written atomically (the
+# torn-write seam proves no partial bundle can surface), and replayed
+# fault plans must reproduce the bundle structure. Telemetry.* covers the
+# background sampler's JSONL series; HealthReport.* the end-of-run
+# aggregation and Prometheus exposition.
+./build/tests/geofm_tests \
+    --gtest_filter='Postmortem.*:Telemetry.*:HealthReport.*'
+# Overhead anchor: BENCH_obs.json records trace-scope, flight-capture,
+# and sampler cost (the budget gate above enforces telemetry.sample).
+GEOFM_BENCH_QUICK=1 GEOFM_BENCH_CACHE=/tmp/geofm_ci_bench_cache \
+    ./build/bench/bench_obs_overhead
+
 echo "== kernel engine: parity suite under AddressSanitizer =="
 # The SIMD kernels do tail-masked loads/stores and packed-panel staging;
 # ASan is the reviewer for off-by-one lane handling. Tests-only target —

@@ -186,6 +186,8 @@ void Checkpointer::write_staged(const Staged& staged) {
   format::write_shard_file(path, staged.shard);
   if (coordinator_arrive(staged.dir, staged.step, staged.shard.world)) {
     publish_checkpoint(staged.dir, staged.step, staged.shard.world);
+    // Timeline marker (run-health report): the step became durable here.
+    obs::trace_instant("ckpt.published", "ckpt");
     // Enqueue for upload *before* GC so retention sees the new step as
     // protected from the instant it is published.
     notify_checkpoint_published(staged.dir, staged.step);

@@ -245,6 +245,8 @@ void Uploader::run() {
                                   1.0 + opts_.backoff_jitter);
         stats_.retries += 1;
         retries_m.add(1);
+        // Timeline marker (run-health report): mirroring is struggling.
+        obs::trace_instant("upload.retry", "upload");
         if (cv_.wait_for(lk, std::chrono::duration<double>(backoff),
                          [&] { return stop_; })) {
           break;
@@ -284,6 +286,7 @@ void Uploader::run() {
       // next published checkpoint gets a fresh set of attempts.
       stats_.gave_up += 1;
       gave_up_m.add(1);
+      obs::trace_instant("upload.gave_up", "upload");
       GEOFM_WARN("giving up on uploading step "
                  << step << " after " << opts_.max_retries << " attempts");
     }

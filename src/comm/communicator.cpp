@@ -6,6 +6,7 @@
 
 #include "comm/fault.hpp"
 #include "comm/watchdog.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_context.hpp"
@@ -141,19 +142,54 @@ CommGroup::~CommGroup() { stop_watchdog(*this); }
 // inserting a new op), so no op can join the inflight map after the sweep
 // below misses it; the barrier is poisoned last so a rank released from a
 // collective cannot re-block on a rendezvous that will never fill.
-void abort_group(CommGroup& g, const std::string& reason) {
+void abort_group(CommGroup& g, const std::string& reason,
+                 const char* flight_kind) {
   std::vector<std::shared_ptr<PendingOp>> ops;
+  std::vector<u64> tickets;
+  std::vector<int> suspects;
+  bool first_abort = false;
   {
     std::lock_guard<std::mutex> lk(g.async_mu);
     if (!g.aborted) {
       g.aborted = true;
       g.abort_reason = reason;
+      first_abort = true;
     }
     ops.reserve(g.inflight.size());
-    for (auto& [ticket, op] : g.inflight) ops.push_back(op);
+    for (auto& [ticket, op] : g.inflight) {
+      ops.push_back(op);
+      tickets.push_back(ticket);
+    }
+    suspects = g.suspects;
   }
-  for (auto& op : ops) {
+  // Flight recorder: the first abort of a cascade freezes the rendezvous
+  // state — who joined each in-flight op, who is missing, how long the
+  // oldest waiter has been stuck — *before* the poisoning below destroys
+  // it. The capture itself happens after the sweep so blocked ranks are
+  // released first (evidence gathering must never delay the abort).
+  const bool flight =
+      first_abort && obs::FlightRecorder::instance().enabled();
+  std::vector<obs::InflightOpState> frozen;
+  std::vector<obs::BarrierState> frozen_barriers;
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    auto& op = ops[i];
     std::lock_guard<std::mutex> lk(op->mu);
+    if (flight && !op->complete && op->arrived > 0 && op->arrived < op->n) {
+      obs::InflightOpState st;
+      st.ticket = tickets[i];
+      st.op = op_label(op->kind);
+      st.arrived = op->arrived;
+      st.size = op->n;
+      st.age_seconds =
+          std::chrono::duration<double>(now - op->first_join_tp).count();
+      for (int r = 0; r < op->n; ++r) {
+        if (!op->joined[static_cast<size_t>(r)]) {
+          st.missing.push_back(g.global_ranks[static_cast<size_t>(r)]);
+        }
+      }
+      frozen.push_back(std::move(st));
+    }
     if (!op->error) {
       op->error =
           std::make_exception_ptr(Aborted("communicator aborted: " + reason));
@@ -164,14 +200,32 @@ void abort_group(CommGroup& g, const std::string& reason) {
     }
     op->cv.notify_all();
   }
+  if (flight) {
+    const auto bs = g.barrier.status();
+    if (bs.arrived > 0) {
+      obs::BarrierState st;
+      st.arrived = bs.arrived;
+      st.size = g.size;
+      st.oldest_wait_seconds = bs.oldest_wait_seconds;
+      for (const int r : bs.missing) {
+        st.missing.push_back(g.global_ranks[static_cast<size_t>(r)]);
+      }
+      frozen_barriers.push_back(std::move(st));
+    }
+  }
   g.barrier.abort(reason);
+  if (flight) {
+    obs::FlightRecorder::instance().capture(flight_kind, reason, suspects,
+                                            std::move(frozen),
+                                            std::move(frozen_barriers));
+  }
   std::vector<std::shared_ptr<CommGroup>> children;
   {
     std::lock_guard<std::mutex> lk(g.split_mu);
     children.reserve(g.subgroups.size());
     for (auto& [key, sub] : g.subgroups) children.push_back(sub);
   }
-  for (auto& sub : children) abort_group(*sub, reason);
+  for (auto& sub : children) abort_group(*sub, reason, flight_kind);
 }
 
 namespace {
@@ -443,7 +497,7 @@ CollectiveHandle Communicator::post(detail::PendingOp::Kind kind, ReduceOp red,
     const auto fault = injector->before_post(grank, op_label(kind),
                                              const_cast<float*>(src), count);
     if (fault.kill) {
-      abort(fault.kill_reason);
+      abort(fault.kill_reason, "fault_kill");
       throw RankKilled(fault.kill_reason, grank);
     }
     std::lock_guard<std::mutex> lk(g.async_mu);
@@ -557,9 +611,10 @@ void Communicator::broadcast(Tensor& t, int root) {
   ibroadcast(t, root).wait();
 }
 
-void Communicator::abort(const std::string& reason) {
+void Communicator::abort(const std::string& reason,
+                         const char* flight_kind) {
   obs::trace_instant("comm.abort", "comm");
-  detail::abort_group(*group_, reason);
+  detail::abort_group(*group_, reason, flight_kind);
 }
 
 bool Communicator::aborted() const {

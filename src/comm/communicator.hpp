@@ -211,7 +211,12 @@ struct CommGroup {
 /// Recursively poisons `g` and every subgroup split from it: in-flight ops
 /// complete with Aborted, barriers release, future posts throw. Idempotent.
 /// Exposed for the watchdog; user code goes through Communicator::abort.
-void abort_group(CommGroup& g, const std::string& reason);
+/// `flight_kind` labels the flight-recorder capture this abort freezes
+/// when the recorder is enabled ("watchdog_abort" / "fault_kill" /
+/// "comm_abort"); the first abort of a cascade wins the capture and
+/// freezes the in-flight op + barrier state *before* poisoning it.
+void abort_group(CommGroup& g, const std::string& reason,
+                 const char* flight_kind = "comm_abort");
 
 /// Joins and destroys the group's watchdog monitor (no-op if none).
 void stop_watchdog(CommGroup& g);
@@ -313,8 +318,10 @@ class Communicator {
   /// waits and plain barrier() calls alike — completes with an `Aborted`
   /// error instead of deadlocking on a rank that died, and every
   /// subsequent post or barrier throws immediately. Aborting is idempotent
-  /// and may be called from any rank or thread.
-  void abort(const std::string& reason);
+  /// and may be called from any rank or thread. `flight_kind` labels the
+  /// postmortem capture when the flight recorder is enabled.
+  void abort(const std::string& reason,
+             const char* flight_kind = "comm_abort");
 
   /// True once this group has been aborted (by abort(), the watchdog, or a
   /// fault-plan kill).

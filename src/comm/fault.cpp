@@ -211,7 +211,7 @@ void FaultInjector::at_step_point(Communicator& comm, i64 step) {
   }
   if (!kill_reason.empty()) {
     obs::trace_instant("fault.kill", "fault");
-    comm.abort(kill_reason);
+    comm.abort(kill_reason, "fault_kill");
     throw RankKilled(kill_reason, rank);
   }
 }

@@ -121,7 +121,7 @@ void watchdog_loop(CommGroup& g) {
       }
       obs::trace_instant("watchdog.abort", "comm");
       obs::MetricsRegistry::instance().counter("comm.watchdog_aborts").add(1);
-      abort_group(g, d.message);
+      abort_group(g, d.message, "watchdog_abort");
       return;  // the group is dead; nothing left to watch
     }
     lk.lock();

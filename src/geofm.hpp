@@ -19,7 +19,9 @@
 //   train/     pretraining, linear probing, checkpoints
 //   ckpt/      sharded checkpoint/restart (async snapshots, resharding)
 //   sim/       Frontier machine model + training-step simulator
-//   obs/       per-rank tracing (Chrome-trace export) + metrics registry
+//   obs/       per-rank tracing (Chrome-trace export) + metrics registry,
+//              flight recorder (postmortem bundles), telemetry sampler,
+//              run-health report + Prometheus exposition
 #pragma once
 
 #include "ckpt/checkpoint.hpp"
@@ -35,7 +37,10 @@
 #include "models/config.hpp"
 #include "models/mae.hpp"
 #include "models/vit.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "optim/optimizer.hpp"
 #include "parallel/ddp.hpp"

@@ -166,6 +166,40 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
   return out;
 }
 
+std::vector<MetricSample> MetricsRegistry::delta(
+    const std::vector<MetricSample>& before,
+    const std::vector<MetricSample>& after) {
+  std::vector<MetricSample> out;
+  out.reserve(after.size());
+  // Both inputs are sorted by name (snapshot()'s contract): merge-walk.
+  size_t bi = 0;
+  for (const MetricSample& a : after) {
+    while (bi < before.size() && before[bi].name < a.name) ++bi;
+    MetricSample d = a;
+    if (bi < before.size() && before[bi].name == a.name &&
+        before[bi].kind == a.kind) {
+      const MetricSample& b = before[bi];
+      switch (a.kind) {
+        case MetricSample::Kind::kCounter:
+          d.value = a.value - b.value;
+          break;
+        case MetricSample::Kind::kGauge:
+          break;  // point-in-time: keep the `after` value
+        case MetricSample::Kind::kHistogram:
+          // A reset between snapshots makes `after` the whole story.
+          if (a.count >= b.count) {
+            d.value = a.value - b.value;
+            d.count = a.count - b.count;
+            d.mean = d.count > 0 ? d.value / static_cast<double>(d.count) : 0;
+          }
+          break;
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
 std::string MetricsRegistry::dump_text() const {
   std::ostringstream os;
   for (const MetricSample& s : snapshot()) {

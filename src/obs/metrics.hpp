@@ -105,6 +105,17 @@ class MetricsRegistry {
   /// per-step snapshot API (diff two snapshots for a step's delta).
   std::vector<MetricSample> snapshot() const;
 
+  /// What changed between two snapshot() results (both sorted by name, as
+  /// snapshot() returns them). Counters and histogram sum/count/mean
+  /// become `after - before`; gauges are point-in-time and pass through
+  /// the `after` value, as do histogram percentiles/min/max (bucket state
+  /// is not captured in a sample, so order statistics cannot be diffed).
+  /// Instruments new in `after` appear as-is; instruments only in
+  /// `before` are dropped (a registry reset in between).
+  static std::vector<MetricSample> delta(
+      const std::vector<MetricSample>& before,
+      const std::vector<MetricSample>& after);
+
   /// Human-readable dump of snapshot().
   std::string dump_text() const;
 

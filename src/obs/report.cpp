@@ -1,0 +1,350 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace geofm::obs {
+namespace {
+
+// Step phases reported in the breakdown (summed per rank and globally).
+// `step` itself is tracked separately; cat=comm.exposed spans fold into
+// one "comm.exposed" phase; ckpt.snapshot is the exposed checkpoint cost.
+constexpr const char* kPhaseNames[] = {
+    "step.fetch",     "step.forward",       "step.backward",
+    "step.end_backward", "step.optimizer",  "step.loss_allreduce",
+    "ckpt.snapshot"};
+
+bool is_timeline_instant(const char* name) {
+  static constexpr const char* kNames[] = {
+      "watchdog.abort", "fault.kill",   "fault.stall",  "fault.corrupt",
+      "comm.abort",     "ckpt.published", "upload.retry", "upload.gave_up"};
+  for (const char* n : kNames) {
+    if (std::strcmp(name, n) == 0) return true;
+  }
+  return false;
+}
+
+double nearest_rank_percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  size_t rank = static_cast<size_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(n))));
+  if (rank > n) rank = n;
+  return v[rank - 1];
+}
+
+void append_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_quoted(std::string& out, const std::string& v) {
+  out += '"';
+  for (const char c : v) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out = "geofm_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+RunHealthReport build_run_health_report(const std::vector<TraceEvent>& events,
+                                        u64 dropped) {
+  RunHealthReport r;
+  r.trace_events = events.size();
+  r.trace_dropped = dropped;
+
+  std::map<int, RankHealth> ranks;
+  std::map<int, std::vector<double>> step_durs;
+  std::vector<double> pooled;
+
+  for (const TraceEvent& e : events) {
+    if (e.phase == TraceEvent::Phase::kInstant && e.name != nullptr &&
+        is_timeline_instant(e.name)) {
+      TimelineEvent t;
+      t.name = e.name;
+      t.at_seconds = static_cast<double>(e.ts_ns) * 1e-9;
+      t.rank = e.rank;
+      r.recovery_timeline.push_back(std::move(t));
+      continue;
+    }
+    if (e.phase != TraceEvent::Phase::kComplete || e.name == nullptr) {
+      continue;
+    }
+    const double sec = static_cast<double>(e.dur_ns) * 1e-9;
+    if (std::strncmp(e.name, "recover.", 8) == 0) {
+      TimelineEvent t;
+      t.name = e.name;
+      t.at_seconds = static_cast<double>(e.ts_ns) * 1e-9;
+      t.dur_seconds = sec;
+      t.rank = e.rank;
+      if (e.arg_name != nullptr && std::strcmp(e.arg_name, "world") == 0) {
+        t.world = e.arg;
+      }
+      r.recovery_timeline.push_back(std::move(t));
+      continue;
+    }
+    if (e.rank < 0) continue;
+    RankHealth& h = ranks[e.rank];
+    h.rank = e.rank;
+    if (std::strcmp(e.name, "step") == 0) {
+      h.steps += 1;
+      h.step_seconds += sec;
+      step_durs[e.rank].push_back(sec);
+      pooled.push_back(sec);
+      continue;
+    }
+    if (e.cat != nullptr && std::strcmp(e.cat, "comm.exposed") == 0) {
+      h.exposed_wait_seconds += sec;
+      h.phase_seconds["comm.exposed"] += sec;
+      continue;
+    }
+    for (const char* phase : kPhaseNames) {
+      if (std::strcmp(e.name, phase) == 0) {
+        h.phase_seconds[phase] += sec;
+        break;
+      }
+    }
+  }
+
+  for (auto& [rank, h] : ranks) {
+    auto& durs = step_durs[rank];
+    h.p50_step_seconds = nearest_rank_percentile(durs, 50);
+    h.p99_step_seconds = nearest_rank_percentile(durs, 99);
+    r.steps += h.steps;
+    r.step_seconds_total += h.step_seconds;
+    r.exposed_wait_seconds_total += h.exposed_wait_seconds;
+    for (const auto& [phase, sec] : h.phase_seconds) {
+      r.phase_seconds[phase] += sec;
+    }
+    r.ranks.push_back(h);
+  }
+  r.p50_step_seconds = nearest_rank_percentile(pooled, 50);
+  r.p99_step_seconds = nearest_rank_percentile(pooled, 99);
+
+  // Straggler detection: a rank whose mean step time stands 1.5x above
+  // the median of rank means. Only meaningful with >= 2 stepping ranks.
+  std::vector<double> means;
+  for (const RankHealth& h : r.ranks) {
+    if (h.steps > 0) means.push_back(h.mean_step_seconds());
+  }
+  if (means.size() >= 2) {
+    std::vector<double> sorted = means;
+    const double median = nearest_rank_percentile(sorted, 50);
+    double worst = 0;
+    int worst_rank = -1;
+    for (const RankHealth& h : r.ranks) {
+      if (h.steps > 0 && h.mean_step_seconds() > worst) {
+        worst = h.mean_step_seconds();
+        worst_rank = h.rank;
+      }
+    }
+    if (median > 0) {
+      r.skew_ratio = worst / median;
+      if (r.skew_ratio > 1.5) r.straggler_rank = worst_rank;
+    }
+  }
+
+  std::sort(r.recovery_timeline.begin(), r.recovery_timeline.end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              return a.at_seconds < b.at_seconds;
+            });
+  return r;
+}
+
+RunHealthReport build_run_health_report() {
+  return build_run_health_report(TraceRecorder::instance().snapshot(),
+                                 TraceRecorder::instance().dropped_events());
+}
+
+std::string report_to_text(const RunHealthReport& r) {
+  std::ostringstream os;
+  char buf[160];
+  os << "== run health ==\n";
+  std::snprintf(buf, sizeof(buf),
+                "steps: %lld   step time p50 %.3f ms  p99 %.3f ms  total "
+                "%.3f s\n",
+                static_cast<long long>(r.steps), r.p50_step_seconds * 1e3,
+                r.p99_step_seconds * 1e3, r.step_seconds_total);
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "exposed comm wait: %.3f s (%.1f%% of step time)\n",
+                r.exposed_wait_seconds_total,
+                r.step_seconds_total > 0
+                    ? 100.0 * r.exposed_wait_seconds_total /
+                          r.step_seconds_total
+                    : 0.0);
+  os << buf;
+  os << "phase breakdown (all ranks):\n";
+  for (const auto& [phase, sec] : r.phase_seconds) {
+    std::snprintf(buf, sizeof(buf), "  %-20s %10.3f s  (%5.1f%% of step)\n",
+                  phase.c_str(), sec,
+                  r.step_seconds_total > 0 ? 100.0 * sec / r.step_seconds_total
+                                           : 0.0);
+    os << buf;
+  }
+  os << "per-rank:\n";
+  for (const RankHealth& h : r.ranks) {
+    std::snprintf(buf, sizeof(buf),
+                  "  rank %-3d steps %-5lld mean %.3f ms  p50 %.3f ms  p99 "
+                  "%.3f ms  exposed %.3f s%s\n",
+                  h.rank, static_cast<long long>(h.steps),
+                  h.mean_step_seconds() * 1e3, h.p50_step_seconds * 1e3,
+                  h.p99_step_seconds * 1e3, h.exposed_wait_seconds,
+                  h.rank == r.straggler_rank ? "  << straggler" : "");
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "rank skew: %.2fx (straggler: %s)\n",
+                r.skew_ratio,
+                r.straggler_rank >= 0
+                    ? std::to_string(r.straggler_rank).c_str()
+                    : "none");
+  os << buf;
+  if (!r.recovery_timeline.empty()) {
+    os << "recovery timeline:\n";
+    for (const TimelineEvent& t : r.recovery_timeline) {
+      std::snprintf(buf, sizeof(buf), "  +%9.3fs  %-18s", t.at_seconds,
+                    t.name.c_str());
+      os << buf;
+      if (t.dur_seconds > 0) {
+        std::snprintf(buf, sizeof(buf), " %8.3f ms", t.dur_seconds * 1e3);
+        os << buf;
+      }
+      if (t.world >= 0) os << "  world=" << t.world;
+      if (t.rank >= 0) os << "  rank=" << t.rank;
+      os << "\n";
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "trace: %llu events, %llu dropped\n",
+                static_cast<unsigned long long>(r.trace_events),
+                static_cast<unsigned long long>(r.trace_dropped));
+  os << buf;
+  return os.str();
+}
+
+std::string report_to_json(const RunHealthReport& r) {
+  std::string out;
+  out.reserve(2048);
+  out += "{\n  \"geofm_run_health\": 1,\n  \"steps\": " +
+         std::to_string(r.steps) + ",\n  \"p50_step_seconds\": ";
+  append_double(out, r.p50_step_seconds);
+  out += ",\n  \"p99_step_seconds\": ";
+  append_double(out, r.p99_step_seconds);
+  out += ",\n  \"step_seconds_total\": ";
+  append_double(out, r.step_seconds_total);
+  out += ",\n  \"exposed_wait_seconds_total\": ";
+  append_double(out, r.exposed_wait_seconds_total);
+  out += ",\n  \"skew_ratio\": ";
+  append_double(out, r.skew_ratio);
+  out += ",\n  \"straggler_rank\": " + std::to_string(r.straggler_rank);
+  out += ",\n  \"trace_events\": " + std::to_string(r.trace_events);
+  out += ",\n  \"trace_dropped\": " + std::to_string(r.trace_dropped);
+  out += ",\n  \"phase_seconds\": {";
+  bool first = true;
+  for (const auto& [phase, sec] : r.phase_seconds) {
+    if (!first) out += ", ";
+    first = false;
+    append_quoted(out, phase);
+    out += ": ";
+    append_double(out, sec);
+  }
+  out += "},\n  \"ranks\": [";
+  for (size_t i = 0; i < r.ranks.size(); ++i) {
+    const RankHealth& h = r.ranks[i];
+    if (i > 0) out += ',';
+    out += "\n    {\"rank\": " + std::to_string(h.rank) +
+           ", \"steps\": " + std::to_string(h.steps) +
+           ", \"step_seconds\": ";
+    append_double(out, h.step_seconds);
+    out += ", \"p50_step_seconds\": ";
+    append_double(out, h.p50_step_seconds);
+    out += ", \"p99_step_seconds\": ";
+    append_double(out, h.p99_step_seconds);
+    out += ", \"exposed_wait_seconds\": ";
+    append_double(out, h.exposed_wait_seconds);
+    out += ", \"phase_seconds\": {";
+    bool pfirst = true;
+    for (const auto& [phase, sec] : h.phase_seconds) {
+      if (!pfirst) out += ", ";
+      pfirst = false;
+      append_quoted(out, phase);
+      out += ": ";
+      append_double(out, sec);
+    }
+    out += "}}";
+  }
+  out += r.ranks.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"recovery_timeline\": [";
+  for (size_t i = 0; i < r.recovery_timeline.size(); ++i) {
+    const TimelineEvent& t = r.recovery_timeline[i];
+    if (i > 0) out += ',';
+    out += "\n    {\"name\": ";
+    append_quoted(out, t.name);
+    out += ", \"at_seconds\": ";
+    append_double(out, t.at_seconds);
+    out += ", \"dur_seconds\": ";
+    append_double(out, t.dur_seconds);
+    out += ", \"rank\": " + std::to_string(t.rank) +
+           ", \"world\": " + std::to_string(t.world) + "}";
+  }
+  out += r.recovery_timeline.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string prometheus_text(const std::vector<MetricSample>& samples) {
+  std::string out;
+  out.reserve(samples.size() * 96);
+  for (const MetricSample& m : samples) {
+    const std::string name = sanitize_metric_name(m.name);
+    switch (m.kind) {
+      case MetricSample::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n" + name + " ";
+        append_double(out, m.value);
+        out += '\n';
+        break;
+      case MetricSample::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n" + name + " ";
+        append_double(out, m.value);
+        out += '\n';
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += "# TYPE " + name + " summary\n";
+        const std::pair<const char*, double> qs[] = {
+            {"0.5", m.p50}, {"0.9", m.p90}, {"0.99", m.p99}};
+        for (const auto& [q, v] : qs) {
+          out += name + "{quantile=\"" + q + "\"} ";
+          append_double(out, v);
+          out += '\n';
+        }
+        out += name + "_sum ";
+        append_double(out, m.value);
+        out += '\n';
+        out += name + "_count " + std::to_string(m.count) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text() {
+  return prometheus_text(MetricsRegistry::instance().snapshot());
+}
+
+}  // namespace geofm::obs

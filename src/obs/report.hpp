@@ -1,0 +1,86 @@
+// End-of-run health report + Prometheus exposition.
+//
+// `build_run_health_report` aggregates the trace spans a run already
+// emitted into a cross-rank summary: pooled and per-rank p50/p99 step
+// time, per-phase step-time breakdown (step.fetch / forward / backward /
+// optimizer / exposed comm wait / checkpoint snapshots), rank-skew and
+// straggler detection (a rank whose mean step time exceeds 1.5x the
+// median), and a recovery timeline reconstructed from the recover.* spans
+// and abort/publication instants. Rendered as `dump_text`-style text and
+// JSON; per-rank `comm.exposed` sums reconcile with
+// `CommStats::exposed_wait_seconds` by construction (the spans are emitted
+// from the same wait path).
+//
+// `prometheus_text` renders the metrics registry in Prometheus text
+// exposition format (counters/gauges as-is, histograms as summaries with
+// quantile labels) — the scrape groundwork for the serving tier.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace geofm::obs {
+
+struct RankHealth {
+  int rank = -1;
+  i64 steps = 0;               // number of `step` spans
+  double step_seconds = 0;     // summed `step` span time
+  double p50_step_seconds = 0;
+  double p99_step_seconds = 0;
+  double exposed_wait_seconds = 0;  // summed cat=comm.exposed span time
+  std::map<std::string, double> phase_seconds;  // span name -> summed sec
+
+  double mean_step_seconds() const {
+    return steps > 0 ? step_seconds / static_cast<double>(steps) : 0;
+  }
+};
+
+/// One entry of the recovery timeline: recover.* spans plus point events
+/// (watchdog.abort / fault.kill / fault.stall / comm.abort /
+/// ckpt.published / upload.retry / upload.gave_up), ordered by time.
+struct TimelineEvent {
+  std::string name;
+  double at_seconds = 0;   // span start / instant time (monotonic)
+  double dur_seconds = 0;  // 0 for instants
+  int rank = -1;
+  i64 world = -1;  // recover.* spans carry the post-recovery world size
+};
+
+struct RunHealthReport {
+  std::vector<RankHealth> ranks;  // sorted by rank
+  i64 steps = 0;                  // pooled `step` span count
+  double p50_step_seconds = 0;    // pooled across ranks
+  double p99_step_seconds = 0;
+  double step_seconds_total = 0;
+  double exposed_wait_seconds_total = 0;
+  std::map<std::string, double> phase_seconds;  // summed across ranks
+  std::vector<TimelineEvent> recovery_timeline;
+  int straggler_rank = -1;   // -1 = no straggler detected
+  double skew_ratio = 1.0;   // max rank mean / median rank mean
+  u64 trace_events = 0;
+  u64 trace_dropped = 0;
+};
+
+/// Builds the report from an explicit event set (test/tool support).
+RunHealthReport build_run_health_report(const std::vector<TraceEvent>& events,
+                                        u64 dropped = 0);
+
+/// Builds the report from the global trace recorder's current contents.
+RunHealthReport build_run_health_report();
+
+std::string report_to_text(const RunHealthReport& r);
+std::string report_to_json(const RunHealthReport& r);
+
+/// Prometheus text exposition of a metrics snapshot. Metric names are
+/// sanitized (`comm.waits` -> `geofm_comm_waits`); histograms render as
+/// summaries (quantile series + _sum/_count).
+std::string prometheus_text(const std::vector<MetricSample>& samples);
+
+/// prometheus_text(MetricsRegistry::instance().snapshot()).
+std::string prometheus_text();
+
+}  // namespace geofm::obs

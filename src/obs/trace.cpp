@@ -1,5 +1,8 @@
 #include "obs/trace.hpp"
 
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +20,19 @@ std::atomic<int> g_trace_state{0};
 
 ThreadTrack::ThreadTrack(int tid_, u64 capacity) : tid(tid_) {
   buf.resize(static_cast<size_t>(capacity));
+}
+
+void ThreadTrack::note_dropped(ThreadTrack& t) {
+  t.dropped.fetch_add(1, std::memory_order_relaxed);
+  static auto& dropped_m = MetricsRegistry::instance().counter("trace.dropped");
+  dropped_m.add(1);
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    GEOFM_WARN("trace ring buffer full on thread track t"
+               << t.tid << " — events are being dropped (see the "
+               << "trace.dropped metric); raise GEOFM_TRACE_BUFFER or "
+               << "TraceRecorder::set_buffer_capacity()");
+  }
 }
 
 }  // namespace detail
@@ -155,6 +171,27 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
                t->buf.begin() + static_cast<std::ptrdiff_t>(n));
   }
   return out;
+}
+
+void TraceRecorder::visit_new_events(std::vector<u64>& cursor,
+                                     void (*fn)(void*, const TraceEvent&),
+                                     void* ctx) const {
+  std::vector<std::shared_ptr<detail::ThreadTrack>> tracks;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    tracks = r.tracks;
+  }
+  if (cursor.size() < tracks.size()) cursor.resize(tracks.size(), 0);
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    const auto& t = tracks[i];
+    const u64 n = std::min<u64>(t->count.load(std::memory_order_acquire),
+                                t->buf.size());
+    u64 c = cursor[i];
+    if (c > n) c = 0;  // clear() rewound the track
+    for (; c < n; ++c) fn(ctx, t->buf[static_cast<size_t>(c)]);
+    cursor[i] = n;
+  }
 }
 
 u64 TraceRecorder::dropped_events() const {

@@ -69,12 +69,17 @@ struct ThreadTrack {
   void push(const TraceEvent& e) {
     const u64 n = count.load(std::memory_order_relaxed);
     if (n >= buf.size()) {
-      dropped.fetch_add(1, std::memory_order_relaxed);
+      note_dropped(*this);
       return;
     }
     buf[static_cast<size_t>(n)] = e;
     count.store(n + 1, std::memory_order_release);
   }
+
+ private:
+  // Out of line: bumps this track's drop counter and the process-wide
+  // `trace.dropped` metric, and warns once per process on the first drop.
+  static void note_dropped(ThreadTrack& t);
 };
 
 // 0 = uninitialized (consult GEOFM_TRACE), 1 = disabled, 2 = enabled.
@@ -112,6 +117,20 @@ class TraceRecorder {
   /// Events dropped to full buffers, summed over all tracks.
   u64 dropped_events() const;
 
+  /// Incremental consumption (the telemetry sampler's API): visits every
+  /// event published since `cursor` last saw each per-thread track —
+  /// oldest first within a track — and advances the cursor, so repeated
+  /// calls cost O(new events), not O(all events). `cursor` starts empty
+  /// and grows as tracks register; one cursor must not be shared between
+  /// concurrent callers. Safe against concurrent emitters (acquire on the
+  /// published counts); a clear() between calls rewinds the cursor.
+  template <typename Fn>
+  void drain_new_events(std::vector<u64>& cursor, Fn&& fn) const {
+    visit_new_events(cursor, [](void* ctx, const TraceEvent& e) {
+      (*static_cast<Fn*>(ctx))(e);
+    }, &fn);
+  }
+
   /// Chrome trace-event JSON of everything recorded so far.
   void write_json(std::ostream& os) const;
   void write_json(const std::string& path) const;
@@ -122,6 +141,9 @@ class TraceRecorder {
 
  private:
   TraceRecorder() = default;
+  void visit_new_events(std::vector<u64>& cursor,
+                        void (*fn)(void*, const TraceEvent&),
+                        void* ctx) const;
 };
 
 /// Labels the calling thread's trace track (e.g. "rank", "loader.worker").

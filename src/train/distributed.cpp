@@ -1,6 +1,7 @@
 #include "train/distributed.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "ckpt/checkpoint.hpp"
 #include "ckpt/io_fault.hpp"
@@ -8,9 +9,12 @@
 #include "comm/watchdog.hpp"
 #include "data/dataloader.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "optim/optimizer.hpp"
 #include "util/log.hpp"
+#include "util/table.hpp"
 #include "util/thread_context.hpp"
 #include "util/timer.hpp"
 
@@ -28,6 +32,10 @@ DistributedPretrainResult pretrain_mae_distributed(
               "checkpoint_every_n_steps needs a checkpoint_dir");
   const i64 local_batch = cfg.global_batch / comm.size();
   Timer timer;
+
+  // Env-driven observability: GEOFM_TELEMETRY=dir starts the background
+  // time-series sampler (first rank to get here wins; one per process).
+  obs::telemetry::init_from_env();
 
   // Failure model: the injector sits under the communicator (so
   // post-triggered faults cover FSDP's sub-communicators too) and is
@@ -282,6 +290,22 @@ DistributedPretrainResult pretrain_mae_distributed(
     }
   }
   result.wall_seconds = timer.seconds();
+  // GEOFM_HEALTH=path: rank 0 writes the cross-rank run-health report
+  // (JSON). Peers may still be finishing their last step when rank 0
+  // exits, so the report covers everything published by this point — the
+  // elastic supervisor's run_health.json (written after all ranks join)
+  // is the complete-run variant.
+  if (comm.rank() == 0) {
+    if (const char* path = std::getenv("GEOFM_HEALTH")) {
+      if (path[0] != '\0') {
+        try {
+          write_file(path, obs::report_to_json(obs::build_run_health_report()));
+        } catch (const std::exception& e) {
+          GEOFM_WARN("GEOFM_HEALTH report failed: " << e.what());
+        }
+      }
+    }
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <filesystem>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -9,9 +10,12 @@
 #include "ckpt/checkpoint.hpp"
 #include "ckpt/io_fault.hpp"
 #include "comm/watchdog.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/table.hpp"
 #include "util/thread_context.hpp"
 
 namespace geofm::train {
@@ -57,6 +61,47 @@ int admissible_growth(int world, int avail, int max_world, i64 global_batch) {
   return 0;
 }
 
+/// Scoped arming of the flight recorder (and the tracing it feeds) for
+/// one elastic run, so every detect -> quarantine -> reform cycle leaves
+/// a postmortem bundle. If tracing was off, it is enabled with a reduced
+/// per-thread buffer — the persistent worker threads would otherwise
+/// allocate the default 64k-event track each — and both the enablement
+/// and the capacity are restored on exit. Recorders already armed by the
+/// caller (GEOFM_TRACE / GEOFM_POSTMORTEM / tests) are left untouched.
+class FlightScope {
+ public:
+  explicit FlightScope(bool arm) : arm_(arm) {
+    if (!arm_) return;
+    auto& flight = obs::FlightRecorder::instance();
+    flight_was_enabled_ = flight.enabled();
+    if (!flight_was_enabled_) flight.enable();
+    trace_was_enabled_ = obs::trace_enabled();
+    if (!trace_was_enabled_) {
+      auto& rec = obs::TraceRecorder::instance();
+      old_capacity_ = rec.buffer_capacity();
+      rec.set_buffer_capacity(16384);
+      rec.enable();
+    }
+  }
+  ~FlightScope() {
+    if (!arm_) return;
+    if (!trace_was_enabled_) {
+      auto& rec = obs::TraceRecorder::instance();
+      rec.disable();
+      rec.set_buffer_capacity(old_capacity_);
+    }
+    if (!flight_was_enabled_) obs::FlightRecorder::instance().disable();
+  }
+  FlightScope(const FlightScope&) = delete;
+  FlightScope& operator=(const FlightScope&) = delete;
+
+ private:
+  bool arm_ = false;
+  bool flight_was_enabled_ = false;
+  bool trace_was_enabled_ = false;
+  u64 old_capacity_ = 0;
+};
+
 }  // namespace
 
 ElasticResult run_elastic(const ElasticConfig& cfg,
@@ -84,6 +129,14 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
   }
 
   obs::set_thread_label("elastic.supervisor");
+
+  // Postmortem bundles land next to the checkpoints; no checkpoint dir
+  // means nowhere durable to archive, so the recorder stays as-is (env
+  // GEOFM_POSTMORTEM still works independently).
+  const std::string pm_dir = cfg.train.checkpoint_dir.empty()
+                                 ? std::string()
+                                 : cfg.train.checkpoint_dir + "/postmortem";
+  FlightScope flight_scope(!pm_dir.empty());
 
   Shared sh;
   sh.work.resize(static_cast<size_t>(total_ids));
@@ -384,6 +437,11 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
       }
 
       // ----- launch the attempt ------------------------------------------
+      if (!pm_dir.empty()) {
+        // A stale capture (probation abort, an earlier run in-process)
+        // must not shadow this attempt's failure: first capture wins.
+        obs::FlightRecorder::instance().discard();
+      }
       {
         std::lock_guard<std::mutex> lk(sh.mu);
         sh.first_failure_ts = 0;
@@ -463,6 +521,29 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
           if (!att.truncated_for_growth) res.final_result = o0.result;
         }
       }
+      // ----- postmortem: archive the failure's flight capture -------------
+      // One bundle per recovery attempt: whatever the abort path froze
+      // (watchdog diagnosis, in-flight rendezvous state, last-N spans,
+      // metrics) — or a synthesized capture when the failure never went
+      // through the comm abort hook (e.g. a checkpoint error). Archiving
+      // failures are warned, never fatal: evidence must not kill recovery.
+      if (!all_completed && !pm_dir.empty()) {
+        auto& flight = obs::FlightRecorder::instance();
+        if (!flight.has_capture()) flight.capture_now(att.failure);
+        try {
+          att.postmortem = flight.archive(
+              pm_dir, {{"attempt", std::to_string(res.attempts.size())},
+                       {"world", std::to_string(w)},
+                       {"resumed_from", att.resumed_from},
+                       {"failure", att.failure}});
+          if (cfg.train.verbose) {
+            GEOFM_INFO("elastic: postmortem bundle at " << att.postmortem);
+          }
+        } catch (const std::exception& e) {
+          GEOFM_WARN("elastic: postmortem archive failed: " << e.what());
+        }
+      }
+
       if (all_completed && att.truncated_for_growth) {
         // ----- boundary stop: probation + admission ----------------------
         pending_failure_ts = 0;
@@ -512,6 +593,18 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
       if (all_completed) {
         res.final_identities = live;
         res.attempts.push_back(std::move(att));
+        if (!pm_dir.empty()) {
+          // End-of-run health report next to the bundles: cross-rank step
+          // time percentiles, phase breakdown, straggler detection, and
+          // the recovery timeline reconstructed from recover.* spans.
+          try {
+            std::filesystem::create_directories(pm_dir);
+            write_file(pm_dir + "/run_health.json",
+                       obs::report_to_json(obs::build_run_health_report()));
+          } catch (const std::exception& e) {
+            GEOFM_WARN("elastic: run-health report failed: " << e.what());
+          }
+        }
         break;
       }
       if (hard_failure) {

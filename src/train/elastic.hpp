@@ -132,6 +132,11 @@ struct ElasticAttempt {
   std::vector<int> quarantined;    // identities retired after this attempt
   std::vector<int> readmitted;     // identities admitted before this attempt
   std::string failure;             // first failure's message ("" if none)
+  /// Path of the postmortem bundle this attempt's failure archived under
+  /// `<checkpoint_dir>/postmortem/` ("" when the attempt completed, no
+  /// checkpoint dir was configured, or archiving itself failed). See
+  /// `obs::FlightRecorder`.
+  std::string postmortem;
   i64 faults_fired = 0;            // plan events consumed by this attempt
   /// True when the supervisor cut this attempt short at a checkpoint
   /// boundary to attempt grow-back (its completion is a boundary stop,

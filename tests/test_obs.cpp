@@ -360,5 +360,94 @@ TEST(Metrics, SnapshotAndDumpCoverAllInstruments) {
   EXPECT_NE(text.find("test.obs.snap_hist"), std::string::npos);
 }
 
+TEST(Metrics, DeltaDiffsCountersAndHistogramsKeepsGauges) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("test.obs.delta_counter").reset();
+  reg.counter("test.obs.delta_counter").add(10.0);
+  reg.gauge("test.obs.delta_gauge").set(1.0);
+  auto& h = reg.histogram("test.obs.delta_hist");
+  h.reset();
+  h.observe(1.0);
+
+  const auto before = reg.snapshot();
+
+  reg.counter("test.obs.delta_counter").add(7.0);
+  reg.gauge("test.obs.delta_gauge").set(5.0);
+  h.observe(3.0);
+  h.observe(5.0);
+  reg.counter("test.obs.delta_fresh").add(2.0);  // new since `before`
+
+  const auto after = reg.snapshot();
+  const auto d = obs::MetricsRegistry::delta(before, after);
+
+  ASSERT_TRUE(std::is_sorted(d.begin(), d.end(),
+                             [](const obs::MetricSample& a,
+                                const obs::MetricSample& b) {
+                               return a.name < b.name;
+                             }));
+  bool saw_counter = false, saw_gauge = false, saw_hist = false,
+       saw_fresh = false;
+  for (const auto& s : d) {
+    if (s.name == "test.obs.delta_counter") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(s.value, 7.0);  // counters diff
+    } else if (s.name == "test.obs.delta_gauge") {
+      saw_gauge = true;
+      EXPECT_DOUBLE_EQ(s.value, 5.0);  // gauges are point-in-time
+    } else if (s.name == "test.obs.delta_hist") {
+      saw_hist = true;
+      EXPECT_EQ(s.count, 2u);          // 3 - 1 observations
+      EXPECT_DOUBLE_EQ(s.value, 8.0);  // sum 9 - 1
+      EXPECT_DOUBLE_EQ(s.mean, 4.0);   // mean of the delta, not of `after`
+    } else if (s.name == "test.obs.delta_fresh") {
+      saw_fresh = true;
+      EXPECT_DOUBLE_EQ(s.value, 2.0);  // new instruments pass through
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist && saw_fresh);
+}
+
+TEST(Metrics, DeltaSurvivesRegistryResetBetweenSnapshots) {
+  auto& reg = obs::MetricsRegistry::instance();
+  auto& h = reg.histogram("test.obs.delta_reset_hist");
+  h.reset();
+  h.observe(1.0);
+  h.observe(2.0);
+  const auto before = reg.snapshot();
+  h.reset();
+  h.observe(5.0);
+  const auto after = reg.snapshot();
+
+  // after.count < before.count: a reset happened, `after` is the whole
+  // story — no u64 underflow into a garbage delta.
+  for (const auto& s : obs::MetricsRegistry::delta(before, after)) {
+    if (s.name == "test.obs.delta_reset_hist") {
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_DOUBLE_EQ(s.value, 5.0);
+    }
+  }
+}
+
+TEST(Trace, DropsFeedTheTraceDroppedMetric) {
+  TraceSession session;
+  auto& reg = obs::MetricsRegistry::instance();
+  const double before = reg.counter("trace.dropped").value();
+
+  auto& r = TraceRecorder::instance();
+  const u64 old_cap = r.buffer_capacity();
+  r.set_buffer_capacity(16);
+  std::thread emitter([] {
+    set_thread_rank(78);
+    for (int i = 0; i < 100; ++i) obs::trace_instant("flood2", "test");
+  });
+  emitter.join();
+  r.set_buffer_capacity(old_cap);
+
+  // Satellite contract: ring-buffer drops are a visible metric, not just
+  // a recorder-local count.
+  EXPECT_DOUBLE_EQ(reg.counter("trace.dropped").value() - before, 84.0);
+  EXPECT_EQ(r.dropped_events(), 84u);
+}
+
 }  // namespace
 }  // namespace geofm
