@@ -1,0 +1,178 @@
+// Serving-tier latency/throughput bench: a closed-loop sweep over the
+// batcher's two knobs.
+//
+// For each (max_batch, max_delay_us) configuration, a fixed pool of
+// closed-loop clients (each submits, waits, submits again) drives a
+// ModelServer serving a published checkpoint of the tiny bench encoder,
+// with the embedding cache disabled so every request pays the batched
+// encoder forward. Reports per-config p50/p99 request latency and
+// throughput — the latency/utilization trade the knobs exist to tune:
+// delay 0 ships whatever is queued the moment the worker frees (lowest
+// latency per request, smallest batches), larger delays hold the door
+// open so sparse traffic still fills batches.
+//
+// Prints a table and writes <cache>/BENCH_serve.json — the regression
+// anchor for serving latency; scripts/ci.sh runs the quick shape and the
+// span budget gate separately enforces serve.encode / serve.reload
+// shares.
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "geofm.hpp"
+
+using namespace geofm;
+
+namespace {
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t rank = static_cast<size_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(v.size()))));
+  if (rank > v.size()) rank = v.size();
+  return v[rank - 1];
+}
+
+struct SweepPoint {
+  i64 max_batch = 0;
+  i64 max_delay_us = 0;
+  i64 requests = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double throughput = 0;       // requests / second
+  double mean_batch_size = 0;  // images per encoder forward
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("serving tier: closed-loop latency/throughput sweep",
+                "embedding service for the pretrained encoders (Sec. V)");
+
+  const auto model_cfg = [] {
+    models::ViTConfig enc{.name = "bench", .width = 32, .depth = 4,
+                          .mlp_dim = 64, .heads = 4, .img_size = 16,
+                          .patch_size = 4, .in_channels = 3};
+    return models::mae_for(enc);
+  }();
+
+  // One published checkpoint for every configuration to serve.
+  const std::string root = "/tmp/geofm_bench_serve_ckpt";
+  std::filesystem::remove_all(root);
+  ckpt::reset_save_state(root);
+  {
+    Rng rng(7);
+    models::MAE model(model_cfg, rng);
+    ckpt::SaveRequest req;
+    req.dir = root;
+    req.step = 1;
+    req.state = ckpt::replicated_state(model, nullptr, 0, 1,
+                                       /*for_save=*/true);
+    ckpt::Checkpointer saver(/*async=*/false);
+    saver.save(req);
+  }
+
+  const bool quick = bench::quick_mode();
+  const int n_clients = quick ? 3 : 6;
+  const int per_client = quick ? 12 : 50;
+  const std::vector<i64> batches = quick ? std::vector<i64>{1, 8}
+                                         : std::vector<i64>{1, 4, 8, 16};
+  const std::vector<i64> delays_us = quick ? std::vector<i64>{0, 1000}
+                                           : std::vector<i64>{0, 200, 1000,
+                                                              5000};
+
+  const auto& enc = model_cfg.encoder;
+  std::vector<Tensor> scenes;
+  for (int i = 0; i < 16; ++i) {
+    Rng rng(0x5ce9e0000ULL + static_cast<u64>(i));
+    scenes.push_back(Tensor::randn(
+        {enc.in_channels, enc.img_size, enc.img_size}, rng, 0.5f));
+  }
+
+  std::vector<SweepPoint> points;
+  for (const i64 max_batch : batches) {
+    for (const i64 delay : delays_us) {
+      serve::ServerConfig scfg;
+      scfg.checkpoint_root = root;
+      scfg.model = model_cfg;
+      scfg.max_batch = max_batch;
+      scfg.max_delay_us = delay;
+      scfg.cache_capacity = 0;  // every request pays the encoder
+      scfg.poll_interval_seconds = 0;
+      serve::ModelServer server(scfg);
+
+      std::vector<double> latencies(
+          static_cast<size_t>(n_clients * per_client));
+      std::atomic<size_t> slot{0};
+      const double t0 = monotonic_seconds();
+      std::vector<std::thread> clients;
+      for (int c = 0; c < n_clients; ++c) {
+        clients.emplace_back([&, c] {
+          for (int i = 0; i < per_client; ++i) {
+            serve::EmbedRequest req;
+            req.image = scenes[static_cast<size_t>((c * per_client + i) %
+                                                   16)];
+            const double s0 = monotonic_seconds();
+            server.embed(std::move(req));
+            latencies[slot.fetch_add(1)] = monotonic_seconds() - s0;
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+      const double elapsed = monotonic_seconds() - t0;
+      const serve::ServerStats stats = server.stats();
+      server.stop();
+
+      SweepPoint p;
+      p.max_batch = max_batch;
+      p.max_delay_us = delay;
+      p.requests = static_cast<i64>(latencies.size());
+      p.p50_ms = 1e3 * percentile(latencies, 50);
+      p.p99_ms = 1e3 * percentile(latencies, 99);
+      p.throughput = static_cast<double>(latencies.size()) / elapsed;
+      p.mean_batch_size =
+          stats.encodes > 0 ? static_cast<double>(stats.encoded_images) /
+                                  static_cast<double>(stats.encodes)
+                            : 0;
+      points.push_back(p);
+    }
+  }
+  std::filesystem::remove_all(root);
+
+  TextTable table({"max_batch", "max_delay_us", "requests", "p50 ms",
+                   "p99 ms", "req/s", "mean batch"});
+  for (const SweepPoint& p : points) {
+    table.add_row({std::to_string(p.max_batch),
+                   std::to_string(p.max_delay_us),
+                   std::to_string(p.requests), fmt_f(p.p50_ms, 3),
+                   fmt_f(p.p99_ms, 3), fmt_f(p.throughput, 0),
+                   fmt_f(p.mean_batch_size, 2)});
+  }
+  table.print();
+
+  std::string json = "{\n  \"configs\": [";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    if (i > 0) json += ',';
+    json += "\n    {\"max_batch\": " + std::to_string(p.max_batch) +
+            ", \"max_delay_us\": " + std::to_string(p.max_delay_us) +
+            ", \"requests\": " + std::to_string(p.requests) +
+            ", \"p50_ms\": " + fmt_f(p.p50_ms, 4) +
+            ", \"p99_ms\": " + fmt_f(p.p99_ms, 4) +
+            ", \"requests_per_second\": " + fmt_f(p.throughput, 1) +
+            ", \"mean_batch_size\": " + fmt_f(p.mean_batch_size, 3) + "}";
+  }
+  json += "\n  ],\n  \"clients\": " + std::to_string(n_clients) +
+          ",\n  \"quick\": " + (quick ? std::string("true")
+                                      : std::string("false")) +
+          "\n}\n";
+  bench::save_csv(table, "BENCH_serve");
+  const std::string json_path = bench::cache_dir() + "/BENCH_serve.json";
+  write_file(json_path, json);
+  std::printf("[saved %s]\n", json_path.c_str());
+  return 0;
+}

@@ -131,10 +131,75 @@ int main(int argc, char** argv) {
   std::filesystem::remove_all(elastic_root);
   std::filesystem::remove_all(mirror_root);
 
-  // Final sampler tick lands before the snapshot below, then the series
-  // directory is discarded — only the sampler's span cost matters here.
+  // The sampler's budget is its cost as a share of *training* step time;
+  // stop it before the serving phase, which emits no `step` spans and
+  // would otherwise inflate the sampler's share with idle ticks. Final
+  // tick lands here; only the span cost matters, the series is discarded.
   obs::telemetry::stop();
   std::filesystem::remove_all(telemetry_dir);
+
+  // Phase 3: the serving tier over the phase-1 checkpoints — start a
+  // ModelServer on the latest published step, drive a burst of requests
+  // (some repeated keys so the embedding cache hits), publish a newer
+  // checkpoint and hot-swap to it, then drive a second burst. Puts
+  // serve.encode (batched forwards) and serve.reload (initial load + one
+  // swap) on the gate: a per-request unbatched forward, a cache that
+  // stops hitting, or a reload storm all show up as budget violations,
+  // and lost serve instrumentation trips the absent-span rule.
+  {
+    const auto model_cfg = models::mae_for(models::proxy_huge());
+    serve::ServerConfig scfg;
+    scfg.checkpoint_root = ckpt_root;
+    scfg.model = model_cfg;
+    scfg.max_batch = 8;
+    scfg.max_delay_us = 200;
+    scfg.cache_capacity = 64;
+    scfg.poll_interval_seconds = 0;  // swaps driven explicitly below
+    serve::ModelServer server(scfg);
+
+    const auto& enc = model_cfg.encoder;
+    const i64 per_image = enc.in_channels * enc.img_size * enc.img_size;
+    Rng img_rng(77);
+    auto drive_burst = [&](const char* tag) {
+      std::vector<std::future<serve::EmbedResult>> futs;
+      for (int i = 0; i < 24; ++i) {
+        serve::EmbedRequest req;
+        // 12 distinct scenes, each requested twice: the second round of
+        // each key is a cache hit and skips the encoder.
+        req.key = std::string(tag) + "/scene_" + std::to_string(i % 12);
+        Rng scene_rng(img_rng.split(static_cast<u64>(i % 12)));
+        req.image = Tensor({enc.in_channels, enc.img_size, enc.img_size});
+        float* px = req.image.flat_view(0, per_image).data();
+        for (i64 j = 0; j < per_image; ++j) {
+          px[j] = static_cast<float>(scene_rng.uniform(-1.0, 1.0));
+        }
+        futs.push_back(server.submit(std::move(req)));
+      }
+      for (auto& f : futs) f.get();
+    };
+    drive_burst("a");
+
+    // Publish a newer step (a fresh world-1 save above phase 1's latest)
+    // and hot-swap to it mid-service.
+    const i64 next_step = ckpt::latest_step(ckpt_root) + 1;
+    {
+      Rng rng(2);
+      models::MAE fresh(model_cfg, rng);
+      ckpt::Checkpointer writer(/*async=*/false);
+      ckpt::SaveRequest sreq;
+      sreq.dir = ckpt_root;
+      sreq.step = next_step;
+      sreq.state = ckpt::replicated_state(fresh, nullptr, 0, 1,
+                                          /*for_save=*/true);
+      writer.save(sreq);
+    }
+    if (!server.reload_now() || server.model_step() != next_step) {
+      std::fprintf(stderr, "span budget gate: serving hot-swap failed\n");
+      return 2;
+    }
+    drive_burst("b");
+    server.stop();
+  }
 
   std::map<std::string, double> seconds_by_span;
   for (const auto& e : recorder.snapshot()) {

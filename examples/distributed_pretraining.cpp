@@ -137,10 +137,10 @@ int main() {
               static_cast<int>(metric_sum("ckpt.shard_writes")));
 
   // Phase 2: elastic restart — resume the world-4 checkpoint on 2 ranks.
-  const i64 latest = ckpt::latest_step(ckpt_root);
-  std::printf("resuming from %s/%s at world size 2 (written at 4)\n",
-              ckpt_root.c_str(),
-              ckpt::format::step_dir_name(latest).c_str());
+  const ckpt::PublishedManifest latest =
+      ckpt::latest_published_manifest(ckpt_root);
+  std::printf("resuming from %s at world size 2 (written at 4)\n",
+              latest.dir.c_str());
   train::DistributedPretrainConfig resume_cfg = cfg;
   resume_cfg.steps = 30;
   resume_cfg.resume_from = ckpt_root;

@@ -65,6 +65,20 @@ echo "== observability: postmortem bundles + sampler + health report =="
 GEOFM_BENCH_QUICK=1 GEOFM_BENCH_CACHE=/tmp/geofm_ci_bench_cache \
     ./build/bench/bench_obs_overhead
 
+echo "== serving tier: hot-reload, batching, cache, heads =="
+# The frozen-encoder embedding service: batcher coalescing + bitwise
+# batched-vs-single parity, cache LRU/epoch semantics, per-tenant head
+# hot-swap, reload robustness under storage faults (torn write, unreadable
+# shard -> keep serving old weights), and the E2E hot-swap-under-load
+# contract (no mixed weights, post-swap embeddings match a direct
+# forward, cache hits skip the encoder). The full suite already ran in
+# ctest above; this pass names a serving regression directly.
+./build/tests/geofm_tests --gtest_filter='Serve*'
+# Latency/throughput anchor: closed-loop sweep over (max_batch,
+# max_delay_us), p50/p99 per config into BENCH_serve.json.
+GEOFM_BENCH_QUICK=1 GEOFM_BENCH_CACHE=/tmp/geofm_ci_bench_cache \
+    ./build/bench/bench_serve
+
 echo "== kernel engine: parity suite under AddressSanitizer =="
 # The SIMD kernels do tail-masked loads/stores and packed-panel staging;
 # ASan is the reviewer for off-by-one lane handling. Tests-only target —
@@ -106,6 +120,13 @@ if [[ "$SKIP_TSAN" == "0" ]]; then
   # the slow-copy/GC interleaving sees multiple schedules.
   ./build-tsan/tests/geofm_tests \
       --gtest_filter='Uploader.*' --gtest_repeat=3
+  echo "== TSan: serving hot-swap under load, extra schedules =="
+  # The serving tier races the batch worker (pinning + cache inserts), the
+  # reload poller (restore + atomic swap + cache invalidation), and client
+  # threads (submit/futures); repeat the reload and E2E suites for
+  # schedule diversity.
+  ./build-tsan/tests/geofm_tests \
+      --gtest_filter='ServeE2E.*:ServeReload.*' --gtest_repeat=2
   echo "== TSan: grow-back at a checkpoint boundary, extra schedules =="
   # Shrink -> probationary rendezvous -> re-formed communicator layers the
   # probe group, the supervisor pad rank, the watchdog, and a fresh

@@ -393,10 +393,10 @@ void save_file(const std::string& path, const StateDesc& state,
 
 // ----- resolution ------------------------------------------------------------
 
-i64 latest_step(const std::string& root) {
+PublishedManifest latest_published_manifest(const std::string& root) {
+  PublishedManifest latest;
   std::error_code ec;
-  if (!fs::is_directory(root, ec)) return -1;
-  i64 best = -1;
+  if (!fs::is_directory(root, ec)) return latest;
   for (const auto& entry : fs::directory_iterator(root, ec)) {
     if (!entry.is_directory()) continue;
     const std::string name = entry.path().filename().string();
@@ -407,9 +407,17 @@ i64 latest_step(const std::string& root) {
       continue;
     }
     if (!fs::exists(entry.path() / "manifest.txt")) continue;  // incomplete
-    best = std::max(best, static_cast<i64>(std::stoll(digits)));
+    const i64 step = static_cast<i64>(std::stoll(digits));
+    if (step > latest.step) {
+      latest.step = step;
+      latest.dir = entry.path().string();
+    }
   }
-  return best;
+  return latest;
+}
+
+i64 latest_step(const std::string& root) {
+  return latest_published_manifest(root).step;
 }
 
 std::string resolve_checkpoint(const std::string& path) {
@@ -417,10 +425,8 @@ std::string resolve_checkpoint(const std::string& path) {
   if (fs::is_regular_file(path, ec)) return path;
   if (fs::is_directory(path, ec)) {
     if (fs::exists(fs::path(path) / "manifest.txt")) return path;
-    const i64 step = latest_step(path);
-    if (step >= 0) {
-      return (fs::path(path) / format::step_dir_name(step)).string();
-    }
+    const PublishedManifest latest = latest_published_manifest(path);
+    if (latest.found()) return latest.dir;
     throw Error("no complete checkpoint found under " + path);
   }
   throw Error("checkpoint path does not exist: " + path);

@@ -141,9 +141,23 @@ void save_file(const std::string& path, const StateDesc& state,
                const std::map<std::string, i64>& counters = {},
                const std::map<std::string, u64>& rng_streams = {});
 
-/// Highest step with a complete checkpoint (manifest present) under
-/// `root`; -1 if none. The LATEST pointer is a convenience for humans —
-/// this scan is authoritative.
+/// A complete (manifest-bearing) published checkpoint under a root.
+struct PublishedManifest {
+  i64 step = -1;
+  std::string dir;  // "<root>/step_NNNNNNNN"
+
+  bool found() const { return step >= 0; }
+};
+
+/// The newest complete checkpoint under `root` — the manifest-discovery
+/// primitive shared by the serving tier's reload poller, the elastic
+/// supervisor's resume, and latest_step()/resolve_checkpoint(). Returns a
+/// not-found result (step -1) when the root is missing or holds no
+/// complete step. The LATEST pointer is a convenience for humans — this
+/// scan is authoritative.
+PublishedManifest latest_published_manifest(const std::string& root);
+
+/// latest_published_manifest(root).step; -1 if none.
 i64 latest_step(const std::string& root);
 
 /// Resolves `path` — a shard file, a step directory, or a checkpoint

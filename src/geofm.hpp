@@ -18,6 +18,8 @@
 //   data/      procedural scene datasets (Table II), DataLoader
 //   train/     pretraining, linear probing, checkpoints
 //   ckpt/      sharded checkpoint/restart (async snapshots, resharding)
+//   serve/     frozen-encoder embedding service (hot-reload, batching,
+//              embedding cache, per-tenant linear-probe heads)
 //   sim/       Frontier machine model + training-step simulator
 //   obs/       per-rank tracing (Chrome-trace export) + metrics registry,
 //              flight recorder (postmortem bundles), telemetry sampler,
@@ -45,6 +47,10 @@
 #include "optim/optimizer.hpp"
 #include "parallel/ddp.hpp"
 #include "parallel/fsdp.hpp"
+#include "serve/batcher.hpp"
+#include "serve/cache.hpp"
+#include "serve/heads.hpp"
+#include "serve/server.hpp"
 #include "sim/simulator.hpp"
 #include "train/checkpoint.hpp"
 #include "train/distributed.hpp"

@@ -359,6 +359,17 @@ std::vector<nn::Parameter*> MAE::parameters() {
   return out;
 }
 
+std::vector<nn::Parameter*> MAE::encoder_parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Parameter* p : patch_embed.parameters()) out.push_back(p);
+  out.push_back(&cls_token);
+  for (auto& blk : enc_blocks_) {
+    for (nn::Parameter* p : blk->parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : enc_norm.parameters()) out.push_back(p);
+  return out;
+}
+
 std::vector<nn::Module*> MAE::stage_modules() {
   std::vector<nn::Module*> out;
   for (auto& blk : enc_blocks_) out.push_back(blk.get());

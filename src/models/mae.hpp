@@ -47,6 +47,12 @@ class MAE : public nn::Module, public nn::StagedModel {
 
   std::vector<nn::Parameter*> parameters() override;
 
+  /// The encoder-only parameter subset (patch embed, cls token, encoder
+  /// blocks, encoder norm) — exactly what encode() reads. The serving
+  /// tier restores just these from full MAE checkpoints, skipping the
+  /// decoder weights a frozen-encoder service never runs.
+  std::vector<nn::Parameter*> encoder_parameters();
+
   const MaeConfig& config() const { return cfg_; }
   /// Number of visible (kept) patches per sample.
   i64 n_keep() const { return n_keep_; }

@@ -73,6 +73,7 @@ RunHealthReport build_run_health_report(const std::vector<TraceEvent>& events,
   std::map<int, RankHealth> ranks;
   std::map<int, std::vector<double>> step_durs;
   std::vector<double> pooled;
+  std::map<std::string, std::vector<double>> serve_durs;
 
   for (const TraceEvent& e : events) {
     if (e.phase == TraceEvent::Phase::kInstant && e.name != nullptr &&
@@ -98,6 +99,12 @@ RunHealthReport build_run_health_report(const std::vector<TraceEvent>& events,
         t.world = e.arg;
       }
       r.recovery_timeline.push_back(std::move(t));
+      continue;
+    }
+    // Serving spans are emitted by unranked server threads — collect
+    // them before the rank filter below would drop them.
+    if (std::strncmp(e.name, "serve.", 6) == 0) {
+      serve_durs[e.name].push_back(sec);
       continue;
     }
     if (e.rank < 0) continue;
@@ -137,6 +144,15 @@ RunHealthReport build_run_health_report(const std::vector<TraceEvent>& events,
   }
   r.p50_step_seconds = nearest_rank_percentile(pooled, 50);
   r.p99_step_seconds = nearest_rank_percentile(pooled, 99);
+
+  for (auto& [name, durs] : serve_durs) {
+    ServeSpanStats s;
+    s.count = static_cast<i64>(durs.size());
+    for (const double d : durs) s.total_seconds += d;
+    s.p50_seconds = nearest_rank_percentile(durs, 50);
+    s.p99_seconds = nearest_rank_percentile(durs, 99);
+    r.serve_spans[name] = s;
+  }
 
   // Straggler detection: a rank whose mean step time stands 1.5x above
   // the median of rank means. Only meaningful with >= 2 stepping ranks.
@@ -216,6 +232,17 @@ std::string report_to_text(const RunHealthReport& r) {
                     ? std::to_string(r.straggler_rank).c_str()
                     : "none");
   os << buf;
+  if (!r.serve_spans.empty()) {
+    os << "serving SLO:\n";
+    for (const auto& [name, s] : r.serve_spans) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-16s %6lld spans  p50 %8.3f ms  p99 %8.3f ms  total "
+                    "%.3f s\n",
+                    name.c_str(), static_cast<long long>(s.count),
+                    s.p50_seconds * 1e3, s.p99_seconds * 1e3, s.total_seconds);
+      os << buf;
+    }
+  }
   if (!r.recovery_timeline.empty()) {
     os << "recovery timeline:\n";
     for (const TimelineEvent& t : r.recovery_timeline) {
@@ -290,6 +317,23 @@ std::string report_to_json(const RunHealthReport& r) {
     out += "}}";
   }
   out += r.ranks.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"serve\": {";
+  bool sfirst = true;
+  for (const auto& [name, s] : r.serve_spans) {
+    if (!sfirst) out += ',';
+    sfirst = false;
+    out += "\n    ";
+    append_quoted(out, name);
+    out += ": {\"count\": " + std::to_string(s.count) +
+           ", \"total_seconds\": ";
+    append_double(out, s.total_seconds);
+    out += ", \"p50_seconds\": ";
+    append_double(out, s.p50_seconds);
+    out += ", \"p99_seconds\": ";
+    append_double(out, s.p99_seconds);
+    out += "}";
+  }
+  out += r.serve_spans.empty() ? "},\n" : "\n  },\n";
   out += "  \"recovery_timeline\": [";
   for (size_t i = 0; i < r.recovery_timeline.size(); ++i) {
     const TimelineEvent& t = r.recovery_timeline[i];

@@ -50,6 +50,17 @@ struct TimelineEvent {
   i64 world = -1;  // recover.* spans carry the post-recovery world size
 };
 
+/// Latency summary for one serving span family (serve.request /
+/// serve.batch / serve.encode / serve.reload), feeding the p50/p99 SLO
+/// lines of the serving section. Serve spans come from unranked server
+/// threads, so they are collected before the per-rank accounting.
+struct ServeSpanStats {
+  i64 count = 0;
+  double total_seconds = 0;
+  double p50_seconds = 0;
+  double p99_seconds = 0;
+};
+
 struct RunHealthReport {
   std::vector<RankHealth> ranks;  // sorted by rank
   i64 steps = 0;                  // pooled `step` span count
@@ -59,6 +70,9 @@ struct RunHealthReport {
   double exposed_wait_seconds_total = 0;
   std::map<std::string, double> phase_seconds;  // summed across ranks
   std::vector<TimelineEvent> recovery_timeline;
+  // Serving tier: span name ("serve.request", ...) -> latency summary.
+  // Empty when the run served nothing.
+  std::map<std::string, ServeSpanStats> serve_spans;
   int straggler_rank = -1;   // -1 = no straggler detected
   double skew_ratio = 1.0;   // max rank mean / median rank mean
   u64 trace_events = 0;

@@ -1,0 +1,80 @@
+#include "serve/batcher.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "util/thread_context.hpp"
+
+namespace geofm::serve {
+
+RequestBatcher::RequestBatcher(BatcherOptions opts) : opts_(opts) {
+  GEOFM_CHECK(opts.max_batch >= 1, "max_batch must be >= 1");
+  GEOFM_CHECK(opts.max_delay_us >= 0, "max_delay_us must be >= 0");
+}
+
+std::future<EmbedResult> RequestBatcher::submit(EmbedRequest req) {
+  PendingRequest pending;
+  pending.request = std::move(req);
+  pending.submitted_ns = monotonic_ns();
+  std::future<EmbedResult> fut = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) throw Error("RequestBatcher: submit after close()");
+    queue_.push_back(std::move(pending));
+  }
+  static auto& submitted =
+      obs::MetricsRegistry::instance().counter("serve.submitted");
+  submitted.add(1);
+  cv_.notify_all();
+  return fut;
+}
+
+std::vector<PendingRequest> RequestBatcher::next_batch() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return {};  // closed and drained
+
+  // The oldest queued request anchors the delay window: ship as soon as
+  // the batch is full, or when that request has waited long enough.
+  const u64 deadline_ns =
+      queue_.front().submitted_ns +
+      static_cast<u64>(opts_.max_delay_us) * 1000ULL;
+  while (static_cast<i64>(queue_.size()) < opts_.max_batch && !closed_) {
+    const u64 now = monotonic_ns();
+    if (now >= deadline_ns) break;
+    cv_.wait_for(lk, std::chrono::nanoseconds(deadline_ns - now), [&] {
+      return static_cast<i64>(queue_.size()) >= opts_.max_batch || closed_;
+    });
+    if (monotonic_ns() >= deadline_ns) break;
+  }
+
+  const std::size_t take =
+      std::min(queue_.size(), static_cast<std::size_t>(opts_.max_batch));
+  std::vector<PendingRequest> batch;
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void RequestBatcher::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestBatcher::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+i64 RequestBatcher::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<i64>(queue_.size());
+}
+
+}  // namespace geofm::serve

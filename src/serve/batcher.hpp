@@ -1,0 +1,88 @@
+// Dynamic request batcher: coalesces concurrent embedding requests into
+// bounded batches for one shared encoder forward.
+//
+// Callers submit() from any thread and get a future; the single batch
+// worker calls next_batch(), which blocks until at least one request is
+// queued and then returns up to `max_batch` requests — immediately when
+// the batch is full, otherwise once the *oldest* queued request has
+// waited `max_delay_us`. The two knobs trade latency against throughput:
+// max_delay_us = 0 ships whatever is queued the moment the worker is
+// free (lowest latency), larger values hold the door open so sparse
+// traffic still fills batches (highest encoder utilization).
+//
+// close() stops admission (submit throws) but next_batch() keeps
+// returning queued work until the queue drains, then returns empty —
+// shutdown never abandons an accepted request's promise.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/common.hpp"
+
+namespace geofm::serve {
+
+/// One embedding request. `image` is a single [C,H,W] scene.
+struct EmbedRequest {
+  std::string key;     // cache/identity key; empty = never cached
+  Tensor image;        // [C,H,W], matching the served model's config
+  std::string tenant;  // optional: apply this tenant's head to the result
+};
+
+struct EmbedResult {
+  Tensor embedding;     // [width]
+  Tensor logits;        // [classes], defined iff a tenant head was applied
+  i64 model_step = -1;  // checkpoint step of the weights that served this
+  i64 model_epoch = 0;  // swap generation (constant across one batch)
+  i64 batch_size = 0;   // encoder batch this rode in; 0 = served from cache
+  bool cache_hit = false;
+};
+
+/// A queued request: what the caller sent plus the promise the batch
+/// worker fulfills and the submit timestamp (request-latency metric).
+struct PendingRequest {
+  EmbedRequest request;
+  std::promise<EmbedResult> promise;
+  u64 submitted_ns = 0;
+};
+
+struct BatcherOptions {
+  i64 max_batch = 8;
+  i64 max_delay_us = 1000;
+};
+
+class RequestBatcher {
+ public:
+  explicit RequestBatcher(BatcherOptions opts);
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Queues `req`; never blocks. Throws geofm::Error after close().
+  std::future<EmbedResult> submit(EmbedRequest req);
+
+  /// Blocks until a batch is ready (see header comment) and pops it.
+  /// Empty result = closed and fully drained; the worker should exit.
+  std::vector<PendingRequest> next_batch();
+
+  /// Stops admission and wakes the worker. Queued requests still drain.
+  void close();
+
+  bool closed() const;
+  i64 pending() const;
+  const BatcherOptions& options() const { return opts_; }
+
+ private:
+  const BatcherOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace geofm::serve

@@ -1,0 +1,112 @@
+#include "serve/cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace geofm::serve {
+
+namespace {
+
+obs::Counter& hits_metric() {
+  static auto& c = obs::MetricsRegistry::instance().counter("serve.cache_hits");
+  return c;
+}
+obs::Counter& misses_metric() {
+  static auto& c =
+      obs::MetricsRegistry::instance().counter("serve.cache_misses");
+  return c;
+}
+obs::Counter& evictions_metric() {
+  static auto& c =
+      obs::MetricsRegistry::instance().counter("serve.cache_evictions");
+  return c;
+}
+obs::Gauge& size_metric() {
+  static auto& g = obs::MetricsRegistry::instance().gauge("serve.cache_size");
+  return g;
+}
+
+}  // namespace
+
+EmbeddingCache::EmbeddingCache(i64 capacity) : capacity_(capacity) {
+  GEOFM_CHECK(capacity >= 0, "cache capacity must be >= 0, got " << capacity);
+}
+
+bool EmbeddingCache::lookup(const std::string& key, i64 epoch,
+                            CachedEmbedding* out) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    misses_metric().add(1);
+    return false;
+  }
+  if (it->second->second.model_epoch != epoch) {
+    // Produced under different weights than the caller is serving with;
+    // drop it so the refreshed embedding takes its slot.
+    lru_.erase(it->second);
+    index_.erase(it);
+    size_metric().set(static_cast<double>(index_.size()));
+    ++stats_.stale;
+    ++stats_.misses;
+    misses_metric().add(1);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  const CachedEmbedding& entry = it->second->second;
+  out->embedding = entry.embedding.clone();
+  out->model_step = entry.model_step;
+  out->model_epoch = entry.model_epoch;
+  ++stats_.hits;
+  hits_metric().add(1);
+  return true;
+}
+
+void EmbeddingCache::insert(const std::string& key, CachedEmbedding entry) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (static_cast<i64>(index_.size()) >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+    evictions_metric().add(1);
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  size_metric().set(static_cast<double>(index_.size()));
+}
+
+i64 EmbeddingCache::invalidate_older_than(i64 epoch) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  i64 removed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->second.model_epoch < epoch) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  size_metric().set(static_cast<double>(index_.size()));
+  return removed;
+}
+
+i64 EmbeddingCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<i64>(index_.size());
+}
+
+EmbeddingCache::Stats EmbeddingCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace geofm::serve

@@ -1,0 +1,78 @@
+// Embedding cache: LRU over request-identity keys, epoch-tagged.
+//
+// The serving tier computes one embedding per (scene, encoder weights);
+// repeated requests for the same scene must not pay the encoder again.
+// Entries are tagged with the *model epoch* (the hot-reload swap
+// generation) that produced them: a lookup only hits when the caller's
+// pinned epoch matches, so an embedding computed on pre-swap weights can
+// never be served as if the new checkpoint produced it — even in the
+// window where the batch worker is still finishing a batch it pinned
+// before the swap. Stale entries are purged eagerly on swap
+// (`invalidate_older_than`) and lazily on mismatching lookups.
+//
+// Thread-safe (one internal mutex); the hit path copies one embedding row
+// ([width] floats), so the lock is held for microseconds. Hit/miss/
+// eviction counts feed the `serve.cache_*` metrics.
+#pragma once
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "tensor/tensor.hpp"
+#include "util/common.hpp"
+
+namespace geofm::serve {
+
+/// A cached embedding plus the identity of the weights that produced it.
+struct CachedEmbedding {
+  Tensor embedding;     // [width]; the cache owns this storage
+  i64 model_step = -1;  // checkpoint step of the producing weights
+  i64 model_epoch = 0;  // swap generation of the producing weights
+};
+
+class EmbeddingCache {
+ public:
+  /// `capacity` = max entries; 0 disables the cache entirely.
+  explicit EmbeddingCache(i64 capacity);
+
+  bool enabled() const { return capacity_ > 0; }
+  i64 capacity() const { return capacity_; }
+
+  /// True (and fills `out` with a deep copy) iff `key` is present and its
+  /// entry was produced at exactly `epoch`. A present-but-stale entry is
+  /// dropped, counted as stale, and reported as a miss.
+  bool lookup(const std::string& key, i64 epoch, CachedEmbedding* out);
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+  /// when full. The embedding tensor is stored as-is; callers pass an
+  /// owned copy (the server clones the batch row).
+  void insert(const std::string& key, CachedEmbedding entry);
+
+  /// Drops every entry produced before `epoch` (the post-swap purge).
+  /// Returns the number removed.
+  i64 invalidate_older_than(i64 epoch);
+
+  i64 size() const;
+
+  struct Stats {
+    i64 hits = 0;
+    i64 misses = 0;
+    i64 stale = 0;      // present but produced under an older epoch
+    i64 evictions = 0;  // LRU evictions (stale drops are not evictions)
+  };
+  Stats stats() const;
+
+ private:
+  using LruList = std::list<std::pair<std::string, CachedEmbedding>>;
+
+  const i64 capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace geofm::serve

@@ -1,0 +1,314 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/state.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/thread_context.hpp"
+
+namespace geofm::serve {
+
+namespace {
+
+/// Full-tensor slices for an explicit parameter subset — the serving-side
+/// restore description (a replica wants whole tensors, like
+/// ckpt::replicated_state with world 1, but over the encoder subset).
+ckpt::StateDesc full_tensor_state(const std::vector<nn::Parameter*>& params) {
+  ckpt::StateDesc desc;
+  desc.slices.reserve(params.size());
+  for (nn::Parameter* p : params) {
+    ckpt::TensorSlice slice;
+    slice.name = p->name;
+    slice.shape = p->value.shape();
+    slice.begin = 0;
+    slice.data = p->value.flat_view(0, p->value.numel());
+    desc.slices.push_back(std::move(slice));
+  }
+  return desc;
+}
+
+}  // namespace
+
+ModelServer::ModelServer(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      batcher_({cfg_.max_batch, cfg_.max_delay_us}),
+      cache_(cfg_.cache_capacity) {
+  const auto latest = ckpt::latest_published_manifest(cfg_.checkpoint_root);
+  if (!latest.found()) {
+    throw Error("ModelServer: no published checkpoint under " +
+                cfg_.checkpoint_root);
+  }
+  current_ = load_model(latest.step, latest.dir, /*epoch=*/1);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  static auto& reloads = obs::MetricsRegistry::instance().counter(
+      "serve.reloads");
+  reloads.add(1);
+  GEOFM_INFO("serve: serving step " << latest.step << " from " << latest.dir);
+
+  worker_ = std::thread([this] { worker_loop(); });
+  if (cfg_.poll_interval_seconds > 0) {
+    poller_ = std::thread([this] { poller_loop(); });
+  }
+}
+
+ModelServer::~ModelServer() { stop(); }
+
+void ModelServer::stop() {
+  if (stopped_.exchange(true)) return;
+  batcher_.close();
+  {
+    std::lock_guard<std::mutex> lk(poll_mu_);
+    stop_poller_ = true;
+  }
+  poll_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  if (poller_.joinable()) poller_.join();
+}
+
+std::future<EmbedResult> ModelServer::submit(EmbedRequest req) {
+  const auto& m = cfg_.model.encoder;
+  const i64 expect = m.in_channels * m.img_size * m.img_size;
+  if (!req.image.defined() || req.image.numel() != expect) {
+    throw Error("ModelServer: image has " +
+                std::to_string(req.image.defined() ? req.image.numel() : 0) +
+                " elements, served model expects " + std::to_string(expect));
+  }
+  return batcher_.submit(std::move(req));
+}
+
+EmbedResult ModelServer::embed(EmbedRequest req) {
+  obs::TraceScope span("serve.request", "serve");
+  return submit(std::move(req)).get();
+}
+
+std::shared_ptr<ModelServer::LoadedModel> ModelServer::current() const {
+  std::lock_guard<std::mutex> lk(model_mu_);
+  return current_;
+}
+
+i64 ModelServer::model_step() const { return current()->step; }
+i64 ModelServer::model_epoch() const { return current()->epoch; }
+
+std::shared_ptr<ModelServer::LoadedModel> ModelServer::load_model(
+    i64 step, const std::string& dir, i64 epoch) {
+  obs::TraceScope span("serve.reload", "serve", "step", step);
+  const double t0 = monotonic_seconds();
+  auto loaded = std::make_shared<LoadedModel>();
+  // Construction seeds are irrelevant: every served weight is overwritten
+  // by the restore (decoder weights stay at init under encoder-only
+  // restore — the decoder never runs in serving).
+  Rng rng(0x5e7eULL);
+  loaded->model = std::make_unique<models::MAE>(cfg_.model, rng);
+  ckpt::CheckpointReader reader(dir);
+  reader.restore(full_tensor_state(cfg_.encoder_only_restore
+                                       ? loaded->model->encoder_parameters()
+                                       : loaded->model->parameters()));
+  loaded->step = step;
+  loaded->epoch = epoch;
+  loaded->source = reader.location();
+  static auto& reload_s =
+      obs::MetricsRegistry::instance().histogram("serve.reload_seconds");
+  reload_s.observe(monotonic_seconds() - t0);
+  return loaded;
+}
+
+bool ModelServer::try_reload() {
+  std::lock_guard<std::mutex> reload_lk(reload_mu_);
+  const auto latest = ckpt::latest_published_manifest(cfg_.checkpoint_root);
+  const auto cur = current();
+  if (!latest.found() || latest.step <= cur->step) return false;
+  std::shared_ptr<LoadedModel> fresh;
+  try {
+    fresh = load_model(latest.step, latest.dir, cur->epoch + 1);
+  } catch (const std::exception& e) {
+    // Keep serving on the current weights; the next poll retries (the
+    // publication may also be superseded by a newer good one by then).
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    static auto& failures =
+        obs::MetricsRegistry::instance().counter("serve.reload_failures");
+    failures.add(1);
+    GEOFM_WARN("serve: reload of step " << latest.step << " failed ("
+                                        << e.what()
+                                        << "); still serving step "
+                                        << cur->step);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lk(model_mu_);
+    current_ = fresh;  // in-flight batches hold their pinned reference
+  }
+  cache_.invalidate_older_than(fresh->epoch);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  auto& reg = obs::MetricsRegistry::instance();
+  static auto& reloads = reg.counter("serve.reloads");
+  static auto& step_gauge = reg.gauge("serve.model_step");
+  reloads.add(1);
+  step_gauge.set(static_cast<double>(fresh->step));
+  GEOFM_INFO("serve: hot-swapped to step " << fresh->step << " (epoch "
+                                           << fresh->epoch << ")");
+  return true;
+}
+
+bool ModelServer::reload_now() { return try_reload(); }
+
+void ModelServer::poller_loop() {
+  obs::set_thread_label("serve.poller");
+  const auto interval = std::chrono::duration<double>(
+      cfg_.poll_interval_seconds);
+  std::unique_lock<std::mutex> lk(poll_mu_);
+  while (!stop_poller_) {
+    if (poll_cv_.wait_for(lk, interval, [&] { return stop_poller_; })) {
+      return;
+    }
+    lk.unlock();
+    try_reload();
+    lk.lock();
+  }
+}
+
+void ModelServer::worker_loop() {
+  obs::set_thread_label("serve.worker");
+  for (;;) {
+    std::vector<PendingRequest> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    process_batch(batch);
+  }
+}
+
+void ModelServer::process_batch(std::vector<PendingRequest>& batch) {
+  // Pin the model once per batch: every request in the batch is answered
+  // by exactly these weights, and the pin keeps them alive across a
+  // concurrent swap.
+  const std::shared_ptr<LoadedModel> model = current();
+  obs::TraceScope span("serve.batch", "serve", "size",
+                       static_cast<i64>(batch.size()), "step", model->step);
+
+  auto& reg = obs::MetricsRegistry::instance();
+  static auto& requests_metric = reg.counter("serve.requests");
+  static auto& batches_metric = reg.counter("serve.batches");
+  static auto& encodes_metric = reg.counter("serve.encodes");
+  static auto& batch_size_h = reg.histogram("serve.batch_size");
+  static auto& request_s = reg.histogram("serve.request_seconds");
+  static auto& encode_s = reg.histogram("serve.encode_seconds");
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batches_metric.add(1);
+  batch_size_h.observe(static_cast<double>(batch.size()));
+
+  // Cache pass: hits skip the encoder entirely.
+  const std::size_t n = batch.size();
+  std::vector<CachedEmbedding> hit(n);
+  std::vector<bool> is_hit(n, false);
+  std::vector<std::size_t> miss;
+  miss.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& key = batch[i].request.key;
+    if (!key.empty() && cache_.enabled() &&
+        cache_.lookup(key, model->epoch, &hit[i])) {
+      is_hit[i] = true;
+    } else {
+      miss.push_back(i);
+    }
+  }
+
+  // One batched encoder forward for every miss.
+  const auto& enc = cfg_.model.encoder;
+  const i64 per_image = enc.in_channels * enc.img_size * enc.img_size;
+  Tensor features;
+  if (!miss.empty()) {
+    Tensor images({static_cast<i64>(miss.size()), enc.in_channels,
+                   enc.img_size, enc.img_size});
+    for (std::size_t m = 0; m < miss.size(); ++m) {
+      images.flat_view(static_cast<i64>(m) * per_image, per_image)
+          .copy_(batch[miss[m]].request.image);
+    }
+    {
+      obs::TraceScope enc_span("serve.encode", "serve", "batch",
+                               static_cast<i64>(miss.size()));
+      const double t0 = monotonic_seconds();
+      features = model->model->encode(images, cfg_.pool);
+      encode_s.observe(monotonic_seconds() - t0);
+    }
+    encodes_.fetch_add(1, std::memory_order_relaxed);
+    encoded_images_.fetch_add(static_cast<i64>(miss.size()),
+                              std::memory_order_relaxed);
+    encodes_metric.add(1);
+    const i64 width = enc.width;
+    for (std::size_t m = 0; m < miss.size(); ++m) {
+      const std::string& key = batch[miss[m]].request.key;
+      if (key.empty() || !cache_.enabled()) continue;
+      CachedEmbedding entry;
+      entry.embedding = Tensor({width});
+      entry.embedding.copy_(
+          features.flat_view(static_cast<i64>(m) * width, width));
+      entry.model_step = model->step;
+      entry.model_epoch = model->epoch;
+      cache_.insert(key, std::move(entry));
+    }
+  }
+
+  // Fulfillment: embeddings, per-tenant heads, latency accounting.
+  const i64 width = enc.width;
+  std::size_t next_miss = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    PendingRequest& p = batch[i];
+    try {
+      EmbedResult r;
+      r.model_step = model->step;
+      r.model_epoch = model->epoch;
+      r.cache_hit = is_hit[i];
+      if (is_hit[i]) {
+        r.embedding = std::move(hit[i].embedding);
+        r.batch_size = 0;
+      } else {
+        const std::size_t m = next_miss++;
+        r.embedding = Tensor({width});
+        r.embedding.copy_(
+            features.flat_view(static_cast<i64>(m) * width, width));
+        r.batch_size = static_cast<i64>(miss.size());
+      }
+      if (!p.request.tenant.empty()) {
+        const std::shared_ptr<TenantHead> head =
+            heads_.find(p.request.tenant);
+        if (head == nullptr) {
+          throw Error("ModelServer: no head registered for tenant '" +
+                      p.request.tenant + "'");
+        }
+        // Only this worker thread ever runs forward on a resolved head.
+        r.logits = head->head->forward(r.embedding.view({1, width}))
+                       .view({head->head->out_features()});
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      requests_metric.add(1);
+      request_s.observe(static_cast<double>(monotonic_ns() - p.submitted_ns) *
+                        1e-9);
+      p.promise.set_value(std::move(r));
+    } catch (...) {
+      p.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+ServerStats ModelServer::stats() const {
+  ServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.encodes = encodes_.load(std::memory_order_relaxed);
+  s.encoded_images = encoded_images_.load(std::memory_order_relaxed);
+  const EmbeddingCache::Stats cs = cache_.stats();
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  const auto cur = current();
+  s.model_step = cur->step;
+  s.model_epoch = cur->epoch;
+  return s;
+}
+
+}  // namespace geofm::serve

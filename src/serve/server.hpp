@@ -1,0 +1,164 @@
+// Frozen-encoder embedding service: checkpoint hot-reload, dynamic
+// batching, embedding cache, per-tenant heads.
+//
+// A ModelServer turns a checkpoint root — the directory the training
+// Checkpointer publishes into, or the uploader's mirror of it — into a
+// model *distribution* tier: a poller thread watches the manifest
+// directory (ckpt::latest_published_manifest) and, when a newer step
+// publishes, restores a fresh encoder off-thread through the elastic
+// reshard-to-world-1 path (any saved world size / sharding strategy loads
+// into the single serving replica) and swaps it in atomically.
+//
+// Swap protocol (epoch/refcount): the live model is a
+// shared_ptr<LoadedModel> guarded by a mutex. The batch worker pins one
+// reference per batch, so a swap never frees weights under an in-flight
+// forward — old weights die when the last pinned batch completes. Each
+// swap bumps a monotonically increasing *epoch*; embeddings are tagged
+// with it, and the cache only serves entries whose epoch matches the
+// pinned model's, so one request can never observe mixed weights and a
+// pre-swap embedding is never served as post-swap.
+//
+// Request path: submit() queues into the dynamic batcher (futures);
+// the single batch worker forms a batch (max_batch / max_delay_us),
+// serves cache hits without touching the encoder, runs ONE batched
+// encoder forward for the misses (`serve.encode`), applies the requested
+// per-tenant heads, and fulfills every promise. Batched results are
+// bitwise identical to one-at-a-time forwards (the kernel engine's
+// row-independent accumulation; tested in test_serve.cpp).
+//
+// Failure model: a reload that fails for any reason — unreadable shard,
+// torn file, injected IO fault — is counted (`serve.reload_failures`),
+// logged, and *dropped*: the server keeps serving on the current weights
+// and retries at the next poll. Serving never goes down because
+// publication went wrong.
+//
+// Instrumentation: `serve.request` (blocking API, caller thread),
+// `serve.batch` / `serve.encode` (worker), `serve.reload` (poller) trace
+// spans; `serve.*` counters/histograms (requests, batch_size,
+// request_seconds, encode_seconds, reload_seconds, cache_*); the
+// run-health report renders p50/p99 SLO lines from the spans and the span
+// budget gate enforces `serve.encode` / `serve.reload` shares.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "models/mae.hpp"
+#include "serve/batcher.hpp"
+#include "serve/cache.hpp"
+#include "serve/heads.hpp"
+#include "util/common.hpp"
+
+namespace geofm::serve {
+
+struct ServerConfig {
+  std::string checkpoint_root;  // manifest directory to serve + poll
+  models::MaeConfig model;      // architecture the checkpoints hold
+  i64 max_batch = 8;
+  i64 max_delay_us = 1000;
+  i64 cache_capacity = 1024;  // embedding-cache entries; 0 disables
+  double poll_interval_seconds = 0.05;  // <= 0 disables the poller thread
+  models::MAE::Pool pool = models::MAE::Pool::kGap;
+  // Restore only the encoder subset (patch embed, cls token, encoder
+  // blocks, encoder norm) from full MAE checkpoints: the decoder never
+  // runs in serving, so skipping it roughly halves reload IO.
+  bool encoder_only_restore = true;
+};
+
+struct ServerStats {
+  i64 requests = 0;   // fulfilled requests
+  i64 batches = 0;    // batches formed
+  i64 encodes = 0;    // batched encoder forwards (cache hits skip these)
+  i64 encoded_images = 0;
+  i64 cache_hits = 0;
+  i64 cache_misses = 0;
+  i64 reloads = 0;          // successful swaps, including the initial load
+  i64 reload_failures = 0;  // failed attempts (server kept old weights)
+  i64 model_step = -1;      // checkpoint step currently served
+  i64 model_epoch = 0;      // swap generation (1 = initial load)
+};
+
+class ModelServer {
+ public:
+  /// Loads the newest published checkpoint under cfg.checkpoint_root
+  /// synchronously (throws geofm::Error if none exists) and starts the
+  /// batch worker plus, if poll_interval_seconds > 0, the reload poller.
+  explicit ModelServer(ServerConfig cfg);
+  /// stop(): drains accepted requests, then joins both threads.
+  ~ModelServer();
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+
+  /// Queues a request; the future resolves when its batch completes.
+  /// Throws geofm::Error on a shape mismatch or after stop().
+  std::future<EmbedResult> submit(EmbedRequest req);
+
+  /// Blocking convenience: submit + wait, wrapped in a `serve.request`
+  /// span on the calling thread.
+  EmbedResult embed(EmbedRequest req);
+
+  /// One synchronous reload check (what the poller does each tick).
+  /// Returns true iff a newer checkpoint was loaded and swapped in.
+  bool reload_now();
+
+  i64 model_step() const;
+  i64 model_epoch() const;
+  ServerStats stats() const;
+
+  HeadRegistry& heads() { return heads_; }
+  const ServerConfig& config() const { return cfg_; }
+
+  /// Stops admission, drains the queue, joins worker + poller. Idempotent;
+  /// called by the destructor.
+  void stop();
+
+ private:
+  struct LoadedModel {
+    std::unique_ptr<models::MAE> model;
+    i64 step = -1;
+    i64 epoch = 0;
+    std::string source;  // step directory restored from
+  };
+
+  std::shared_ptr<LoadedModel> current() const;
+  /// Builds a fresh model from `dir` (throws on any load failure).
+  std::shared_ptr<LoadedModel> load_model(i64 step, const std::string& dir,
+                                          i64 epoch);
+  bool try_reload();
+  void worker_loop();
+  void poller_loop();
+  void process_batch(std::vector<PendingRequest>& batch);
+
+  const ServerConfig cfg_;
+  RequestBatcher batcher_;
+  EmbeddingCache cache_;
+  HeadRegistry heads_;
+
+  mutable std::mutex model_mu_;
+  std::shared_ptr<LoadedModel> current_;
+
+  std::mutex reload_mu_;  // serializes poller ticks and reload_now()
+
+  std::mutex poll_mu_;
+  std::condition_variable poll_cv_;
+  bool stop_poller_ = false;
+
+  std::thread worker_;
+  std::thread poller_;
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<i64> requests_{0};
+  std::atomic<i64> batches_{0};
+  std::atomic<i64> encodes_{0};
+  std::atomic<i64> encoded_images_{0};
+  std::atomic<i64> reloads_{0};
+  std::atomic<i64> reload_failures_{0};
+};
+
+}  // namespace geofm::serve

@@ -406,15 +406,15 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
       tc.recovery_resume = !res.attempts.empty();
       i64 resume_step = 0;
       if (!cfg.train.checkpoint_dir.empty()) {
-        const i64 latest = ckpt::latest_step(cfg.train.checkpoint_dir);
-        if (latest >= 0) {
+        const ckpt::PublishedManifest latest =
+            ckpt::latest_published_manifest(cfg.train.checkpoint_dir);
+        if (latest.found()) {
           // Pin the resume source now: later saves may add newer steps
           // (or retention may GC this one), and the attempt record must
           // name what was actually restored.
-          att.resumed_from =
-              ckpt::resolve_checkpoint(cfg.train.checkpoint_dir);
+          att.resumed_from = latest.dir;
           tc.resume_from = att.resumed_from;
-          resume_step = latest + 1;
+          resume_step = latest.step + 1;
         }
       }
 
