@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -141,6 +142,59 @@ int main() {
       points.push_back(p);
     }
   }
+  // ----- overload phase ------------------------------------------------------
+  // An open-loop burst far beyond capacity against a bounded admission
+  // queue: what matters under overload is that the excess sheds fast
+  // with typed errors while the admitted requests keep a bounded p99.
+  struct OverloadResult {
+    i64 offered = 0;
+    i64 served = 0;
+    i64 shed = 0;
+    double shed_rate = 0;
+    double admitted_p50_ms = 0;
+    double admitted_p99_ms = 0;
+  } overload;
+  {
+    serve::ServerConfig scfg;
+    scfg.checkpoint_root = root;
+    scfg.model = model_cfg;
+    scfg.max_batch = 8;
+    scfg.max_delay_us = 0;
+    scfg.max_queue = 16;  // bounded admission: the shed path must engage
+    scfg.cache_capacity = 0;
+    scfg.poll_interval_seconds = 0;
+    serve::ModelServer server(scfg);
+
+    const int burst = quick ? 200 : 1000;
+    std::vector<std::future<serve::EmbedResult>> futs;
+    std::vector<double> submit_at(static_cast<size_t>(burst));
+    futs.reserve(static_cast<size_t>(burst));
+    for (int i = 0; i < burst; ++i) {
+      serve::EmbedRequest req;
+      req.image = scenes[static_cast<size_t>(i % 16)];
+      submit_at[static_cast<size_t>(i)] = monotonic_seconds();
+      futs.push_back(server.submit(std::move(req)));
+    }
+    std::vector<double> admitted;
+    for (int i = 0; i < burst; ++i) {
+      try {
+        (void)futs[static_cast<size_t>(i)].get();
+        admitted.push_back(monotonic_seconds() -
+                           submit_at[static_cast<size_t>(i)]);
+        overload.served += 1;
+      } catch (const serve::Overloaded&) {
+        overload.shed += 1;
+      } catch (const serve::DeadlineExceeded&) {
+        overload.shed += 1;
+      }
+    }
+    server.stop();
+    overload.offered = burst;
+    overload.shed_rate =
+        static_cast<double>(overload.shed) / static_cast<double>(burst);
+    overload.admitted_p50_ms = 1e3 * percentile(admitted, 50);
+    overload.admitted_p99_ms = 1e3 * percentile(admitted, 99);
+  }
   std::filesystem::remove_all(root);
 
   TextTable table({"max_batch", "max_delay_us", "requests", "p50 ms",
@@ -154,6 +208,14 @@ int main() {
   }
   table.print();
 
+  std::printf(
+      "overload: offered %lld  served %lld  shed %lld (%.1f%%)  admitted "
+      "p50 %.3f ms  p99 %.3f ms\n",
+      static_cast<long long>(overload.offered),
+      static_cast<long long>(overload.served),
+      static_cast<long long>(overload.shed), 100.0 * overload.shed_rate,
+      overload.admitted_p50_ms, overload.admitted_p99_ms);
+
   std::string json = "{\n  \"configs\": [";
   for (size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];
@@ -166,7 +228,14 @@ int main() {
             ", \"requests_per_second\": " + fmt_f(p.throughput, 1) +
             ", \"mean_batch_size\": " + fmt_f(p.mean_batch_size, 3) + "}";
   }
-  json += "\n  ],\n  \"clients\": " + std::to_string(n_clients) +
+  json += "\n  ],\n  \"overload\": {\"offered\": " +
+          std::to_string(overload.offered) +
+          ", \"served\": " + std::to_string(overload.served) +
+          ", \"shed\": " + std::to_string(overload.shed) +
+          ", \"shed_rate\": " + fmt_f(overload.shed_rate, 4) +
+          ", \"admitted_p50_ms\": " + fmt_f(overload.admitted_p50_ms, 4) +
+          ", \"admitted_p99_ms\": " + fmt_f(overload.admitted_p99_ms, 4) +
+          "},\n  \"clients\": " + std::to_string(n_clients) +
           ",\n  \"quick\": " + (quick ? std::string("true")
                                       : std::string("false")) +
           "\n}\n";

@@ -12,9 +12,15 @@
 // 4. Publish checkpoint B while requests are in flight: the server
 //    hot-swaps atomically — in-flight batches finish on A, later ones
 //    serve B, and the epoch-tagged cache never mixes the two.
-// 5. Print server stats and the run-health report's serving SLO lines.
+// 5. Overload the bounded admission queue with deadline-carrying
+//    requests: the excess resolves immediately with typed Overloaded /
+//    DeadlineExceeded errors (fail fast, never hang) while admitted
+//    requests are served within budget.
+// 6. Print server stats and the run-health report's serving SLO and
+//    resilience lines.
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -59,6 +65,8 @@ int main() {
   scfg.max_batch = 8;
   scfg.max_delay_us = 500;
   scfg.cache_capacity = 256;
+  scfg.max_queue = 32;             // bounded admission: overload sheds
+  scfg.default_deadline_us = 250000;  // every request gets a 250ms budget
   scfg.poll_interval_seconds = 0.01;
   serve::ModelServer server(scfg);
   std::printf("serving step %lld\n",
@@ -106,10 +114,40 @@ int main() {
               static_cast<long long>(server.model_step()),
               static_cast<long long>(server.model_epoch()));
 
+  // ----- overload: a burst far beyond the admission queue --------------
+  // submit() never blocks: a request the server cannot take resolves
+  // immediately with a typed error on its future. Callers branch on the
+  // type — retry elsewhere on Overloaded, drop on DeadlineExceeded.
+  {
+    std::vector<std::future<serve::EmbedResult>> futs;
+    for (int i = 0; i < 200; ++i) {
+      serve::EmbedRequest req;
+      Rng img_rng(static_cast<u64>(5000 + i));
+      req.image = Tensor::randn({enc.in_channels, enc.img_size,
+                                 enc.img_size}, img_rng, 0.5f);
+      req.deadline_us = 50000;  // this burst is latency-critical: 50ms
+      futs.push_back(server.submit(std::move(req)));
+    }
+    int served = 0, overloaded = 0, late = 0;
+    for (auto& f : futs) {
+      try {
+        (void)f.get();
+        ++served;
+      } catch (const serve::Overloaded&) {
+        ++overloaded;
+      } catch (const serve::DeadlineExceeded&) {
+        ++late;
+      }
+    }
+    std::printf("overload burst of 200: served %d, shed %d overloaded + "
+                "%d past-deadline (all typed, none hung)\n",
+                served, overloaded, late);
+  }
+
   const serve::ServerStats stats = server.stats();
   std::printf("requests %lld  batches %lld  encoder forwards %lld "
               "(%lld images)  cache %lld hit / %lld miss  reloads %lld "
-              "(%lld failed)\n",
+              "(%lld failed)  shed %lld overload / %lld deadline\n",
               static_cast<long long>(stats.requests),
               static_cast<long long>(stats.batches),
               static_cast<long long>(stats.encodes),
@@ -117,7 +155,9 @@ int main() {
               static_cast<long long>(stats.cache_hits),
               static_cast<long long>(stats.cache_misses),
               static_cast<long long>(stats.reloads),
-              static_cast<long long>(stats.reload_failures));
+              static_cast<long long>(stats.reload_failures),
+              static_cast<long long>(stats.shed_overload),
+              static_cast<long long>(stats.shed_deadline));
   server.stop();
 
   // The serving SLO lines the run-health report renders from the spans.

@@ -74,8 +74,16 @@ echo "== serving tier: hot-reload, batching, cache, heads =="
 # forward, cache hits skip the encoder). The full suite already ran in
 # ctest above; this pass names a serving regression directly.
 ./build/tests/geofm_tests --gtest_filter='Serve*'
+# Overload phase: load beyond capacity against a bounded admission queue
+# must serve some requests with bounded latency, shed the excess with
+# typed errors, and resolve every future (no hangs) — the suite asserts
+# all three. Failover/breaker/cache-only degradation runs in the same
+# filter (ServeFailover.*, ServeBreaker.*, ServeShutdown.*).
+./build/tests/geofm_tests \
+    --gtest_filter='ServeOverload.*:ServeShutdown.*:ServeFailover.*:ServeBreaker.*'
 # Latency/throughput anchor: closed-loop sweep over (max_batch,
-# max_delay_us), p50/p99 per config into BENCH_serve.json.
+# max_delay_us), p50/p99 per config, plus the overload phase's shed rate
+# and admitted-request p50/p99, into BENCH_serve.json.
 GEOFM_BENCH_QUICK=1 GEOFM_BENCH_CACHE=/tmp/geofm_ci_bench_cache \
     ./build/bench/bench_serve
 
@@ -127,6 +135,13 @@ if [[ "$SKIP_TSAN" == "0" ]]; then
   # schedule diversity.
   ./build-tsan/tests/geofm_tests \
       --gtest_filter='ServeE2E.*:ServeReload.*' --gtest_repeat=2
+  echo "== TSan: serving overload + failover, extra schedules =="
+  # Admission control races submitters against the worker's drain and
+  # the shed paths (expiry sweeps, displacement, shutdown completion);
+  # failover/breaker race the poller's source scan against serving.
+  ./build-tsan/tests/geofm_tests \
+      --gtest_filter='ServeOverload.*:ServeShutdown.*:ServeFailover.*:ServeBreaker.*' \
+      --gtest_repeat=2
   echo "== TSan: grow-back at a checkpoint boundary, extra schedules =="
   # Shrink -> probationary rendezvous -> re-formed communicator layers the
   # probe group, the supervisor pad rank, the watchdog, and a fresh

@@ -420,6 +420,47 @@ i64 latest_step(const std::string& root) {
   return latest_published_manifest(root).step;
 }
 
+std::vector<PublishedSource> published_sources(
+    const std::vector<std::string>& sources) {
+  std::vector<PublishedSource> out;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i].empty()) continue;
+    const PublishedManifest latest = latest_published_manifest(sources[i]);
+    if (!latest.found()) continue;
+    PublishedSource cand;
+    cand.step = latest.step;
+    cand.dir = latest.dir;
+    cand.source = i;
+    out.push_back(std::move(cand));
+  }
+  // Newest step first; on a tie the earlier source wins (a mirror is
+  // only consulted when it is strictly ahead of — or the primary lacks —
+  // that step).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PublishedSource& a, const PublishedSource& b) {
+                     return a.step > b.step;
+                   });
+  return out;
+}
+
+void verify_checkpoint_dir(const std::string& dir) {
+  const format::Manifest manifest = format::read_manifest(dir);
+  for (const std::string& shard : manifest.shards) {
+    const std::string path = (fs::path(dir) / shard).string();
+    // Same seam as restore reads: a verification pass is a read of every
+    // record, and injected unreadable/torn faults must be able to hit it.
+    if (auto injector = io_fault_injector()) {
+      const auto fault =
+          injector->before_io(comm::IoPath::kRead, this_thread_rank());
+      if (fault.any()) throw Error(fault.reason + " verifying " + path);
+    }
+    const format::ShardHeader header = format::read_shard_header(path);
+    for (const format::ShardIndexEntry& entry : header.records) {
+      format::read_shard_record(path, entry);  // throws on bad checksum
+    }
+  }
+}
+
 std::string resolve_checkpoint(const std::string& path) {
   std::error_code ec;
   if (fs::is_regular_file(path, ec)) return path;

@@ -160,6 +160,38 @@ PublishedManifest latest_published_manifest(const std::string& root);
 /// latest_published_manifest(root).step; -1 if none.
 i64 latest_step(const std::string& root);
 
+/// A published checkpoint located across an *ordered* source list —
+/// primary publish directory first, then mirrors (e.g. the uploader's
+/// destination). `source` is the index into the scanned list.
+struct PublishedSource {
+  i64 step = -1;
+  std::string dir;  // "<sources[source]>/step_NNNNNNNN"
+  std::size_t source = 0;
+
+  bool found() const { return step >= 0; }
+};
+
+/// Scans every source with latest_published_manifest and returns the
+/// complete candidates sorted newest-step-first, ties broken toward the
+/// earlier (more trusted) source. Missing or empty sources contribute
+/// nothing. Callers — the serving tier's reload path, the elastic
+/// supervisor's resume — try candidates in order until one restores:
+/// that is the checkpoint-source failover protocol, and it is why a
+/// dead primary root no longer takes the consumers of its checkpoints
+/// down with it.
+std::vector<PublishedSource> published_sources(
+    const std::vector<std::string>& sources);
+
+/// Full integrity pass over a published step directory: manifest
+/// readable, every shard header parses, every record's FNV-1a checksum
+/// verifies. Throws geofm::Error naming the first problem. The serving
+/// tier runs this before trusting a *mirror* manifest (the primary's
+/// publication protocol already guarantees completeness; a mirror may
+/// have been written by an interrupted copy), and tools can use it to
+/// audit a root offline. Reads go through the io-fault seam like any
+/// restore.
+void verify_checkpoint_dir(const std::string& dir);
+
 /// Resolves `path` — a shard file, a step directory, or a checkpoint
 /// root — to a loadable checkpoint (file or step directory). Throws
 /// geofm::Error if nothing complete is found.

@@ -11,8 +11,8 @@
 #include "comm/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/backoff.hpp"
 #include "util/log.hpp"
-#include "util/rng.hpp"
 #include "util/thread_context.hpp"
 
 namespace geofm::ckpt {
@@ -116,6 +116,27 @@ void Uploader::check_deadline(double started, i64 step) const {
   }
 }
 
+void Uploader::throttle(double started, i64 bytes) {
+  if (opts_.max_bytes_per_second <= 0 || bytes <= 0) return;
+  // Pace the whole attempt: cumulative bytes may not outrun the cap.
+  const double earliest =
+      started + static_cast<double>(bytes) / opts_.max_bytes_per_second;
+  const double wait = earliest - monotonic_seconds();
+  if (wait <= 0) return;
+  static auto& throttled_m =
+      obs::MetricsRegistry::instance().counter("upload.throttled_seconds");
+  const double t0 = monotonic_seconds();
+  {
+    // Interruptible by shutdown so the destructor is never held behind a
+    // bandwidth-cap sleep.
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, std::chrono::duration<double>(wait),
+                 [&] { return stop_; });
+    stats_.throttled_seconds += monotonic_seconds() - t0;
+  }
+  throttled_m.add(monotonic_seconds() - t0);
+}
+
 void Uploader::copy_file(const std::string& from, const std::string& to,
                          bool allow_torn) {
   if (auto injector = io_fault_injector()) {
@@ -170,6 +191,7 @@ void Uploader::upload_once(i64 step) {
               /*allow_torn=*/true);
     std::error_code sz_ec;
     bytes += static_cast<i64>(fs::file_size(from, sz_ec));
+    throttle(started, bytes);
   }
   // The manifest lands last, mirroring the primary write protocol: a temp
   // dir without one is visibly incomplete.
@@ -231,18 +253,16 @@ void Uploader::run() {
     bool done = false;
     for (int attempt = 0; attempt < opts_.max_retries && !done; ++attempt) {
       if (attempt > 0) {
-        // Exponential backoff with deterministic jitter: the schedule is
-        // a pure function of (seed, step, attempt), so fault-injected
-        // runs replay bitwise. The wait is interruptible by stop_ so the
-        // destructor is never held behind a backoff sleep.
-        double backoff = opts_.initial_backoff_seconds;
-        for (int i = 1; i < attempt; ++i) backoff *= 2;
-        backoff = std::min(backoff, opts_.max_backoff_seconds);
-        Rng jitter = Rng(opts_.seed)
-                         .split(static_cast<u64>(step))
-                         .split(static_cast<u64>(attempt));
-        backoff *= jitter.uniform(1.0 - opts_.backoff_jitter,
-                                  1.0 + opts_.backoff_jitter);
+        // Exponential backoff with deterministic jitter (util/backoff,
+        // shared with the serving tier's reload circuit breaker): the
+        // schedule is a pure function of (seed, step, attempt), so
+        // fault-injected runs replay bitwise. The wait is interruptible
+        // by stop_ so the destructor is never held behind a backoff
+        // sleep.
+        const double backoff = backoff_seconds(
+            {opts_.initial_backoff_seconds, opts_.max_backoff_seconds,
+             opts_.backoff_jitter, opts_.seed},
+            static_cast<u64>(step), attempt);
         stats_.retries += 1;
         retries_m.add(1);
         // Timeline marker (run-health report): mirroring is struggling.

@@ -54,6 +54,15 @@ struct UploaderOptions {
   double attempt_timeout_seconds = 30.0;  // wall clock per attempt
   bool verify_checksums = true;
   u64 seed = 0x5eedULL;  // jitter stream (deterministic backoff schedule)
+  // Bytes/second cap on mirror copies; 0 = unthrottled. Mirroring shares
+  // the filesystem with the checkpoint writer and the serving tier's
+  // reload path — an unthrottled bulk copy can starve both. The pacing
+  // is file-granular (sleep after each shard until the attempt's
+  // cumulative bytes fit the rate), interruptible by shutdown, and the
+  // slept time is counted in `stats().throttled_seconds` and the
+  // `upload.throttled_seconds` metric. Throttle sleeps count against
+  // `attempt_timeout_seconds`; size the two together.
+  double max_bytes_per_second = 0;
 
   bool enabled() const { return !destination.empty(); }
 };
@@ -65,6 +74,7 @@ struct UploaderStats {
   i64 failures = 0;   // failed attempts (each retried or given up)
   i64 gave_up = 0;    // checkpoints abandoned after max_retries
   i64 newest_uploaded_step = -1;
+  double throttled_seconds = 0;  // slept under the bandwidth cap
 };
 
 class Uploader {
@@ -100,6 +110,9 @@ class Uploader {
   void copy_file(const std::string& from, const std::string& to,
                  bool allow_torn);
   void check_deadline(double started, i64 step) const;
+  /// Sleeps (interruptibly) until `bytes` copied since `started` fit
+  /// under max_bytes_per_second. No-op when unthrottled or stopping.
+  void throttle(double started, i64 bytes);
 
   const UploaderOptions opts_;
   mutable std::mutex mu_;

@@ -19,12 +19,36 @@ constexpr const char* kPhaseNames[] = {
 
 bool is_timeline_instant(const char* name) {
   static constexpr const char* kNames[] = {
-      "watchdog.abort", "fault.kill",   "fault.stall",  "fault.corrupt",
-      "comm.abort",     "ckpt.published", "upload.retry", "upload.gave_up"};
+      "watchdog.abort", "fault.kill",     "fault.stall",
+      "fault.corrupt",  "comm.abort",     "ckpt.published",
+      "upload.retry",   "upload.gave_up", "serve.breaker_open",
+      "serve.failover", "serve.cache_only"};
   for (const char* n : kNames) {
     if (std::strcmp(name, n) == 0) return true;
   }
   return false;
+}
+
+/// Folds one serve.* instant into the resilience tally. Returns false
+/// for serve instants the tally does not track (none today, but keeps
+/// unknown ones out of the timeline too).
+bool count_serve_instant(const char* name, ServeResilience* out) {
+  if (std::strcmp(name, "serve.shed_overload") == 0) {
+    out->shed_overload += 1;
+  } else if (std::strcmp(name, "serve.shed_deadline") == 0) {
+    out->shed_deadline += 1;
+  } else if (std::strcmp(name, "serve.shed_degraded") == 0) {
+    out->shed_degraded += 1;
+  } else if (std::strcmp(name, "serve.breaker_open") == 0) {
+    out->breaker_trips += 1;
+  } else if (std::strcmp(name, "serve.failover") == 0) {
+    out->failovers += 1;
+  } else if (std::strcmp(name, "serve.cache_only") == 0) {
+    out->cache_only_entries += 1;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 double nearest_rank_percentile(std::vector<double>& v, double p) {
@@ -76,6 +100,13 @@ RunHealthReport build_run_health_report(const std::vector<TraceEvent>& events,
   std::map<std::string, std::vector<double>> serve_durs;
 
   for (const TraceEvent& e : events) {
+    if (e.phase == TraceEvent::Phase::kInstant && e.name != nullptr &&
+        std::strncmp(e.name, "serve.", 6) == 0) {
+      count_serve_instant(e.name, &r.serve_resilience);
+      // Low-frequency mode transitions also land in the recovery
+      // timeline; per-request sheds stay aggregate-only.
+      if (!is_timeline_instant(e.name)) continue;
+    }
     if (e.phase == TraceEvent::Phase::kInstant && e.name != nullptr &&
         is_timeline_instant(e.name)) {
       TimelineEvent t;
@@ -243,6 +274,20 @@ std::string report_to_text(const RunHealthReport& r) {
       os << buf;
     }
   }
+  if (r.serve_resilience.any()) {
+    const ServeResilience& sr = r.serve_resilience;
+    std::snprintf(buf, sizeof(buf),
+                  "serving resilience: shed %lld overload / %lld deadline / "
+                  "%lld degraded; %lld breaker trip(s), %lld failover(s), "
+                  "%lld cache-only entry(ies)\n",
+                  static_cast<long long>(sr.shed_overload),
+                  static_cast<long long>(sr.shed_deadline),
+                  static_cast<long long>(sr.shed_degraded),
+                  static_cast<long long>(sr.breaker_trips),
+                  static_cast<long long>(sr.failovers),
+                  static_cast<long long>(sr.cache_only_entries));
+    os << buf;
+  }
   if (!r.recovery_timeline.empty()) {
     os << "recovery timeline:\n";
     for (const TimelineEvent& t : r.recovery_timeline) {
@@ -334,6 +379,17 @@ std::string report_to_json(const RunHealthReport& r) {
     out += "}";
   }
   out += r.serve_spans.empty() ? "},\n" : "\n  },\n";
+  out += "  \"serve_resilience\": {\"shed_overload\": " +
+         std::to_string(r.serve_resilience.shed_overload) +
+         ", \"shed_deadline\": " +
+         std::to_string(r.serve_resilience.shed_deadline) +
+         ", \"shed_degraded\": " +
+         std::to_string(r.serve_resilience.shed_degraded) +
+         ", \"breaker_trips\": " +
+         std::to_string(r.serve_resilience.breaker_trips) +
+         ", \"failovers\": " + std::to_string(r.serve_resilience.failovers) +
+         ", \"cache_only_entries\": " +
+         std::to_string(r.serve_resilience.cache_only_entries) + "},\n";
   out += "  \"recovery_timeline\": [";
   for (size_t i = 0; i < r.recovery_timeline.size(); ++i) {
     const TimelineEvent& t = r.recovery_timeline[i];

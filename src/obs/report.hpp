@@ -61,6 +61,23 @@ struct ServeSpanStats {
   double p99_seconds = 0;
 };
 
+/// Serving-tier resilience events, counted from serve.* trace instants:
+/// how much load was shed (and why) and how often the reload path
+/// degraded. All zero on a run that never served under stress.
+struct ServeResilience {
+  i64 shed_overload = 0;   // admission queue full / displaced by priority
+  i64 shed_deadline = 0;   // deadline expired or unmeetable at admission
+  i64 shed_degraded = 0;   // cache-only misses shed without weights
+  i64 breaker_trips = 0;   // reload circuit breaker opened
+  i64 failovers = 0;       // checkpoint restored from a non-primary source
+  i64 cache_only_entries = 0;  // times the server dropped to cache-only
+
+  bool any() const {
+    return shed_overload || shed_deadline || shed_degraded || breaker_trips ||
+           failovers || cache_only_entries;
+  }
+};
+
 struct RunHealthReport {
   std::vector<RankHealth> ranks;  // sorted by rank
   i64 steps = 0;                  // pooled `step` span count
@@ -73,6 +90,7 @@ struct RunHealthReport {
   // Serving tier: span name ("serve.request", ...) -> latency summary.
   // Empty when the run served nothing.
   std::map<std::string, ServeSpanStats> serve_spans;
+  ServeResilience serve_resilience;
   int straggler_rank = -1;   // -1 = no straggler detected
   double skew_ratio = 1.0;   // max rank mean / median rank mean
   u64 trace_events = 0;

@@ -1,62 +1,282 @@
 #include "serve/batcher.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_context.hpp"
 
 namespace geofm::serve {
 
+namespace {
+
+// EWMA smoothing for batch service time: new observations weigh 0.3 —
+// reactive enough to track a hot-swap to a bigger model within a few
+// batches, smooth enough that one slow batch does not shed a burst.
+constexpr double kEwmaAlpha = 0.3;
+
+struct ShedCounters {
+  obs::Counter& overload;
+  obs::Counter& deadline;
+  obs::Counter& shutdown;
+};
+
+ShedCounters& shed_counters() {
+  auto& reg = obs::MetricsRegistry::instance();
+  static ShedCounters counters{reg.counter("serve.shed_overload"),
+                               reg.counter("serve.shed_deadline"),
+                               reg.counter("serve.shed_shutdown")};
+  return counters;
+}
+
+}  // namespace
+
 RequestBatcher::RequestBatcher(BatcherOptions opts) : opts_(opts) {
   GEOFM_CHECK(opts.max_batch >= 1, "max_batch must be >= 1");
   GEOFM_CHECK(opts.max_delay_us >= 0, "max_delay_us must be >= 0");
+  GEOFM_CHECK(opts.max_queue >= 0, "max_queue must be >= 0");
+}
+
+RequestBatcher::~RequestBatcher() {
+  // Shutdown satellite contract: an accepted request's future is never
+  // dropped. Whatever is still queued (no worker drained it) resolves
+  // with a typed ShutdownError, not a broken promise.
+  std::vector<PendingRequest> orphaned;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    for (Queue& lane : lanes_) {
+      for (PendingRequest& p : lane) orphaned.push_back(std::move(p));
+      lane.clear();
+    }
+    stats_.shed_shutdown += static_cast<i64>(orphaned.size());
+  }
+  if (!orphaned.empty()) {
+    shed_counters().shutdown.add(static_cast<double>(orphaned.size()));
+    fail(orphaned, std::make_exception_ptr(ShutdownError(
+                       "RequestBatcher destroyed with requests queued")));
+  }
+}
+
+i64 RequestBatcher::pending_locked() const {
+  return static_cast<i64>(lanes_[0].size() + lanes_[1].size());
+}
+
+void RequestBatcher::collect_expired_locked(u64 now_ns,
+                                            std::vector<PendingRequest>* out) {
+  for (Queue& lane : lanes_) {
+    for (auto it = lane.begin(); it != lane.end();) {
+      if (it->deadline_ns != 0 && now_ns >= it->deadline_ns) {
+        out->push_back(std::move(*it));
+        it = lane.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  stats_.shed_deadline += static_cast<i64>(out->size());
+}
+
+void RequestBatcher::fail(std::vector<PendingRequest>& batch,
+                          const std::exception_ptr& error) {
+  for (PendingRequest& p : batch) p.promise.set_exception(error);
+  batch.clear();
 }
 
 std::future<EmbedResult> RequestBatcher::submit(EmbedRequest req) {
   PendingRequest pending;
-  pending.request = std::move(req);
   pending.submitted_ns = monotonic_ns();
+  if (req.deadline_us > 0) {
+    pending.deadline_ns =
+        pending.submitted_ns + static_cast<u64>(req.deadline_us) * 1000ULL;
+  }
+  const Lane lane = req.lane;
+  pending.request = std::move(req);
   std::future<EmbedResult> fut = pending.promise.get_future();
+
+  std::vector<PendingRequest> expired;   // queued entries past deadline
+  std::vector<PendingRequest> displaced;  // bulk entries bumped by priority
+  std::exception_ptr rejection;  // set iff `pending` itself is shed
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (closed_) throw Error("RequestBatcher: submit after close()");
-    queue_.push_back(std::move(pending));
+    if (closed_) {
+      stats_.shed_shutdown += 1;
+      rejection = std::make_exception_ptr(
+          ShutdownError("RequestBatcher: submit after close()"));
+    }
+    // Deadline-aware admission: if the work already queued ahead takes
+    // longer (by the EWMA of recent batch times) than this request's
+    // whole budget, admitting it only converts a fast failure into a
+    // slow one. Requests without a deadline always pass this gate.
+    if (rejection == nullptr && pending.deadline_ns != 0 &&
+        ewma_batch_seconds_ > 0) {
+      const double batches_ahead = static_cast<double>(
+          pending_locked() / opts_.max_batch + 1);  // queue ahead + ours
+      const double estimate_s = batches_ahead * ewma_batch_seconds_;
+      const double budget_s =
+          static_cast<double>(pending.deadline_ns - pending.submitted_ns) *
+          1e-9;
+      if (estimate_s > budget_s) {
+        stats_.shed_deadline += 1;
+        rejection = std::make_exception_ptr(DeadlineExceeded(
+            "cannot meet deadline: ~" + std::to_string(estimate_s) +
+            "s of queued work against a " + std::to_string(budget_s) +
+            "s budget"));
+      }
+    }
+    if (rejection == nullptr && opts_.max_queue > 0 &&
+        pending_locked() >= opts_.max_queue) {
+      // Make room from expired entries first: they are dead weight.
+      collect_expired_locked(pending.submitted_ns, &expired);
+      if (pending_locked() >= opts_.max_queue) {
+        Queue& bulk = lanes_[static_cast<int>(Lane::kBulk)];
+        if (lane == Lane::kInteractive && !bulk.empty()) {
+          // Priority admission: the youngest bulk request yields its
+          // slot (LIFO displacement — the oldest bulk request has
+          // waited longest and ships soonest).
+          displaced.push_back(std::move(bulk.back()));
+          bulk.pop_back();
+          stats_.shed_overload += 1;
+        } else {
+          stats_.shed_overload += 1;
+          rejection = std::make_exception_ptr(Overloaded(
+              "admission queue full (" + std::to_string(opts_.max_queue) +
+              " queued)"));
+        }
+      }
+    }
+    if (rejection == nullptr) {
+      lanes_[static_cast<int>(lane)].push_back(std::move(pending));
+      stats_.submitted += 1;
+    }
   }
-  static auto& submitted =
-      obs::MetricsRegistry::instance().counter("serve.submitted");
-  submitted.add(1);
+
+  auto& reg = obs::MetricsRegistry::instance();
+  static auto& submitted = reg.counter("serve.submitted");
+  static auto& queue_depth = reg.gauge("serve.queue_depth");
+  if (rejection == nullptr) submitted.add(1);
+  queue_depth.set(static_cast<double>(this->pending()));
+  if (!expired.empty()) {
+    shed_counters().deadline.add(static_cast<double>(expired.size()));
+    for (std::size_t i = 0; i < expired.size(); ++i) {
+      obs::trace_instant("serve.shed_deadline", "serve");
+    }
+    fail(expired, std::make_exception_ptr(DeadlineExceeded(
+                      "deadline expired while queued")));
+  }
+  if (!displaced.empty()) {
+    shed_counters().overload.add(static_cast<double>(displaced.size()));
+    obs::trace_instant("serve.shed_overload", "serve");
+    fail(displaced, std::make_exception_ptr(Overloaded(
+                        "displaced by an interactive request")));
+  }
+  if (rejection != nullptr) {
+    // Typed fast-fail: the future is ready before submit returns. Metric
+    // attribution by type (stats_ was already bumped under the lock).
+    try {
+      std::rethrow_exception(rejection);
+    } catch (const Overloaded&) {
+      shed_counters().overload.add(1);
+      obs::trace_instant("serve.shed_overload", "serve");
+    } catch (const DeadlineExceeded&) {
+      shed_counters().deadline.add(1);
+      obs::trace_instant("serve.shed_deadline", "serve");
+    } catch (const ShutdownError&) {
+      shed_counters().shutdown.add(1);
+    } catch (...) {
+    }
+    pending.promise.set_exception(rejection);
+    return fut;
+  }
   cv_.notify_all();
   return fut;
 }
 
 std::vector<PendingRequest> RequestBatcher::next_batch() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return !queue_.empty() || closed_; });
-  if (queue_.empty()) return {};  // closed and drained
-
-  // The oldest queued request anchors the delay window: ship as soon as
-  // the batch is full, or when that request has waited long enough.
-  const u64 deadline_ns =
-      queue_.front().submitted_ns +
-      static_cast<u64>(opts_.max_delay_us) * 1000ULL;
-  while (static_cast<i64>(queue_.size()) < opts_.max_batch && !closed_) {
-    const u64 now = monotonic_ns();
-    if (now >= deadline_ns) break;
-    cv_.wait_for(lk, std::chrono::nanoseconds(deadline_ns - now), [&] {
-      return static_cast<i64>(queue_.size()) >= opts_.max_batch || closed_;
-    });
-    if (monotonic_ns() >= deadline_ns) break;
-  }
-
-  const std::size_t take =
-      std::min(queue_.size(), static_cast<std::size_t>(opts_.max_batch));
+  std::vector<PendingRequest> expired;
   std::vector<PendingRequest> batch;
-  batch.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [&] { return pending_locked() > 0 || closed_; });
+      if (pending_locked() == 0) return {};  // closed and drained
+
+      // Sweep expired entries before forming the batch: they must never
+      // reach the encoder, and their futures resolve now, not after the
+      // batch ahead of them computes.
+      collect_expired_locked(monotonic_ns(), &expired);
+      if (pending_locked() > 0 || closed_) break;
+      // Everything queued had expired; resolve those and wait again.
+      lk.unlock();
+      if (!expired.empty()) {
+        shed_counters().deadline.add(static_cast<double>(expired.size()));
+        fail(expired, std::make_exception_ptr(DeadlineExceeded(
+                          "deadline expired while queued")));
+      }
+      lk.lock();
+    }
+    if (pending_locked() > 0) {
+      // The oldest queued request (across lanes) anchors the delay
+      // window: ship as soon as the batch is full, when that request
+      // has waited long enough, or — deadline-aware — just before the
+      // tightest queued deadline would expire.
+      u64 oldest_ns = ~0ULL;
+      u64 tightest_deadline_ns = ~0ULL;
+      for (const Queue& lane : lanes_) {
+        for (const PendingRequest& p : lane) {
+          oldest_ns = std::min(oldest_ns, p.submitted_ns);
+          if (p.deadline_ns != 0) {
+            tightest_deadline_ns =
+                std::min(tightest_deadline_ns, p.deadline_ns);
+          }
+        }
+      }
+      const u64 door_ns =
+          oldest_ns + static_cast<u64>(opts_.max_delay_us) * 1000ULL;
+      const u64 ship_ns = std::min(door_ns, tightest_deadline_ns);
+      while (pending_locked() < opts_.max_batch && !closed_) {
+        const u64 now = monotonic_ns();
+        if (now >= ship_ns) break;
+        cv_.wait_for(lk, std::chrono::nanoseconds(ship_ns - now), [&] {
+          return pending_locked() >= opts_.max_batch || closed_;
+        });
+        if (monotonic_ns() >= ship_ns) break;
+      }
+
+      // Interactive lane drains first — the priority half of the lane
+      // contract (admission displacement is the other half).
+      const std::size_t take = std::min(
+          static_cast<std::size_t>(pending_locked()),
+          static_cast<std::size_t>(opts_.max_batch));
+      batch.reserve(take);
+      for (Queue* lane : {&lanes_[static_cast<int>(Lane::kInteractive)],
+                          &lanes_[static_cast<int>(Lane::kBulk)]}) {
+        while (batch.size() < take && !lane->empty()) {
+          batch.push_back(std::move(lane->front()));
+          lane->pop_front();
+        }
+      }
+    }
   }
+  if (!expired.empty()) {
+    shed_counters().deadline.add(static_cast<double>(expired.size()));
+    fail(expired, std::make_exception_ptr(DeadlineExceeded(
+                      "deadline expired while queued")));
+  }
+  static auto& queue_depth =
+      obs::MetricsRegistry::instance().gauge("serve.queue_depth");
+  queue_depth.set(static_cast<double>(pending()));
   return batch;
+}
+
+void RequestBatcher::record_batch_seconds(double seconds) {
+  if (seconds <= 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  ewma_batch_seconds_ = ewma_batch_seconds_ == 0
+                            ? seconds
+                            : kEwmaAlpha * seconds +
+                                  (1 - kEwmaAlpha) * ewma_batch_seconds_;
 }
 
 void RequestBatcher::close() {
@@ -74,7 +294,12 @@ bool RequestBatcher::closed() const {
 
 i64 RequestBatcher::pending() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return static_cast<i64>(queue_.size());
+  return pending_locked();
+}
+
+BatcherStats RequestBatcher::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
 }
 
 }  // namespace geofm::serve

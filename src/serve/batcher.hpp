@@ -1,5 +1,7 @@
-// Dynamic request batcher: coalesces concurrent embedding requests into
-// bounded batches for one shared encoder forward.
+// Dynamic request batcher with admission control: coalesces concurrent
+// embedding requests into bounded batches for one shared encoder
+// forward, and sheds work it cannot serve in time instead of queueing
+// it forever.
 //
 // Callers submit() from any thread and get a future; the single batch
 // worker calls next_batch(), which blocks until at least one request is
@@ -10,9 +12,33 @@
 // free (lowest latency), larger values hold the door open so sparse
 // traffic still fills batches (highest encoder utilization).
 //
-// close() stops admission (submit throws) but next_batch() keeps
-// returning queued work until the queue drains, then returns empty —
-// shutdown never abandons an accepted request's promise.
+// Overload discipline — the batcher never blocks a submitter and never
+// lets the queue grow without bound:
+//
+//   * Bounded admission (`max_queue` > 0): when the queue is full, the
+//     incoming request is rejected with a typed `Overloaded` error on
+//     its future (after first sweeping out any already-expired entries
+//     to make room). submit() itself stays non-blocking and non-throwing
+//     for load conditions — shedding is a *result*, not control flow.
+//   * Deadlines (`EmbedRequest::deadline_us`, relative to submit; 0 =
+//     none): a request that expires while queued is completed with
+//     `DeadlineExceeded` at the next queue touch and never reaches the
+//     encoder; a request that *cannot* meet its deadline even if
+//     admitted — the EWMA of recent batch service times says the queue
+//     ahead of it takes longer than its whole budget — is rejected
+//     up front with `DeadlineExceeded` (fail fast beats queue-then-expire).
+//   * Priority lanes (`EmbedRequest::lane`): kInteractive requests are
+//     batched ahead of kBulk ones, and when the queue is full an
+//     interactive arrival displaces the youngest queued bulk request
+//     (which is shed `Overloaded`) — cache-hit-eligible and tenant-head
+//     traffic is never starved behind a bulk-encode backlog.
+//
+// Shutdown: close() stops admission (later submits resolve with
+// `ShutdownError`) but next_batch() keeps returning queued work until
+// the queue drains, then returns empty. If the batcher is destroyed
+// with requests still queued (no worker draining), every queued promise
+// is completed with `ShutdownError` — an accepted request's future is
+// never dropped unresolved.
 #pragma once
 
 #include <condition_variable>
@@ -27,11 +53,39 @@
 
 namespace geofm::serve {
 
+// Typed serving failures. Callers distinguish shed-able conditions (back
+// off, retry elsewhere, degrade) from programming errors by type; all
+// three derive from geofm::Error so existing catch sites keep working.
+class Overloaded : public Error {
+ public:
+  explicit Overloaded(const std::string& what) : Error(what) {}
+};
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+class ShutdownError : public Error {
+ public:
+  explicit ShutdownError(const std::string& what) : Error(what) {}
+};
+/// The server is running without loadable weights (cache-only mode):
+/// cache hits are still answered, everything else is shed with this.
+class Degraded : public Error {
+ public:
+  explicit Degraded(const std::string& what) : Error(what) {}
+};
+
+/// Admission lane. Interactive requests batch ahead of bulk ones and
+/// win admission against them when the queue is full.
+enum class Lane : unsigned char { kBulk = 0, kInteractive = 1 };
+
 /// One embedding request. `image` is a single [C,H,W] scene.
 struct EmbedRequest {
   std::string key;     // cache/identity key; empty = never cached
   Tensor image;        // [C,H,W], matching the served model's config
   std::string tenant;  // optional: apply this tenant's head to the result
+  i64 deadline_us = 0;  // latency budget from submit; 0 = no deadline
+  Lane lane = Lane::kBulk;
 };
 
 struct EmbedResult {
@@ -41,47 +95,80 @@ struct EmbedResult {
   i64 model_epoch = 0;  // swap generation (constant across one batch)
   i64 batch_size = 0;   // encoder batch this rode in; 0 = served from cache
   bool cache_hit = false;
+  bool degraded = false;  // served from cache while no weights are loadable
 };
 
 /// A queued request: what the caller sent plus the promise the batch
-/// worker fulfills and the submit timestamp (request-latency metric).
+/// worker fulfills and the submit/expiry timestamps.
 struct PendingRequest {
   EmbedRequest request;
   std::promise<EmbedResult> promise;
   u64 submitted_ns = 0;
+  u64 deadline_ns = 0;  // absolute monotonic_ns expiry; 0 = none
 };
 
 struct BatcherOptions {
   i64 max_batch = 8;
   i64 max_delay_us = 1000;
+  i64 max_queue = 0;  // queued-request bound across both lanes; 0 = unbounded
+};
+
+/// Shed/queue accounting (also mirrored into serve.* metrics).
+struct BatcherStats {
+  i64 submitted = 0;       // admitted requests
+  i64 shed_overload = 0;   // rejected or displaced: queue full
+  i64 shed_deadline = 0;   // expired in queue or hopeless at admission
+  i64 shed_shutdown = 0;   // completed with ShutdownError
 };
 
 class RequestBatcher {
  public:
   explicit RequestBatcher(BatcherOptions opts);
 
+  /// Completes any still-queued request with ShutdownError.
+  ~RequestBatcher();
+
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
 
-  /// Queues `req`; never blocks. Throws geofm::Error after close().
+  /// Queues `req`; never blocks and never throws for load or lifecycle
+  /// conditions — an un-admittable request's future resolves immediately
+  /// with a typed error (Overloaded / DeadlineExceeded / ShutdownError).
   std::future<EmbedResult> submit(EmbedRequest req);
 
-  /// Blocks until a batch is ready (see header comment) and pops it.
+  /// Blocks until a batch is ready (see header comment) and pops it,
+  /// interactive lane first. Expired requests are shed, not returned.
   /// Empty result = closed and fully drained; the worker should exit.
   std::vector<PendingRequest> next_batch();
+
+  /// Feeds the admission estimator: observed wall seconds for one batch
+  /// (encode + fulfillment). The batch worker calls this per batch.
+  void record_batch_seconds(double seconds);
 
   /// Stops admission and wakes the worker. Queued requests still drain.
   void close();
 
   bool closed() const;
   i64 pending() const;
+  BatcherStats stats() const;
   const BatcherOptions& options() const { return opts_; }
 
  private:
+  using Queue = std::deque<PendingRequest>;
+
+  // All *_locked helpers require mu_ held. Shed promises are completed
+  // after the lock drops (set_exception can wake waiters).
+  i64 pending_locked() const;
+  void collect_expired_locked(u64 now_ns, std::vector<PendingRequest>* out);
+  static void fail(std::vector<PendingRequest>& batch,
+                   const std::exception_ptr& error);
+
   const BatcherOptions opts_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<PendingRequest> queue_;
+  Queue lanes_[2];  // index by static_cast<int>(Lane)
+  double ewma_batch_seconds_ = 0;  // 0 = no observation yet
+  BatcherStats stats_;
   bool closed_ = false;
 };
 

@@ -406,15 +406,33 @@ ElasticResult run_elastic(const ElasticConfig& cfg,
       tc.recovery_resume = !res.attempts.empty();
       i64 resume_step = 0;
       if (!cfg.train.checkpoint_dir.empty()) {
-        const ckpt::PublishedManifest latest =
-            ckpt::latest_published_manifest(cfg.train.checkpoint_dir);
-        if (latest.found()) {
+        // Resume scans the primary root and, when configured, the upload
+        // mirror: a wiped or torn primary no longer costs the whole
+        // campaign when the uploader drained the step off-node. Mirror
+        // candidates are checksum-verified before being trusted — an
+        // interrupted mirror copy must not become the resume source.
+        std::vector<std::string> roots{cfg.train.checkpoint_dir};
+        if (cfg.train.upload.enabled()) {
+          roots.push_back(cfg.train.upload.destination);
+        }
+        for (const ckpt::PublishedSource& cand :
+             ckpt::published_sources(roots)) {
+          if (cand.source > 0) {
+            try {
+              ckpt::verify_checkpoint_dir(cand.dir);
+            } catch (const std::exception& e) {
+              GEOFM_WARN("elastic: mirror resume candidate " << cand.dir
+                         << " failed verification: " << e.what());
+              continue;
+            }
+          }
           // Pin the resume source now: later saves may add newer steps
           // (or retention may GC this one), and the attempt record must
           // name what was actually restored.
-          att.resumed_from = latest.dir;
+          att.resumed_from = cand.dir;
           tc.resume_from = att.resumed_from;
-          resume_step = latest.step + 1;
+          resume_step = cand.step + 1;
+          break;
         }
       }
 

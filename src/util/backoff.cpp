@@ -1,0 +1,20 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace geofm {
+
+double backoff_seconds(const BackoffPolicy& policy, u64 key, int attempt) {
+  GEOFM_CHECK(attempt >= 1, "backoff attempts are 1-based");
+  double backoff = policy.initial_seconds;
+  for (int i = 1; i < attempt; ++i) backoff *= 2;
+  backoff = std::min(backoff, policy.max_seconds);
+  Rng jitter =
+      Rng(policy.seed).split(key).split(static_cast<u64>(attempt));
+  backoff *= jitter.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  return backoff;
+}
+
+}  // namespace geofm

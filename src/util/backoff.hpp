@@ -1,0 +1,31 @@
+// Shared exponential-backoff shape with deterministic seeded jitter.
+//
+// Two subsystems retry against flaky storage: the checkpoint uploader
+// (mirror copies) and the serving tier's reload circuit breaker. Both
+// need the same schedule — exponential growth clamped to a ceiling,
+// scaled by jitter that is a pure function of (seed, key, attempt) so
+// fault-injected runs replay bitwise and a fleet of servers pointed at
+// the same torn publication does not retry in lockstep. This header is
+// that one shape; the policy fields mirror the uploader's original
+// knobs so its observable schedule is unchanged.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace geofm {
+
+struct BackoffPolicy {
+  double initial_seconds = 0.05;  // attempt 1 waits this long (pre-jitter)
+  double max_seconds = 2.0;       // exponential growth clamps here
+  double jitter = 0.5;            // scale by [1-j, 1+j) per attempt
+  u64 seed = 0x5eedULL;           // jitter stream
+};
+
+/// Backoff before retry `attempt` (1-based: attempt 1 is the first
+/// retry) of the work item identified by `key` (the uploader keys by
+/// checkpoint step; the serve breaker by trip count). Deterministic:
+/// initial * 2^(attempt-1), clamped to max, jittered by a stream split
+/// from (seed, key, attempt).
+double backoff_seconds(const BackoffPolicy& policy, u64 key, int attempt);
+
+}  // namespace geofm

@@ -13,9 +13,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +26,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "ckpt/io_fault.hpp"
 #include "ckpt/state.hpp"
+#include "ckpt/uploader.hpp"
 #include "comm/fault.hpp"
 #include "models/mae.hpp"
 #include "nn/linear.hpp"
@@ -153,7 +157,10 @@ TEST(ServeBatcher, CoalescesUpToMaxBatch) {
   std::vector<serve::PendingRequest> second = b.next_batch();
   EXPECT_EQ(second.size(), 2u);
   EXPECT_TRUE(b.next_batch().empty());  // closed and drained
-  EXPECT_THROW(b.submit(serve::EmbedRequest{}), Error);
+  // Submitting after close is not an exception at the call site — the
+  // future resolves immediately with the typed shutdown error.
+  std::future<serve::EmbedResult> rejected = b.submit(serve::EmbedRequest{});
+  EXPECT_THROW(rejected.get(), serve::ShutdownError);
   for (auto& p : first) p.promise.set_value({});
   for (auto& p : second) p.promise.set_value({});
 }
@@ -702,6 +709,521 @@ TEST(ServeE2E, HotSwapUnderConcurrentLoad) {
   EXPECT_GE(reload_spans, 2);  // initial load + at least the hot swap
   recorder.disable();
   fs::remove_all(root);
+}
+
+// ---------------------------------------------------------------- overload
+
+// Bounded admission: with the queue full and no worker draining, the
+// next submit resolves immediately with a typed Overloaded error — it
+// neither blocks nor throws at the call site.
+TEST(ServeOverload, FullQueueShedsWithTypedError) {
+  serve::RequestBatcher b(
+      {/*max_batch=*/4, /*max_delay_us=*/1000, /*max_queue=*/3});
+  std::vector<std::future<serve::EmbedResult>> admitted;
+  for (int i = 0; i < 3; ++i) {
+    admitted.push_back(b.submit(serve::EmbedRequest{}));
+  }
+  std::future<serve::EmbedResult> shed = b.submit(serve::EmbedRequest{});
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);  // fail-fast, not queued
+  EXPECT_THROW(shed.get(), serve::Overloaded);
+  const serve::BatcherStats stats = b.stats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.shed_overload, 1);
+  EXPECT_EQ(b.pending(), 3);
+  auto batch = b.next_batch();
+  for (auto& p : batch) p.promise.set_value({});
+}
+
+// Priority lanes: when the queue is full, an interactive arrival takes
+// the youngest bulk request's slot (that one sheds Overloaded), and
+// next_batch drains the interactive lane first.
+TEST(ServeOverload, InteractiveDisplacesYoungestBulk) {
+  serve::RequestBatcher b(
+      {/*max_batch=*/8, /*max_delay_us=*/0, /*max_queue=*/2});
+  serve::EmbedRequest bulk_old;
+  bulk_old.key = "bulk_old";
+  serve::EmbedRequest bulk_young;
+  bulk_young.key = "bulk_young";
+  auto fut_old = b.submit(std::move(bulk_old));
+  auto fut_young = b.submit(std::move(bulk_young));
+
+  serve::EmbedRequest interactive;
+  interactive.key = "interactive";
+  interactive.lane = serve::Lane::kInteractive;
+  auto fut_inter = b.submit(std::move(interactive));
+
+  // The youngest bulk request yielded its slot.
+  ASSERT_EQ(fut_young.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_THROW(fut_young.get(), serve::Overloaded);
+  EXPECT_EQ(b.stats().shed_overload, 1);
+
+  std::vector<serve::PendingRequest> batch = b.next_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request.key, "interactive");  // priority drains first
+  EXPECT_EQ(batch[1].request.key, "bulk_old");
+  for (auto& p : batch) p.promise.set_value({});
+  (void)fut_old.get();
+  (void)fut_inter.get();
+}
+
+// A request that expires while queued resolves with DeadlineExceeded at
+// the next queue touch and never reaches the worker's batch.
+TEST(ServeOverload, ExpiredRequestIsShedNotBatched) {
+  serve::RequestBatcher b({/*max_batch=*/4, /*max_delay_us=*/0});
+  serve::EmbedRequest doomed;
+  doomed.key = "doomed";
+  doomed.deadline_us = 1;  // expires essentially immediately
+  auto fut_doomed = b.submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  serve::EmbedRequest fine;
+  fine.key = "fine";
+  auto fut_fine = b.submit(std::move(fine));
+
+  std::vector<serve::PendingRequest> batch = b.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.key, "fine");
+  EXPECT_THROW(fut_doomed.get(), serve::DeadlineExceeded);
+  EXPECT_EQ(b.stats().shed_deadline, 1);
+  batch[0].promise.set_value({});
+  (void)fut_fine.get();
+}
+
+// Deadline-aware admission: once the EWMA of batch service time says the
+// queued work exceeds a request's whole budget, the request fails fast
+// at submit instead of queueing up to expire.
+TEST(ServeOverload, HopelessDeadlineFailsFastAtAdmission) {
+  serve::RequestBatcher b({/*max_batch=*/2, /*max_delay_us=*/0});
+  b.record_batch_seconds(0.050);  // recent batches take ~50ms
+
+  serve::EmbedRequest hopeless;
+  hopeless.deadline_us = 1000;  // 1ms budget against ~50ms of service
+  auto fut = b.submit(std::move(hopeless));
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_THROW(fut.get(), serve::DeadlineExceeded);
+  EXPECT_EQ(b.pending(), 0);
+  EXPECT_EQ(b.stats().shed_deadline, 1);
+
+  // A generous budget still passes the same gate.
+  serve::EmbedRequest fine;
+  fine.deadline_us = 10'000'000;
+  auto fut_fine = b.submit(std::move(fine));
+  EXPECT_EQ(b.pending(), 1);
+  auto batch = b.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  batch[0].promise.set_value({});
+  (void)fut_fine.get();
+}
+
+// Shutdown regression: submitters race close() and destruction with
+// requests still queued. Every future an accepted submit returned must
+// resolve — with a value or a typed ShutdownError, never a broken
+// promise and never a hang.
+TEST(ServeShutdown, DestructionResolvesEveryQueuedFuture) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 32;
+  auto b = std::make_unique<serve::RequestBatcher>(
+      serve::BatcherOptions{/*max_batch=*/8, /*max_delay_us=*/50000});
+  std::mutex futs_mu;
+  std::vector<std::future<serve::EmbedResult>> futs;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        auto fut = b->submit(serve::EmbedRequest{});
+        std::lock_guard<std::mutex> lk(futs_mu);
+        futs.push_back(std::move(fut));
+      }
+    });
+  }
+  go.store(true);
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  b->close();  // races the submitters
+  for (auto& t : submitters) t.join();
+
+  // Drain one batch the way a worker would, then destroy with the rest
+  // still queued: the destructor must complete them, not drop them.
+  std::vector<serve::PendingRequest> drained = b->next_batch();
+  for (auto& p : drained) p.promise.set_value({});
+  b.reset();
+
+  int fulfilled = 0;
+  int shutdown = 0;
+  int unexpected = 0;
+  for (auto& f : futs) {
+    try {
+      (void)f.get();
+      ++fulfilled;
+    } catch (const serve::ShutdownError&) {
+      ++shutdown;
+    } catch (...) {
+      ++unexpected;  // broken promise or a mistyped error
+    }
+  }
+  EXPECT_EQ(fulfilled + shutdown, kThreads * kPerThread);
+  EXPECT_EQ(unexpected, 0);
+  EXPECT_EQ(fulfilled, static_cast<int>(drained.size()));
+}
+
+// End-to-end overload: a server with a tiny admission queue under a
+// burst far beyond capacity. Some requests are served, the excess sheds
+// with typed errors, the books balance, and nothing hangs.
+TEST(ServeOverload, ServerShedsExcessAndServesTheRest) {
+  const std::string root = fresh_root("geofm_serve_overload");
+  const auto cfg = serve_mae_cfg();
+  Rng rng(81);
+  models::MAE model(cfg, rng);
+  publish_model(root, 1, model);
+
+  serve::ServerConfig scfg;
+  scfg.checkpoint_root = root;
+  scfg.model = cfg;
+  scfg.max_batch = 2;
+  scfg.max_delay_us = 0;
+  scfg.max_queue = 4;
+  scfg.cache_capacity = 0;  // force every request through the encoder
+  scfg.poll_interval_seconds = 0;
+  serve::ModelServer server(scfg);
+
+  constexpr int kBurst = 64;
+  std::vector<std::future<serve::EmbedResult>> futs;
+  for (int i = 0; i < kBurst; ++i) {
+    serve::EmbedRequest req;
+    req.image = scene_image(cfg, static_cast<u64>(i % 4));
+    futs.push_back(server.submit(std::move(req)));
+  }
+  int served = 0;
+  int shed = 0;
+  int unexpected = 0;
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);  // bounded: nothing hangs
+    try {
+      (void)f.get();
+      ++served;
+    } catch (const serve::Overloaded&) {
+      ++shed;
+    } catch (const serve::DeadlineExceeded&) {
+      ++shed;
+    } catch (...) {
+      ++unexpected;
+    }
+  }
+  EXPECT_EQ(served + shed, kBurst);
+  EXPECT_EQ(unexpected, 0);
+  EXPECT_GT(served, 0);  // capacity was not zero...
+  EXPECT_GT(shed, 0);    // ...and the burst exceeded it
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, served);
+  EXPECT_EQ(stats.shed_overload, shed);
+  server.stop();
+  fs::remove_all(root);
+}
+
+// ---------------------------------------------------------------- failover
+
+// Copies `root/step_dir` to `mirror/step_dir` through the real Uploader
+// (bitwise copy + destination-side verification).
+void mirror_step(const std::string& root, const std::string& mirror,
+                 i64 step) {
+  ckpt::UploaderOptions uo;
+  uo.source = root;
+  uo.destination = mirror;
+  uo.max_retries = 1;
+  ckpt::Uploader uploader(uo);
+  uploader.enqueue(step);
+  uploader.drain();
+  ASSERT_EQ(uploader.newest_uploaded_step(), step);
+}
+
+// Primary deleted mid-serve: the next reload fails over to the uploader
+// mirror and the served embeddings are bitwise-equal to what the primary
+// weights produced. Restoring a newer primary fails back.
+TEST(ServeFailover, MirrorServesWhenPrimaryDisappears) {
+  const std::string root = fresh_root("geofm_serve_failover");
+  const std::string mirror = "/tmp/geofm_serve_failover_mirror";
+  fs::remove_all(mirror);
+  fs::create_directories(mirror);
+  const auto cfg = serve_mae_cfg();
+  Rng rng_a(91);
+  models::MAE model_a(cfg, rng_a);
+  publish_model(root, 1, model_a);
+  Rng rng_b(92);
+  models::MAE model_b(cfg, rng_b);
+  publish_model(root, 2, model_b);
+  mirror_step(root, mirror, 2);
+
+  serve::ServerConfig scfg;
+  scfg.checkpoint_root = root;
+  scfg.checkpoint_sources = {root, mirror};
+  scfg.model = cfg;
+  scfg.poll_interval_seconds = 0;
+  serve::ModelServer server(scfg);
+  EXPECT_EQ(server.model_step(), 2);
+  EXPECT_EQ(server.degraded_mode(), serve::DegradedMode::kHealthy);
+
+  // Roll the primary forward then wipe it before the server reloads:
+  // only the mirror still holds a loadable checkpoint (step 2 — older
+  // than nothing, newer than nothing; the server is already on 2, so
+  // publish 3 to the mirror to give it something newer to take).
+  publish_model(root, 3, model_b);
+  mirror_step(root, mirror, 3);
+  fs::remove_all(root);
+  EXPECT_TRUE(server.reload_now());
+  EXPECT_EQ(server.model_step(), 3);
+  EXPECT_EQ(server.degraded_mode(), serve::DegradedMode::kMirror);
+  EXPECT_GE(server.stats().failovers, 1);
+
+  // Bitwise parity with the weights the primary published.
+  const Tensor image = scene_image(cfg, 17);
+  expect_bitwise(
+      server.embed({.key = "", .image = image, .tenant = ""}).embedding,
+      direct_embed(model_b, image));
+
+  // Primary comes back with a newer step: served from source 0 again.
+  ckpt::reset_save_state(root);
+  Rng rng_c(93);
+  models::MAE model_c(cfg, rng_c);
+  publish_model(root, 4, model_c);
+  EXPECT_TRUE(server.reload_now());
+  EXPECT_EQ(server.model_step(), 4);
+  EXPECT_EQ(server.degraded_mode(), serve::DegradedMode::kHealthy);
+  expect_bitwise(
+      server.embed({.key = "", .image = image, .tenant = ""}).embedding,
+      direct_embed(model_c, image));
+  server.stop();
+  fs::remove_all(root);
+  fs::remove_all(mirror);
+}
+
+// A torn mirror copy (truncated shard behind a published manifest) must
+// not be trusted: verification rejects it, the old weights keep serving,
+// and repeated failing ticks trip the reload circuit breaker, which
+// then suppresses the poller until its backoff expires.
+TEST(ServeBreaker, TornMirrorTripsBreakerOldWeightsServe) {
+  const std::string root = fresh_root("geofm_serve_breaker");
+  const std::string mirror = "/tmp/geofm_serve_breaker_mirror";
+  fs::remove_all(mirror);
+  fs::create_directories(mirror);
+  const auto cfg = serve_mae_cfg();
+  Rng rng_a(101);
+  models::MAE model_a(cfg, rng_a);
+  publish_model(root, 1, model_a);
+  Rng rng_b(102);
+  models::MAE model_b(cfg, rng_b);
+  publish_model(root, 2, model_b);
+  mirror_step(root, mirror, 2);
+
+  // Tear the mirror copy of step 2 after the fact: halve its first
+  // shard. The manifest still publishes it, so only checksum
+  // verification stands between the server and garbage weights.
+  const std::string step_dir = mirror + "/" + ckpt::format::step_dir_name(2);
+  const ckpt::format::Manifest man = ckpt::format::read_manifest(step_dir);
+  ASSERT_FALSE(man.shards.empty());
+  const std::string shard = step_dir + "/" + man.shards.front();
+  fs::resize_file(shard, fs::file_size(shard) / 2);
+  // And the primary loses step 2 entirely: the mirror is the only
+  // candidate newer than the served step 1... once the server loads 1.
+  fs::remove_all(root + "/" + ckpt::format::step_dir_name(2));
+
+  serve::ServerConfig scfg;
+  scfg.checkpoint_root = root;
+  scfg.checkpoint_sources = {root, mirror};
+  scfg.model = cfg;
+  scfg.poll_interval_seconds = 0.002;
+  scfg.breaker_threshold = 2;
+  // Big, escalating backoff so the open breaker is observable.
+  scfg.breaker_backoff = {/*initial_seconds=*/5.0, /*max_seconds=*/30.0,
+                          /*jitter=*/0.5, /*seed=*/7};
+  serve::ModelServer server(scfg);
+  EXPECT_EQ(server.model_step(), 1);
+
+  // The poller keeps finding the torn mirror candidate and failing; at
+  // the threshold the breaker must trip.
+  for (int i = 0; i < 4000 && server.stats().breaker_trips == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.stats().breaker_trips, 1);
+  EXPECT_EQ(server.degraded_mode(), serve::DegradedMode::kBreakerOpen);
+  EXPECT_EQ(server.model_step(), 1);  // never swapped to garbage
+
+  // Open breaker: the poller stops hammering the torn publication. The
+  // jittered backoff is >= 2.5s, so failures must freeze well beyond the
+  // 2ms poll interval (one in-flight tick of slack).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const i64 failures_at_trip = server.stats().reload_failures;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_LE(server.stats().reload_failures, failures_at_trip + 1);
+
+  // Old weights keep serving, bitwise.
+  const Tensor image = scene_image(cfg, 23);
+  expect_bitwise(
+      server.embed({.key = "", .image = image, .tenant = ""}).embedding,
+      direct_embed(model_a, image));
+
+  // Operator override: a good primary publication + reload_now() loads
+  // despite the open breaker and closes it.
+  Rng rng_c(103);
+  models::MAE model_c(cfg, rng_c);
+  publish_model(root, 5, model_c);
+  EXPECT_TRUE(server.reload_now());
+  EXPECT_EQ(server.model_step(), 5);
+  EXPECT_EQ(server.degraded_mode(), serve::DegradedMode::kHealthy);
+  server.stop();
+  fs::remove_all(root);
+  fs::remove_all(mirror);
+}
+
+// Every source gone: with unload_on_sourceless the server drops to
+// cache-only mode — epoch-pinned cache hits still answer (flagged
+// degraded), misses shed with the typed Degraded error — and the next
+// publication restores full service.
+TEST(ServeFailover, AllSourcesGoneServesCacheOnly) {
+  const std::string root = fresh_root("geofm_serve_cacheonly");
+  const auto cfg = serve_mae_cfg();
+  Rng rng_a(111);
+  models::MAE model_a(cfg, rng_a);
+  publish_model(root, 1, model_a);
+
+  serve::ServerConfig scfg;
+  scfg.checkpoint_root = root;
+  scfg.model = cfg;
+  scfg.cache_capacity = 16;
+  scfg.poll_interval_seconds = 0;
+  scfg.unload_on_sourceless = true;
+  serve::ModelServer server(scfg);
+
+  // Warm the cache with one keyed scene.
+  const Tensor image = scene_image(cfg, 29);
+  const serve::EmbedResult warm =
+      server.embed({.key = "scene", .image = image, .tenant = ""});
+  EXPECT_FALSE(warm.degraded);
+
+  fs::remove_all(root);
+  EXPECT_FALSE(server.reload_now());  // nothing loadable -> unload
+  EXPECT_EQ(server.degraded_mode(), serve::DegradedMode::kCacheOnly);
+
+  // The cached key still answers — same epoch, same bits — and says so.
+  const serve::EmbedResult hit =
+      server.embed({.key = "scene", .image = image, .tenant = ""});
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_TRUE(hit.degraded);
+  expect_bitwise(hit.embedding, warm.embedding);
+
+  // A miss cannot be computed without weights: typed shed.
+  EXPECT_THROW(server.embed({.key = "other",
+                             .image = scene_image(cfg, 31),
+                             .tenant = ""}),
+               serve::Degraded);
+  EXPECT_GE(server.stats().shed_degraded, 1);
+
+  // Re-publication restores full service (fresh epoch: the old cache
+  // entries are invalidated, new encodes flow).
+  ckpt::reset_save_state(root);
+  Rng rng_b(112);
+  models::MAE model_b(cfg, rng_b);
+  publish_model(root, 2, model_b);
+  EXPECT_TRUE(server.reload_now());
+  EXPECT_EQ(server.degraded_mode(), serve::DegradedMode::kHealthy);
+  const serve::EmbedResult back =
+      server.embed({.key = "other", .image = scene_image(cfg, 31),
+                    .tenant = ""});
+  EXPECT_FALSE(back.degraded);
+  expect_bitwise(back.embedding,
+                 direct_embed(model_b, scene_image(cfg, 31)));
+  server.stop();
+  fs::remove_all(root);
+}
+
+// allow_degraded_start: constructing against a root with nothing
+// loadable starts cache-only instead of throwing; the first publication
+// brings the server up.
+TEST(ServeFailover, DegradedStartRecoversOnFirstPublication) {
+  const std::string root = fresh_root("geofm_serve_degraded_start");
+  const auto cfg = serve_mae_cfg();
+
+  serve::ServerConfig scfg;
+  scfg.checkpoint_root = root;
+  scfg.model = cfg;
+  scfg.poll_interval_seconds = 0;
+  // Without the opt-in this is a construction error.
+  EXPECT_THROW(serve::ModelServer{scfg}, Error);
+
+  scfg.allow_degraded_start = true;
+  serve::ModelServer server(scfg);
+  EXPECT_EQ(server.degraded_mode(), serve::DegradedMode::kCacheOnly);
+  EXPECT_THROW(server.embed({.key = "k",
+                             .image = scene_image(cfg, 1),
+                             .tenant = ""}),
+               serve::Degraded);
+
+  Rng rng(121);
+  models::MAE model(cfg, rng);
+  publish_model(root, 1, model);
+  EXPECT_TRUE(server.reload_now());
+  EXPECT_EQ(server.degraded_mode(), serve::DegradedMode::kHealthy);
+  EXPECT_EQ(server.model_epoch(), 1);
+  expect_bitwise(server.embed({.key = "k",
+                               .image = scene_image(cfg, 1),
+                               .tenant = ""})
+                     .embedding,
+                 direct_embed(model, scene_image(cfg, 1)));
+  server.stop();
+  fs::remove_all(root);
+}
+
+// Resilience accounting in the run-health report: serve.* instants are
+// tallied, and the low-frequency mode transitions land in the recovery
+// timeline while per-request sheds stay aggregate-only.
+TEST(ServeReport, ResilienceInstantsAreCountedAndRendered) {
+  auto instant = [](const char* name) {
+    obs::TraceEvent e;
+    e.name = name;
+    e.cat = "serve";
+    e.rank = -1;
+    e.phase = obs::TraceEvent::Phase::kInstant;
+    return e;
+  };
+  std::vector<obs::TraceEvent> events;
+  for (int i = 0; i < 5; ++i) events.push_back(instant("serve.shed_overload"));
+  for (int i = 0; i < 3; ++i) events.push_back(instant("serve.shed_deadline"));
+  events.push_back(instant("serve.shed_degraded"));
+  events.push_back(instant("serve.breaker_open"));
+  events.push_back(instant("serve.failover"));
+  events.push_back(instant("serve.cache_only"));
+
+  const obs::RunHealthReport r = obs::build_run_health_report(events);
+  EXPECT_EQ(r.serve_resilience.shed_overload, 5);
+  EXPECT_EQ(r.serve_resilience.shed_deadline, 3);
+  EXPECT_EQ(r.serve_resilience.shed_degraded, 1);
+  EXPECT_EQ(r.serve_resilience.breaker_trips, 1);
+  EXPECT_EQ(r.serve_resilience.failovers, 1);
+  EXPECT_EQ(r.serve_resilience.cache_only_entries, 1);
+
+  // Timeline: mode transitions only, not the per-request sheds.
+  size_t timeline_serve = 0;
+  for (const auto& t : r.recovery_timeline) {
+    if (t.name.rfind("serve.", 0) == 0) ++timeline_serve;
+    EXPECT_EQ(t.name.find("serve.shed"), std::string::npos);
+  }
+  EXPECT_EQ(timeline_serve, 3u);
+
+  const std::string text = obs::report_to_text(r);
+  EXPECT_NE(text.find("serving resilience"), std::string::npos);
+  EXPECT_NE(text.find("1 breaker trip"), std::string::npos);
+  const std::string json = obs::report_to_json(r);
+  EXPECT_NE(json.find("\"serve_resilience\""), std::string::npos);
+  EXPECT_NE(json.find("\"shed_overload\": 5"), std::string::npos);
+
+  // A calm run renders no resilience line.
+  const obs::RunHealthReport calm = obs::build_run_health_report({});
+  EXPECT_FALSE(calm.serve_resilience.any());
+  EXPECT_EQ(obs::report_to_text(calm).find("serving resilience"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "parallel/fsdp.hpp"
 #include "train/distributed.hpp"
+#include "util/thread_context.hpp"
 
 namespace geofm {
 namespace {
@@ -495,6 +496,111 @@ TEST(StorageFaults, UnreadableShardAtRestoreIsLoud) {
     EXPECT_NE(std::string(e.what()).find("shard_"), std::string::npos);
   }
   fs::remove_all(root);
+}
+
+// ----- uploader: bandwidth cap -----------------------------------------------
+
+// The bytes/sec cap paces mirror copies: a throttled upload takes at
+// least bytes/rate wall time, the slept time is accounted in
+// stats().throttled_seconds and the upload.throttled_seconds metric,
+// and the mirrored bytes are untouched (same verified publication).
+TEST(Uploader, BandwidthCapThrottlesAndAccounts) {
+  const std::string root = fresh_root("geofm_test_upl_throttle_src");
+  const std::string dst = fresh_root("geofm_test_upl_throttle_dst");
+  save_step(root, 0);
+
+  // How many shard bytes the attempt will move (manifest excluded — the
+  // throttle paces shard copies).
+  const std::string step_dir =
+      root + "/" + ckpt::format::step_dir_name(0);
+  const ckpt::format::Manifest man = ckpt::format::read_manifest(step_dir);
+  i64 shard_bytes = 0;
+  for (const std::string& shard : man.shards) {
+    shard_bytes += static_cast<i64>(fs::file_size(step_dir + "/" + shard));
+  }
+  ASSERT_GT(shard_bytes, 0);
+
+  auto& throttled_m =
+      obs::MetricsRegistry::instance().counter("upload.throttled_seconds");
+  const double metric_before = throttled_m.value();
+
+  // Control: unthrottled mirroring sleeps zero seconds.
+  {
+    ckpt::Uploader up(fast_uploader(root, dst));
+    up.enqueue(0);
+    up.drain();
+    EXPECT_EQ(up.stats().throttled_seconds, 0.0);
+  }
+  fs::remove_all(dst);
+  fs::create_directories(dst);
+
+  // Cap sized so the attempt must stretch to ~150ms.
+  const double target_seconds = 0.15;
+  ckpt::UploaderOptions uo = fast_uploader(root, dst);
+  uo.max_bytes_per_second = static_cast<double>(shard_bytes) / target_seconds;
+  const double t0 = monotonic_seconds();
+  double throttled = 0;
+  {
+    ckpt::Uploader up(uo);
+    up.enqueue(0);
+    up.drain();
+    const auto st = up.stats();
+    EXPECT_EQ(st.uploaded, 1);
+    EXPECT_EQ(st.failures, 0);
+    throttled = st.throttled_seconds;
+  }
+  const double elapsed = monotonic_seconds() - t0;
+  EXPECT_GE(elapsed, target_seconds * 0.5);  // pacing actually happened
+  EXPECT_GT(throttled, 0.0);
+  EXPECT_LE(throttled, elapsed);
+  EXPECT_GE(throttled_m.value() - metric_before, throttled * 0.5);
+  // The cap slows the copy; it must not change what lands.
+  EXPECT_EQ(published_steps(dst), std::vector<i64>{0});
+  ckpt::verify_checkpoint_dir(dst + "/" + ckpt::format::step_dir_name(0));
+  fs::remove_all(root);
+  fs::remove_all(dst);
+}
+
+// ----- multi-source discovery + verification ---------------------------------
+
+// published_sources: newest step first across all roots; on a step tie
+// the earlier (more trusted) source wins; missing/empty roots are
+// skipped. verify_checkpoint_dir: a complete publication passes, a
+// truncated shard behind a published manifest is rejected.
+TEST(Uploader, PublishedSourcesOrderAndVerification) {
+  const std::string a = fresh_root("geofm_test_upl_sources_a");
+  const std::string b = fresh_root("geofm_test_upl_sources_b");
+  save_step(a, 3);
+  save_step(b, 3);  // tie with a's step 3
+  save_step(b, 7);  // newest overall
+
+  // One candidate per source: each root's newest published step.
+  const auto found =
+      ckpt::published_sources({a, b, "/tmp/geofm_upl_sources_missing"});
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].step, 7);
+  EXPECT_EQ(found[0].source, 1u);
+  EXPECT_EQ(found[1].step, 3);
+  EXPECT_EQ(found[1].source, 0u);
+  // Step tie across sources: the earlier (more trusted) source wins.
+  const auto tied = ckpt::published_sources({b, a});
+  ASSERT_EQ(tied.size(), 2u);
+  EXPECT_EQ(tied[0].step, 7);
+  const auto tie_only = ckpt::published_sources({a, a});
+  ASSERT_EQ(tie_only.size(), 2u);
+  EXPECT_EQ(tie_only[0].source, 0u);
+  EXPECT_TRUE(ckpt::published_sources({}).empty());
+
+  const std::string good = b + "/" + ckpt::format::step_dir_name(7);
+  ckpt::verify_checkpoint_dir(good);  // complete: no throw
+
+  const ckpt::format::Manifest man = ckpt::format::read_manifest(good);
+  ASSERT_FALSE(man.shards.empty());
+  const std::string shard = good + "/" + man.shards.front();
+  fs::resize_file(shard, fs::file_size(shard) / 2);
+  EXPECT_THROW(ckpt::verify_checkpoint_dir(good), Error);
+  fs::remove_all(a);
+  fs::remove_all(b);
 }
 
 }  // namespace
