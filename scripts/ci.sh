@@ -47,7 +47,7 @@ echo "== fault matrix: every FaultPlan kind x sharding strategy =="
 # named here rather than buried in the full suite. FaultTrace is the
 # JSON record/replay contract for realized fault schedules.
 ./build/tests/geofm_tests \
-    --gtest_filter='*ElasticFaultMatrix*:ElasticRecovery.*:*ElasticGrowBack*:Fault.*:FaultTrace.*:Uploader.*:StorageFaults.*'
+    --gtest_filter='*ElasticFaultMatrix*:ElasticRecovery.*:*ElasticGrowBack*:Fault.*:FaultTrace.*:Uploader.*:StorageFaults.*:Chaos*'
 
 echo "== observability: postmortem bundles + sampler + health report =="
 # Flight-recorder contract over the elastic fault matrix: every
@@ -86,6 +86,17 @@ echo "== serving tier: hot-reload, batching, cache, heads =="
 # and admitted-request p50/p99, into BENCH_serve.json.
 GEOFM_BENCH_QUICK=1 GEOFM_BENCH_CACHE=/tmp/geofm_ci_bench_cache \
     ./build/bench/bench_serve
+
+echo "== chaos soak: seeded campaigns + invariant audit =="
+# Full-stack failure drill: generated campaigns land correlated comm +
+# storage + loader faults on an elastic run with a checkpoint mirror,
+# flood the serving tier, then audit the system invariants (futures
+# conserved, publications atomic, recovery bounded AND bitwise,
+# postmortems present/replayable). Fixed seed so CI is deterministic;
+# the wall-clock budget bounds the leg, and any violation exits nonzero
+# with the offending campaign's seed and kept roots. Longer soaks:
+# scripts/soak.sh <seconds>.
+./build/bench/soak_chaos --seconds 45 --campaigns 8 --seed 806661
 
 echo "== kernel engine: parity suite under AddressSanitizer =="
 # The SIMD kernels do tail-masked loads/stores and packed-panel staging;
@@ -142,6 +153,14 @@ if [[ "$SKIP_TSAN" == "0" ]]; then
   ./build-tsan/tests/geofm_tests \
       --gtest_filter='ServeOverload.*:ServeShutdown.*:ServeFailover.*:ServeBreaker.*' \
       --gtest_repeat=2
+  echo "== TSan: mixed chaos campaign, extra schedules =="
+  # One mixed comm+storage+loader campaign under TSan: the campaign layers
+  # loader worker kills/respawns and watchdog takeovers on top of the
+  # elastic recovery and uploader races above — the densest cross-subsystem
+  # interleaving the repo has. Fixed seed; repeated via --campaigns for
+  # schedule diversity.
+  cmake --build build-tsan -j "$JOBS" --target soak_chaos
+  ./build-tsan/bench/soak_chaos --seconds 120 --campaigns 2 --seed 806662
   echo "== TSan: grow-back at a checkpoint boundary, extra schedules =="
   # Shrink -> probationary rendezvous -> re-formed communicator layers the
   # probe group, the supervisor pad rank, the watchdog, and a fresh

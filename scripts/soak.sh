@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Chaos soak quick-start: build the soak runner and hammer the full stack
+# with seeded multi-subsystem fault campaigns until the wall-clock budget
+# expires. Every campaign is replayable from its printed seed:
+#
+#   scripts/soak.sh                  # 60s budget, default seed
+#   scripts/soak.sh 300              # 5-minute soak
+#   SEED=123 scripts/soak.sh 300     # different campaign stream
+#
+# A violated invariant keeps the campaign's checkpoint roots under
+# /tmp/geofm_soak_<seed>/ for postmortem and exits nonzero; replay the
+# exact scenario with  ./build/bench/soak_chaos --campaigns 1 --seed <S>.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUDGET_SECONDS="${1:-60}"
+SEED="${SEED:-806661}"   # 0xc4a05, the runner's default
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$JOBS" --target soak_chaos
+
+exec "./$BUILD_DIR/bench/soak_chaos" --seconds "$BUDGET_SECONDS" --seed "$SEED"

@@ -124,16 +124,42 @@ FaultEvent FaultEvent::io_slow_upload(i64 after_io, double seconds,
                        ops_affected);
 }
 
+FaultEvent FaultEvent::loader_worker_kill(int rank, i64 batch) {
+  return make_io_event(Kind::kLoaderWorkerKill, IoPath::kRender, rank, batch,
+                       0, 1);
+}
+
+FaultEvent FaultEvent::loader_slow_render(int rank, i64 batch, double seconds,
+                                          i64 ops_affected) {
+  return make_io_event(Kind::kLoaderSlowRender, IoPath::kRender, rank, batch,
+                       seconds, ops_affected);
+}
+
+FaultEvent FaultEvent::loader_poison(int rank, i64 batch) {
+  return make_io_event(Kind::kLoaderPoison, IoPath::kRender, rank, batch, 0,
+                       1);
+}
+
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)), fired_(plan_.events.size(), false) {
   for (const auto& e : plan_.events) {
     if (e.is_io()) {
-      GEOFM_CHECK(e.io_path != IoPath::kNone,
-                  "IO fault event must name an io_path");
+      GEOFM_CHECK(e.io_path != IoPath::kNone &&
+                      e.io_path != IoPath::kRender,
+                  "IO fault event must name a storage io_path");
       GEOFM_CHECK(e.after_io >= 0,
                   "IO fault event must trigger at an op index");
       GEOFM_CHECK(e.rank >= -1, "IO fault event rank must be >= -1");
       has_io_events_ = true;
+      continue;
+    }
+    if (e.is_loader()) {
+      GEOFM_CHECK(e.io_path == IoPath::kRender,
+                  "loader fault event must use io_path render");
+      GEOFM_CHECK(e.after_io >= 0,
+                  "loader fault event must trigger at a batch ordinal");
+      GEOFM_CHECK(e.rank >= -1, "loader fault event rank must be >= -1");
+      has_loader_events_ = true;
       continue;
     }
     GEOFM_CHECK(e.kind == FaultEvent::Kind::kCallback || e.rank >= 0,
@@ -195,9 +221,8 @@ void FaultInjector::at_step_point(Communicator& comm, i64 step) {
                           std::to_string(step);
           }
           break;
-        case FaultEvent::Kind::kSlowRank:
-        case FaultEvent::Kind::kCorrupt:
-          break;  // post-boundary events only
+        default:
+          break;  // post-boundary, io-seam, and loader-seam events
       }
     }
   }
@@ -259,8 +284,8 @@ FaultInjector::PostFault FaultInjector::before_post(int global_rank,
                               " post " + std::to_string(idx);
           }
           break;
-        case FaultEvent::Kind::kCallback:
-          break;  // step-point events only
+        default:
+          break;  // step-point, io-seam, and loader-seam events
       }
     }
   }
@@ -282,6 +307,8 @@ const char* io_path_name(IoPath path) {
       return "read";
     case IoPath::kUpload:
       return "upload";
+    case IoPath::kRender:
+      return "render";
   }
   return "none";
 }
@@ -346,6 +373,67 @@ FaultInjector::IoFault FaultInjector::before_io(IoPath path, int rank) {
         std::chrono::duration<double>(out.delay_seconds));
   }
   if (out.any()) obs::trace_instant("fault.io", "fault");
+  return out;
+}
+
+FaultInjector::LoaderFault FaultInjector::before_render(int rank,
+                                                        i64 batch_ordinal) {
+  LoaderFault out;
+  if (!has_loader_events_ || batch_ordinal < 0) return out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < plan_.events.size(); ++i) {
+      const FaultEvent& e = plan_.events[i];
+      if (!e.is_loader()) continue;
+      if (e.rank != -1 && e.rank != rank) continue;
+      const i64 trigger = e.after_io;
+      const std::string site = "render of batch " +
+                               std::to_string(batch_ordinal) + " on rank " +
+                               std::to_string(rank);
+      switch (e.kind) {
+        case FaultEvent::Kind::kLoaderWorkerKill:
+          if (batch_ordinal == trigger && !fired_[i]) {
+            fired_[i] = true;
+            out.kill_worker = true;
+            out.reason = "injected loader worker death (" + site + ")";
+          }
+          break;
+        case FaultEvent::Kind::kLoaderSlowRender:
+          if (batch_ordinal >= trigger &&
+              (e.ops_affected <= 0 ||
+               batch_ordinal < trigger + e.ops_affected)) {
+            fired_[i] = true;
+            out.delay_seconds += e.seconds;
+          }
+          break;
+        case FaultEvent::Kind::kLoaderPoison:
+          if (batch_ordinal == trigger && !fired_[i]) {
+            fired_[i] = true;
+            out.poison = true;
+            out.poison_site =
+                mix64(plan_.seed ^
+                      mix64(static_cast<u64>(batch_ordinal) +
+                            0x9e3779b97f4a7c15ull) ^
+                      static_cast<u64>(static_cast<i64>(rank) + 1));
+            out.reason = "injected poisoned sample (" + site + ")";
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  // The slow-render delay sleeps inline (mirroring before_io): a hung
+  // render is exactly a worker thread that does not come back, which is
+  // what the loader watchdog exists to detect.
+  if (out.delay_seconds > 0) {
+    obs::trace_instant("fault.loader_slow", "fault");
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(out.delay_seconds));
+  }
+  if (out.kill_worker || out.poison) {
+    obs::trace_instant("fault.loader", "fault");
+  }
   return out;
 }
 

@@ -58,8 +58,12 @@ class RankKilled : public Error {
 /// write (`kWrite`, counted per writing rank), every shard-record read at
 /// restore (`kRead`, counted per restoring rank), and every file copy the
 /// checkpoint uploader performs (`kUpload`, counted on rank 0 — there is
-/// one uploader per run).
-enum class IoPath { kNone, kWrite, kRead, kUpload };
+/// one uploader per run). `kRender` is the data-path seam: the dataloader
+/// consults the injector before every batch render, triggered by the
+/// *global batch ordinal* (epoch * batches_per_epoch + batch index) —
+/// ordinal-keyed rather than counter-keyed so a watchdog re-render or a
+/// respawned worker never shifts later triggers.
+enum class IoPath { kNone, kWrite, kRead, kUpload, kRender };
 
 /// One scheduled fault. Triggers are exact: `step` matches the driver's
 /// per-step fault point, `after_posts` matches the target rank's N-th
@@ -79,6 +83,10 @@ struct FaultEvent {
     kIoTorn,        // a short write: truncated bytes land, then the op fails
     kIoSlow,        // add `seconds` latency to each of `ops_affected` ops
     kIoUnreadable,  // a read refuses the shard (unreadable at restore)
+    // ----- data-path faults (consulted by data::DataLoader) --------------
+    kLoaderWorkerKill,  // the worker rendering this batch dies (respawned)
+    kLoaderSlowRender,  // add `seconds` latency to `ops_affected` renders
+    kLoaderPoison,      // one sample of this batch renders non-finite
   };
 
   Kind kind = Kind::kKill;
@@ -119,10 +127,20 @@ struct FaultEvent {
   static FaultEvent io_torn_upload(i64 after_io);
   static FaultEvent io_slow_upload(i64 after_io, double seconds,
                                    i64 ops_affected = 1);
+  // Data-path factories. `batch` is the global batch ordinal (epoch *
+  // batches_per_epoch + batch index) of the rank's loader; rank -1 = any.
+  static FaultEvent loader_worker_kill(int rank, i64 batch);
+  static FaultEvent loader_slow_render(int rank, i64 batch, double seconds,
+                                       i64 ops_affected = 1);
+  static FaultEvent loader_poison(int rank, i64 batch);
 
   bool is_io() const {
     return kind == Kind::kIoFail || kind == Kind::kIoTorn ||
            kind == Kind::kIoSlow || kind == Kind::kIoUnreadable;
+  }
+  bool is_loader() const {
+    return kind == Kind::kLoaderWorkerKill ||
+           kind == Kind::kLoaderSlowRender || kind == Kind::kLoaderPoison;
   }
 };
 
@@ -182,6 +200,28 @@ class FaultInjector {
   };
   IoFault before_io(IoPath path, int rank);
 
+  /// Data-path integration (called by data::DataLoader before each batch
+  /// render): matches loader events against `(rank, batch_ordinal)` —
+  /// the global batch ordinal, not an op counter, so re-renders after a
+  /// worker death or a watchdog requeue never shift later triggers.
+  /// Sleeps inline for any triggered kLoaderSlowRender delay; the caller
+  /// applies `kill_worker` (unwind + respawn the worker thread) and
+  /// `poison` (render one sample non-finite, site picked by
+  /// `poison_site`) at its own seam.
+  struct LoaderFault {
+    bool kill_worker = false;
+    bool poison = false;
+    u64 poison_site = 0;  // hash selecting the poisoned sample row
+    double delay_seconds = 0;
+    std::string reason;
+    bool any() const { return kill_worker || poison || delay_seconds > 0; }
+  };
+  LoaderFault before_render(int rank, i64 batch_ordinal);
+
+  /// True iff the plan holds any loader-path event — lets the dataloader
+  /// skip the seam (and the per-sample poison scan) entirely on clean runs.
+  bool has_loader_events() const { return has_loader_events_; }
+
   /// fired()[i] is true once plan().events[i] has triggered (one-shot
   /// events only; an every-step kCallback never reports fired). The
   /// elastic supervisor uses this to carry the un-fired remainder of a
@@ -198,6 +238,7 @@ class FaultInjector {
   FaultPlan plan_;
   std::vector<bool> fired_;
   bool has_io_events_ = false;
+  bool has_loader_events_ = false;
   std::map<int, u64> posts_;  // per-global-rank post counter
   std::map<std::pair<int, int>, u64> io_ops_;  // (path, rank) op counter
 };

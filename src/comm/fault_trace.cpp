@@ -45,6 +45,12 @@ const char* kind_name(FaultEvent::Kind kind) {
       return "io_slow";
     case FaultEvent::Kind::kIoUnreadable:
       return "io_unreadable";
+    case FaultEvent::Kind::kLoaderWorkerKill:
+      return "loader_worker_kill";
+    case FaultEvent::Kind::kLoaderSlowRender:
+      return "loader_slow_render";
+    case FaultEvent::Kind::kLoaderPoison:
+      return "loader_poison";
   }
   return "kill";
 }
@@ -58,6 +64,9 @@ FaultEvent::Kind kind_from_name(const std::string& name) {
   if (name == "io_torn") return FaultEvent::Kind::kIoTorn;
   if (name == "io_slow") return FaultEvent::Kind::kIoSlow;
   if (name == "io_unreadable") return FaultEvent::Kind::kIoUnreadable;
+  if (name == "loader_worker_kill") return FaultEvent::Kind::kLoaderWorkerKill;
+  if (name == "loader_slow_render") return FaultEvent::Kind::kLoaderSlowRender;
+  if (name == "loader_poison") return FaultEvent::Kind::kLoaderPoison;
   throw Error("fault trace: unknown event kind \"" + name + "\"");
 }
 
@@ -71,6 +80,8 @@ const char* path_name(IoPath path) {
       return "read";
     case IoPath::kUpload:
       return "upload";
+    case IoPath::kRender:
+      return "render";
   }
   return "none";
 }
@@ -80,6 +91,7 @@ IoPath path_from_name(const std::string& name) {
   if (name == "write") return IoPath::kWrite;
   if (name == "read") return IoPath::kRead;
   if (name == "upload") return IoPath::kUpload;
+  if (name == "render") return IoPath::kRender;
   throw Error("fault trace: unknown io_path \"" + name + "\"");
 }
 

@@ -1,7 +1,11 @@
 #include "data/dataloader.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
 
+#include "comm/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
@@ -69,6 +73,9 @@ void DataLoader::start_epoch(i64 epoch, i64 first_batch) {
     next_to_claim_ = first_batch;
     next_to_consume_ = first_batch;
     stopping_ = false;
+    requeued_.clear();
+    alive_workers_ = options_.n_workers;
+    respawns_used_ = 0;
   }
 
   for (int w = 0; w < options_.n_workers; ++w) {
@@ -127,6 +134,47 @@ Batch DataLoader::render_batch_traced(i64 batch_index) const {
   return batch;
 }
 
+Batch DataLoader::render_faulted(i64 batch_index, bool apply_poison,
+                                 u64 poison_site) {
+  Batch batch = render_batch_traced(batch_index);
+  const i64 rows = static_cast<i64>(batch.sample_indices.size());
+  const i64 per = rows > 0 ? batch.images.numel() / rows : 0;
+  if (apply_poison && rows > 0 && per > 0) {
+    float* row = batch.images.data() +
+                 static_cast<i64>(poison_site % static_cast<u64>(rows)) * per;
+    for (i64 k = 0; k < per; ++k) {
+      row[k] = std::numeric_limits<float>::quiet_NaN();
+    }
+  }
+  if (options_.quarantine_poisoned && rows > 0 && per > 0) {
+    static auto& quarantined =
+        obs::MetricsRegistry::instance().counter("loader.quarantined");
+    for (i64 r = 0; r < rows; ++r) {
+      float* row = batch.images.data() + r * per;
+      bool bad = false;
+      for (i64 k = 0; k < per; ++k) {
+        if (!std::isfinite(row[k])) {
+          bad = true;
+          break;
+        }
+      }
+      if (!bad) continue;
+      // Zero the sample rather than dropping it: batch geometry (and so
+      // every downstream shape) is unchanged, and the zeroed row is
+      // deterministic, so replay stays bitwise.
+      std::fill(row, row + per, 0.f);
+      bool newly = false;
+      {
+        std::lock_guard<std::mutex> lk(quarantine_mu_);
+        newly = quarantined_.insert(batch.sample_indices[r]).second;
+      }
+      if (newly) quarantined.add(1);
+      obs::trace_instant("loader.quarantine", "loader");
+    }
+  }
+  return batch;
+}
+
 void DataLoader::worker_loop() {
   set_thread_rank(owner_rank_);
   obs::set_thread_label("loader.worker");
@@ -135,17 +183,79 @@ void DataLoader::worker_loop() {
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_produce_.wait(lk, [&] {
-        return stopping_ || (next_to_claim_ < n_batches_ &&
-                             next_to_claim_ - next_to_consume_ <
-                                 options_.prefetch_batches);
+        return stopping_ || !requeued_.empty() ||
+               (next_to_claim_ < n_batches_ &&
+                next_to_claim_ - next_to_consume_ <
+                    options_.prefetch_batches);
       });
-      if (stopping_ || next_to_claim_ >= n_batches_) return;
-      mine = next_to_claim_++;
+      if (stopping_) {
+        --alive_workers_;
+        cv_consume_.notify_all();
+        return;
+      }
+      while (!requeued_.empty() && mine < 0) {
+        // Orphans of a dead worker come first; entries the consumer
+        // already rendered itself are stale — drop them.
+        const i64 head = requeued_.front();
+        requeued_.pop_front();
+        if (head >= next_to_consume_ && ready_.count(head) == 0) mine = head;
+      }
+      if (mine < 0) {
+        if (next_to_claim_ >= n_batches_) {
+          --alive_workers_;
+          cv_consume_.notify_all();
+          return;
+        }
+        mine = next_to_claim_++;
+      }
     }
-    Batch batch = render_batch_traced(mine);
+    // Fault seam: consult the installed injector on the *global* batch
+    // ordinal before rendering. An injected slow-render sleeps inside
+    // before_render (that is the hang the consumer watchdog catches).
+    bool poison = false;
+    u64 poison_site = 0;
+    if (options_.fault_injector != nullptr) {
+      const i64 ordinal = epoch_ * n_batches_ + mine;
+      auto fault = options_.fault_injector->before_render(
+          owner_rank_ < 0 ? 0 : owner_rank_, ordinal);
+      poison = fault.poison;
+      poison_site = fault.poison_site;
+      if (fault.kill_worker) {
+        static auto& deaths =
+            obs::MetricsRegistry::instance().counter("loader.worker_deaths");
+        static auto& respawns =
+            obs::MetricsRegistry::instance().counter("loader.respawns");
+        deaths.add(1);
+        obs::trace_instant("loader.worker_death", "loader");
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          requeued_.push_back(mine);
+          --alive_workers_;
+          if (!stopping_ && respawns_used_ < options_.max_worker_respawns) {
+            ++respawns_used_;
+            ++alive_workers_;
+            workers_.emplace_back([this] { worker_loop(); });
+            respawns.add(1);
+          }
+        }
+        cv_produce_.notify_all();
+        cv_consume_.notify_all();
+        return;  // this worker thread is dead
+      }
+    }
+    Batch batch = render_faulted(mine, poison, poison_site);
     {
       std::lock_guard<std::mutex> lk(mu_);
-      ready_.emplace(mine, std::move(batch));
+      if (mine >= next_to_consume_ && ready_.count(mine) == 0) {
+        ready_.emplace(mine, std::move(batch));
+      } else {
+        // A watchdog takeover beat us to it; renders are deterministic,
+        // so the duplicate is bitwise identical and safe to drop.
+        static auto& discarded =
+            obs::MetricsRegistry::instance().counter(
+                "loader.discarded_renders");
+        discarded.add(1);
+      }
     }
     cv_consume_.notify_all();
   }
@@ -156,9 +266,20 @@ std::optional<Batch> DataLoader::next() {
     if (next_to_consume_ >= batches_per_epoch()) return std::nullopt;
     GEOFM_CHECK(!permutation_.empty(), "next() before start_epoch()");
     // Synchronous path: the whole render happens on the consumer's
-    // critical path, so it is all exposed time.
+    // critical path, so it is all exposed time. The fault seam still
+    // applies (an injected worker kill is meaningless here and ignored).
     const double t0 = monotonic_seconds();
-    Batch batch = render_batch_traced(next_to_consume_++);
+    const i64 mine = next_to_consume_++;
+    bool poison = false;
+    u64 poison_site = 0;
+    if (options_.fault_injector != nullptr) {
+      const i64 ordinal = epoch_ * batches_per_epoch() + mine;
+      auto fault = options_.fault_injector->before_render(
+          owner_rank_ < 0 ? 0 : owner_rank_, ordinal);
+      poison = fault.poison;
+      poison_site = fault.poison_site;
+    }
+    Batch batch = render_faulted(mine, poison, poison_site);
     static auto& exposed_sync =
         obs::MetricsRegistry::instance().counter("loader.exposed_wait_seconds");
     exposed_sync.add(monotonic_seconds() - t0);
@@ -174,9 +295,53 @@ std::optional<Batch> DataLoader::next() {
     // the analogue of CommStats::exposed_wait_seconds for input.
     obs::TraceScope span("loader.wait", "loader", "batch", want);
     const double t0 = monotonic_seconds();
-    cv_consume_.wait(lk, [&] { return ready_.count(want) > 0; });
     static auto& exposed =
         obs::MetricsRegistry::instance().counter("loader.exposed_wait_seconds");
+    static auto& stall_requeues =
+        obs::MetricsRegistry::instance().counter("loader.stall_requeues");
+    const double wd = options_.watchdog_seconds;
+    while (ready_.count(want) == 0) {
+      const bool workers_gone = alive_workers_ == 0;
+      const bool overdue = wd > 0 && monotonic_seconds() - t0 > wd;
+      if (workers_gone || overdue) {
+        // Nobody is coming (every worker dead, respawn budget spent) or
+        // the render is overdue (a hung worker): take the batch over on
+        // the consumer. Renders are bitwise deterministic, so a late
+        // duplicate from the original worker is discarded harmlessly.
+        // The takeover render skips the fault seam — whatever fault
+        // delayed or killed the original render already fired.
+        if (overdue && !workers_gone) {
+          stall_requeues.add(1);
+          obs::trace_instant("loader.stall_takeover", "loader");
+        }
+        for (auto it = requeued_.begin(); it != requeued_.end(); ++it) {
+          if (*it == want) {
+            requeued_.erase(it);
+            break;
+          }
+        }
+        lk.unlock();
+        Batch rescued = render_faulted(want, false, 0);
+        lk.lock();
+        if (ready_.count(want) == 0) {
+          ready_.emplace(want, std::move(rescued));
+        } else {
+          static auto& discarded =
+              obs::MetricsRegistry::instance().counter(
+                  "loader.discarded_renders");
+          discarded.add(1);
+        }
+        break;
+      }
+      if (wd > 0) {
+        cv_consume_.wait_for(
+            lk, std::chrono::duration<double>(std::max(wd / 4, 1e-3)));
+      } else {
+        cv_consume_.wait(lk, [&] {
+          return ready_.count(want) > 0 || alive_workers_ == 0;
+        });
+      }
+    }
     exposed.add(monotonic_seconds() - t0);
   }
   Batch batch = std::move(ready_.at(want));
@@ -185,6 +350,11 @@ std::optional<Batch> DataLoader::next() {
   lk.unlock();
   cv_produce_.notify_all();  // a prefetch slot opened up
   return batch;
+}
+
+std::vector<i64> DataLoader::quarantined_samples() const {
+  std::lock_guard<std::mutex> lk(quarantine_mu_);
+  return std::vector<i64>(quarantined_.begin(), quarantined_.end());
 }
 
 void DataLoader::stop_workers() {

@@ -6,14 +6,20 @@
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "data/datasets.hpp"
 #include "data/transforms.hpp"
+
+namespace geofm::comm {
+class FaultInjector;
+}
 
 namespace geofm::data {
 
@@ -47,6 +53,29 @@ class DataLoader {
     /// instead of the whole world's.
     i64 slice_offset = 0;
     i64 slice_count = -1;  // -1 = the whole batch
+    /// Data-path fault seam (chaos campaigns): when set, every batch
+    /// render first consults `fault_injector->before_render(rank,
+    /// ordinal)` with the *global* batch ordinal (epoch *
+    /// batches_per_epoch + batch index). Injected worker deaths requeue
+    /// the claimed batch and respawn a replacement thread (bounded by
+    /// `max_worker_respawns` per epoch); injected render delays are
+    /// absorbed by the watchdog below; injected poison renders one
+    /// sample row non-finite.
+    comm::FaultInjector* fault_injector = nullptr;
+    /// Consumer-side stall watchdog: if next() has waited longer than
+    /// this for the wanted batch (a hung or killed-without-respawn
+    /// worker), the consumer renders the batch itself and any late
+    /// duplicate render is discarded — renders are bitwise
+    /// deterministic, so either copy is the same batch. 0 disables.
+    double watchdog_seconds = 0;
+    int max_worker_respawns = 4;  // replacement threads per epoch
+    /// Poisoned-sample quarantine: scan each rendered sample row for
+    /// non-finite values; offending rows are zeroed (the batch survives)
+    /// and their dataset indices recorded — a bad shard degrades
+    /// throughput instead of killing the run. Off by default: the scan
+    /// touches every pixel, so enable it only under chaos campaigns or
+    /// untrusted data.
+    bool quarantine_poisoned = false;
   };
 
   DataLoader(const SceneDataset& dataset, Split split, Options options);
@@ -67,10 +96,17 @@ class DataLoader {
   /// Next batch of the running epoch, in order; nullopt once exhausted.
   std::optional<Batch> next();
 
+  /// Dataset indices quarantined so far (sorted; persists across epochs).
+  std::vector<i64> quarantined_samples() const;
+
  private:
   void worker_loop();
   Batch render_batch(i64 batch_index) const;
   Batch render_batch_traced(i64 batch_index) const;
+  /// render_batch_traced plus the fault seam's side effects: applies an
+  /// injected poison to one sample row, then (when quarantine is on)
+  /// scans rows for non-finite values, zeroing and recording offenders.
+  Batch render_faulted(i64 batch_index, bool apply_poison, u64 poison_site);
   void stop_workers();
 
   const SceneDataset& dataset_;
@@ -93,6 +129,14 @@ class DataLoader {
   i64 next_to_consume_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Fault-seam state (all under mu_ except quarantined_, which has its
+  // own lock so workers can record offenders mid-render).
+  std::deque<i64> requeued_;   // batches orphaned by a worker death
+  int alive_workers_ = 0;
+  int respawns_used_ = 0;
+  mutable std::mutex quarantine_mu_;
+  std::set<i64> quarantined_;  // dataset indices, persistent across epochs
 };
 
 }  // namespace geofm::data

@@ -84,6 +84,49 @@ void RequestBatcher::fail(std::vector<PendingRequest>& batch,
   batch.clear();
 }
 
+bool RequestBatcher::fair_share_displace_locked(
+    const PendingRequest& incoming, std::vector<PendingRequest>* displaced) {
+  auto weight_of = [this](const std::string& tenant) {
+    const auto it = opts_.tenant_weights.find(tenant);
+    return it != opts_.tenant_weights.end() && it->second > 0 ? it->second
+                                                              : 1.0;
+  };
+  std::map<std::string, i64> queued;
+  for (const Queue& lane : lanes_) {
+    for (const PendingRequest& p : lane) queued[p.request.tenant] += 1;
+  }
+  // The most-over tenant: highest queued/weight ratio (strict > with the
+  // map's name order makes the pick deterministic).
+  std::string over_tenant;
+  double over_ratio = 0;
+  for (const auto& [tenant, count] : queued) {
+    const double ratio = static_cast<double>(count) / weight_of(tenant);
+    if (ratio > over_ratio) {
+      over_ratio = ratio;
+      over_tenant = tenant;
+    }
+  }
+  const std::string& mine = incoming.request.tenant;
+  const double my_ratio =
+      static_cast<double>(queued[mine] + 1) / weight_of(mine);
+  if (queued.empty() || my_ratio >= over_ratio || over_tenant == mine) {
+    return false;  // admitting us would not improve fairness
+  }
+  // Displace the youngest request of the over tenant — bulk lane first,
+  // so fair-share never inverts the lane priority it rides under.
+  for (Queue* lane : {&lanes_[static_cast<int>(Lane::kBulk)],
+                      &lanes_[static_cast<int>(Lane::kInteractive)]}) {
+    for (auto it = lane->rbegin(); it != lane->rend(); ++it) {
+      if (it->request.tenant == over_tenant) {
+        displaced->push_back(std::move(*it));
+        lane->erase(std::next(it).base());
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 std::future<EmbedResult> RequestBatcher::submit(EmbedRequest req) {
   PendingRequest pending;
   pending.submitted_ns = monotonic_ns();
@@ -97,6 +140,7 @@ std::future<EmbedResult> RequestBatcher::submit(EmbedRequest req) {
 
   std::vector<PendingRequest> expired;   // queued entries past deadline
   std::vector<PendingRequest> displaced;  // bulk entries bumped by priority
+  std::vector<PendingRequest> unfair;  // entries bumped by tenant fair-share
   std::exception_ptr rejection;  // set iff `pending` itself is shed
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -138,6 +182,12 @@ std::future<EmbedResult> RequestBatcher::submit(EmbedRequest req) {
           displaced.push_back(std::move(bulk.back()));
           bulk.pop_back();
           stats_.shed_overload += 1;
+        } else if (!opts_.tenant_weights.empty() &&
+                   fair_share_displace_locked(pending, &unfair)) {
+          // Weighted fair-share: an under-share tenant's arrival takes
+          // the slot of the most-over tenant's youngest request.
+          stats_.shed_overload += 1;
+          stats_.shed_fair_share += 1;
         } else {
           stats_.shed_overload += 1;
           rejection = std::make_exception_ptr(Overloaded(
@@ -170,6 +220,15 @@ std::future<EmbedResult> RequestBatcher::submit(EmbedRequest req) {
     obs::trace_instant("serve.shed_overload", "serve");
     fail(displaced, std::make_exception_ptr(Overloaded(
                         "displaced by an interactive request")));
+  }
+  if (!unfair.empty()) {
+    static auto& fair_share =
+        obs::MetricsRegistry::instance().counter("serve.shed_fair_share");
+    shed_counters().overload.add(static_cast<double>(unfair.size()));
+    fair_share.add(static_cast<double>(unfair.size()));
+    obs::trace_instant("serve.shed_overload", "serve");
+    fail(unfair, std::make_exception_ptr(Overloaded(
+                     "displaced for tenant fair-share")));
   }
   if (rejection != nullptr) {
     // Typed fast-fail: the future is ready before submit returns. Metric

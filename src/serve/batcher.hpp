@@ -44,6 +44,7 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -111,6 +112,16 @@ struct BatcherOptions {
   i64 max_batch = 8;
   i64 max_delay_us = 1000;
   i64 max_queue = 0;  // queued-request bound across both lanes; 0 = unbounded
+  /// Per-tenant admission weights (fair-share shedding). Empty = off.
+  /// When the queue is full, an arriving request whose tenant is *under*
+  /// its weighted share displaces the youngest queued request of the
+  /// tenant *most over* its share (shed `Overloaded`), instead of being
+  /// rejected outright — so one tenant's flood cannot monopolize the
+  /// queue against a lighter tenant's trickle. A tenant absent from the
+  /// map weighs 1.0; weights only matter relative to each other
+  /// (steady-state queue slots split proportionally to weight among
+  /// tenants with pending demand).
+  std::map<std::string, double> tenant_weights = {};
 };
 
 /// Shed/queue accounting (also mirrored into serve.* metrics).
@@ -119,6 +130,8 @@ struct BatcherStats {
   i64 shed_overload = 0;   // rejected or displaced: queue full
   i64 shed_deadline = 0;   // expired in queue or hopeless at admission
   i64 shed_shutdown = 0;   // completed with ShutdownError
+  i64 shed_fair_share = 0;  // of shed_overload: displaced by a tenant
+                            // under its fair share
 };
 
 class RequestBatcher {
@@ -160,6 +173,14 @@ class RequestBatcher {
   // after the lock drops (set_exception can wake waiters).
   i64 pending_locked() const;
   void collect_expired_locked(u64 now_ns, std::vector<PendingRequest>* out);
+  /// Fair-share arbitration for a full queue: if `incoming`'s tenant is
+  /// under its weighted share and some tenant is over its own, moves the
+  /// youngest queued request of the most-over tenant into `displaced`
+  /// and returns true (the caller admits `incoming` into the freed
+  /// slot). Returns false when the incoming tenant holds no fairness
+  /// claim — the queue is full of tenants at or under their shares.
+  bool fair_share_displace_locked(const PendingRequest& incoming,
+                                  std::vector<PendingRequest>* displaced);
   static void fail(std::vector<PendingRequest>& batch,
                    const std::exception_ptr& error);
 

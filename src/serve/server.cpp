@@ -37,15 +37,26 @@ std::vector<std::string> resolve_sources(const ServerConfig& cfg) {
   return {cfg.checkpoint_root};
 }
 
+/// 1 while the reload circuit breaker is open, 0 once a reload succeeds.
+/// A gauge (not just the serve.breaker_trips counter) so the Prometheus
+/// exposition shows the breaker's *current* state, alertable directly.
+obs::Gauge& breaker_gauge() {
+  static auto& gauge =
+      obs::MetricsRegistry::instance().gauge("serve.breaker");
+  return gauge;
+}
+
 }  // namespace
 
 ModelServer::ModelServer(ServerConfig cfg)
     : cfg_(std::move(cfg)),
       sources_(resolve_sources(cfg_)),
-      batcher_({cfg_.max_batch, cfg_.max_delay_us, cfg_.max_queue}),
+      batcher_({cfg_.max_batch, cfg_.max_delay_us, cfg_.max_queue,
+                cfg_.tenant_weights}),
       cache_(cfg_.cache_capacity) {
   GEOFM_CHECK(!sources_.empty() && !sources_.front().empty(),
               "ModelServer needs at least one checkpoint source");
+  breaker_gauge().set(0);  // present in the exposition from the start
   // Initial load walks the same failover order as every reload: newest
   // step first, primary wins ties, mirrors verified before trusted.
   const auto candidates = ckpt::published_sources(sources_);
@@ -252,6 +263,8 @@ bool ModelServer::try_reload(bool force) {
     consecutive_failed_ticks_ = 0;
     breaker_attempt_ = 0;
     breaker_open_until_ = 0;
+    breaker_open_.store(false, std::memory_order_relaxed);
+    breaker_gauge().set(0);
     set_degraded(fresh_source > 0 ? DegradedMode::kMirror
                                   : DegradedMode::kHealthy);
     return true;
@@ -272,6 +285,8 @@ bool ModelServer::try_reload(bool force) {
       breaker_open_until_ = monotonic_seconds() + open_for;
       consecutive_failed_ticks_ = 0;  // the next window starts after probe
       breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+      breaker_open_.store(true, std::memory_order_relaxed);
+      breaker_gauge().set(1);
       static auto& trips_m =
           obs::MetricsRegistry::instance().counter("serve.breaker_trips");
       trips_m.add(1);
@@ -491,8 +506,10 @@ ServerStats ModelServer::stats() const {
   s.shed_overload = bs.shed_overload;
   s.shed_deadline = bs.shed_deadline;
   s.shed_shutdown = bs.shed_shutdown;
+  s.shed_fair_share = bs.shed_fair_share;
   s.shed_degraded = shed_degraded_.load(std::memory_order_relaxed);
   s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  s.breaker_open = breaker_open_.load(std::memory_order_relaxed);
   s.failovers = failovers_.load(std::memory_order_relaxed);
   s.degraded = degraded_mode();
   const auto cur = current();

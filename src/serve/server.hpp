@@ -126,6 +126,10 @@ struct ServerConfig {
   bool verify_mirror_checksums = true;  // full pass before trusting a mirror
   bool allow_degraded_start = false;    // cache-only instead of ctor throw
   bool unload_on_sourceless = false;    // drop weights when all sources die
+  /// Per-tenant admission weights, passed through to the batcher's
+  /// fair-share shedding (see BatcherOptions::tenant_weights). Empty =
+  /// lanes only, no tenant arbitration.
+  std::map<std::string, double> tenant_weights;
 };
 
 struct ServerStats {
@@ -142,7 +146,9 @@ struct ServerStats {
   i64 shed_shutdown = 0;    // typed sheds: completed at shutdown
   i64 shed_degraded = 0;    // typed sheds: cache-only misses
   i64 breaker_trips = 0;    // circuit-breaker opens
+  i64 shed_fair_share = 0;  // of shed_overload: tenant fair-share bumps
   i64 failovers = 0;        // swaps restored from a non-primary source
+  bool breaker_open = false;  // reload circuit breaker currently open
   DegradedMode degraded = DegradedMode::kHealthy;
   i64 model_step = -1;      // checkpoint step currently served
   i64 model_epoch = 0;      // swap generation (1 = initial load)
@@ -237,6 +243,9 @@ class ModelServer {
   std::thread poller_;
   std::atomic<bool> stopped_{false};
   std::atomic<int> degraded_{0};  // DegradedMode, readable without locks
+  // Breaker state mirrored out of reload_mu_ for stats() and the
+  // `serve.breaker` gauge (prometheus_text renders every gauge).
+  std::atomic<bool> breaker_open_{false};
 
   std::atomic<i64> requests_{0};
   std::atomic<i64> batches_{0};

@@ -74,6 +74,16 @@ DistributedPretrainResult pretrain_mae_distributed(
   lopts.seed = cfg.seed;
   lopts.slice_offset = comm.rank() * local_batch;
   lopts.slice_count = local_batch;
+  // Data-path fault seam: loader-kind events in the plan flow into the
+  // loader (worker death, slow render, poisoned samples), with the
+  // consumer watchdog + quarantine turned on so the run degrades instead
+  // of dying. Ordinal-keyed triggers keep the schedule bitwise across
+  // re-renders.
+  if (cfg.fault_injector && cfg.fault_injector->has_loader_events()) {
+    lopts.fault_injector = cfg.fault_injector.get();
+    lopts.quarantine_poisoned = true;
+    lopts.watchdog_seconds = cfg.loader_watchdog_seconds;
+  }
   data::DataLoader loader(corpus, data::Split::kTrain, lopts);
   const i64 batches_per_epoch = loader.batches_per_epoch();
   GEOFM_CHECK(batches_per_epoch > 0, "corpus smaller than the global batch");

@@ -60,6 +60,12 @@ struct DistributedPretrainConfig {
   /// instead of deadlocking the run. Keep generous on oversubscribed
   /// machines (the deadline bounds healthy rendezvous skew).
   double watchdog_deadline_seconds = 0;
+  /// Loader stall watchdog (only armed when the fault plan carries
+  /// loader-kind events): if a rank's next() waits longer than this for
+  /// a batch — a hung render or a worker killed without respawn budget —
+  /// the consumer re-renders the batch itself and late duplicates are
+  /// discarded. 0 keeps the watchdog off even under a loader-fault plan.
+  double loader_watchdog_seconds = 0.25;
   /// DEPRECATED — thin shim over the fault layer, kept for API
   /// compatibility: the hook is wrapped in a one-event every-step
   /// kCallback FaultPlan and fired at the same mid-step fault point.

@@ -31,6 +31,9 @@ FaultPlan every_serializable_kind() {
   plan.events.push_back(FaultEvent::io_fail_upload(0, 2));
   plan.events.push_back(FaultEvent::io_torn_upload(1));
   plan.events.push_back(FaultEvent::io_slow_upload(3, 0.2, 1));
+  plan.events.push_back(FaultEvent::loader_worker_kill(2, 6));
+  plan.events.push_back(FaultEvent::loader_slow_render(-1, 3, 0.03125, 2));
+  plan.events.push_back(FaultEvent::loader_poison(0, 11));
   return plan;
 }
 

@@ -1078,6 +1078,137 @@ TEST(ServeBreaker, TornMirrorTripsBreakerOldWeightsServe) {
   fs::remove_all(mirror);
 }
 
+// Tenant fair-share: one tenant's flood cannot monopolize a full queue
+// against a lighter tenant's trickle. Weights A:3 / B:1 over max_queue 8
+// settle at 6 A slots + 2 B slots: B displaces A's youngest while B is
+// under its share ((b+1)/1 < a/3), then B's own arrivals are rejected —
+// so of 8 A + 8 B submissions exactly 2 sheds are fair-share
+// displacements and the drained queue splits 6/2.
+TEST(ServeOverload, TenantFairShareDisplacesFloodingTenant) {
+  serve::RequestBatcher b({/*max_batch=*/8, /*max_delay_us=*/0,
+                           /*max_queue=*/8,
+                           /*tenant_weights=*/{{"A", 3.0}, {"B", 1.0}}});
+  const double fair_share_metric_before =
+      obs::MetricsRegistry::instance().counter("serve.shed_fair_share").value();
+
+  std::vector<std::future<serve::EmbedResult>> a_futs;
+  std::vector<std::future<serve::EmbedResult>> b_futs;
+  for (int i = 0; i < 8; ++i) {
+    serve::EmbedRequest req;
+    req.key = "A" + std::to_string(i);
+    req.tenant = "A";
+    a_futs.push_back(b.submit(std::move(req)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    serve::EmbedRequest req;
+    req.key = "B" + std::to_string(i);
+    req.tenant = "B";
+    b_futs.push_back(b.submit(std::move(req)));
+  }
+
+  const serve::BatcherStats stats = b.stats();
+  EXPECT_EQ(stats.shed_overload, 8);    // 2 displaced A + 6 rejected B
+  EXPECT_EQ(stats.shed_fair_share, 2);  // only the displacements
+  EXPECT_EQ(b.pending(), 8);
+  EXPECT_EQ(obs::MetricsRegistry::instance()
+                    .counter("serve.shed_fair_share")
+                    .value() -
+                fair_share_metric_before,
+            2.0);
+
+  // The displaced A requests (youngest first) and the rejected B
+  // requests all shed with the typed Overloaded error, immediately.
+  int a_shed = 0;
+  int b_shed = 0;
+  const auto count_shed = [](std::vector<std::future<serve::EmbedResult>>& fs,
+                             int* shed) {
+    for (auto& f : fs) {
+      if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+        continue;  // still queued
+      }
+      EXPECT_THROW(f.get(), serve::Overloaded);
+      *shed += 1;
+    }
+  };
+  count_shed(a_futs, &a_shed);
+  count_shed(b_futs, &b_shed);
+  EXPECT_EQ(a_shed, 2);
+  EXPECT_EQ(b_shed, 6);
+
+  // The queue drains 6 A + 2 B.
+  std::vector<serve::PendingRequest> batch = b.next_batch();
+  int a_left = 0;
+  int b_left = 0;
+  for (auto& p : batch) {
+    (p.request.tenant == "A" ? a_left : b_left) += 1;
+    p.promise.set_value({});
+  }
+  EXPECT_EQ(a_left, 6);
+  EXPECT_EQ(b_left, 2);
+}
+
+// The breaker's *current* state (not just the trip counter) and the
+// degraded mode are live gauges in the Prometheus exposition, and
+// ServerStats mirrors them — the PR 9 alerting leftover.
+TEST(ServeBreaker, BreakerStateAndDegradedModeAreGauges) {
+  const std::string root = fresh_root("geofm_serve_breaker_gauge");
+  const std::string mirror = "/tmp/geofm_serve_breaker_gauge_mirror";
+  fs::remove_all(mirror);
+  fs::create_directories(mirror);
+  const auto cfg = serve_mae_cfg();
+  Rng rng_a(111);
+  models::MAE model_a(cfg, rng_a);
+  publish_model(root, 1, model_a);
+  Rng rng_b(112);
+  models::MAE model_b(cfg, rng_b);
+  publish_model(root, 2, model_b);
+  mirror_step(root, mirror, 2);
+  // Tear the mirror's step 2 and delete the primary's: every reload tick
+  // now finds only the torn candidate and fails (same shape as
+  // TornMirrorTripsBreakerOldWeightsServe above).
+  const std::string step_dir = mirror + "/" + ckpt::format::step_dir_name(2);
+  const ckpt::format::Manifest man = ckpt::format::read_manifest(step_dir);
+  ASSERT_FALSE(man.shards.empty());
+  const std::string shard = step_dir + "/" + man.shards.front();
+  fs::resize_file(shard, fs::file_size(shard) / 2);
+  fs::remove_all(root + "/" + ckpt::format::step_dir_name(2));
+
+  serve::ServerConfig scfg;
+  scfg.checkpoint_root = root;
+  scfg.checkpoint_sources = {root, mirror};
+  scfg.model = cfg;
+  scfg.poll_interval_seconds = 0.002;
+  scfg.breaker_threshold = 2;
+  scfg.breaker_backoff = {/*initial_seconds=*/5.0, /*max_seconds=*/30.0,
+                          /*jitter=*/0.5, /*seed=*/7};
+  serve::ModelServer server(scfg);
+  EXPECT_FALSE(server.stats().breaker_open);
+
+  for (int i = 0; i < 4000 && !server.stats().breaker_open; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(server.stats().breaker_open);
+  std::string text = obs::prometheus_text();
+  EXPECT_NE(text.find("# TYPE geofm_serve_breaker gauge"), std::string::npos);
+  EXPECT_NE(text.find("geofm_serve_breaker 1\n"), std::string::npos);
+  // DegradedMode::kBreakerOpen == 1 on the serve.degraded gauge.
+  EXPECT_NE(text.find("geofm_serve_degraded 1\n"), std::string::npos);
+
+  // A good publication + operator reload closes the breaker; both gauges
+  // drop back to healthy.
+  Rng rng_c(113);
+  models::MAE model_c(cfg, rng_c);
+  publish_model(root, 5, model_c);
+  EXPECT_TRUE(server.reload_now());
+  EXPECT_FALSE(server.stats().breaker_open);
+  text = obs::prometheus_text();
+  EXPECT_NE(text.find("geofm_serve_breaker 0\n"), std::string::npos);
+  EXPECT_NE(text.find("geofm_serve_degraded 0\n"), std::string::npos);
+  server.stop();
+  fs::remove_all(root);
+  fs::remove_all(mirror);
+}
+
 // Every source gone: with unload_on_sourceless the server drops to
 // cache-only mode — epoch-pinned cache hits still answer (flagged
 // degraded), misses shed with the typed Degraded error — and the next
